@@ -1,0 +1,71 @@
+"""Shared fixtures and reporting for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures (or one of
+our ablations) and asserts the *shape* of the result — who wins, rough
+factors, monotone trends — per the reproduction contract in DESIGN.md.
+
+Result tables are written to ``benchmark_results/`` and echoed in the
+pytest terminal summary so that ``pytest benchmarks/ --benchmark-only``
+leaves a readable record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import train_default_stable_model
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import random_scenarios
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+_tables: list[tuple[str, str]] = []
+
+
+def record_table(title: str, text: str) -> None:
+    """Register a result table for the terminal summary and write it out."""
+    _tables.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _tables:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("reproduction results (paper vs measured)")
+    for title, text in _tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def stable_model_report():
+    """Full-scale stable model shared by the dynamic-figure benchmarks."""
+    return train_default_stable_model(n_train=120, seed=7, n_folds=5)
+
+
+@pytest.fixture(scope="session")
+def stable_model(stable_model_report):
+    """The trained predictor from :func:`stable_model_report`."""
+    return stable_model_report.predictor
+
+
+@pytest.fixture(scope="session")
+def labelled_records():
+    """A labelled dataset (120 train-scale records) for model-comparison
+    benchmarks; distinct seed block from the figure builders."""
+    scenarios = random_scenarios(120, base_seed=400_000, n_vms_range=(2, 12))
+    return [run_experiment(s).record for s in scenarios]
+
+
+@pytest.fixture(scope="session")
+def heldout_records():
+    """Held-out labelled records matching :func:`labelled_records`."""
+    scenarios = random_scenarios(30, base_seed=470_000, n_vms_range=(2, 12))
+    return [run_experiment(s).record for s in scenarios]

@@ -1,0 +1,69 @@
+"""Performance benchmarks of the substrates (simulator + solver).
+
+These are conventional pytest-benchmark micro/meso benchmarks (multiple
+rounds) rather than figure regenerations: they document the throughput a
+downstream user can expect from the thermal plant, the co-simulation
+loop, and the from-scratch SMO solver.
+"""
+
+import numpy as np
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.rng import RngFactory
+from repro.svm.kernels import RbfKernel
+from repro.svm.smo import solve_svr_dual
+from repro.thermal.fan import FanBank
+from repro.thermal.power import CpuPowerModel
+from repro.thermal.server_thermal import ServerThermalModel
+from tests.conftest import make_server_spec, make_vm
+
+
+def test_thermal_plant_step_throughput(benchmark):
+    plant = ServerThermalModel(
+        power_model=CpuPowerModel.for_capacity(total_ghz=38.4, memory_gb=64.0),
+        fans=FanBank(count=4, speed=0.7),
+    )
+
+    def thousand_steps():
+        for _ in range(1000):
+            plant.step(1.0, 0.7, 22.0)
+
+    benchmark(thousand_steps)
+    assert plant.cpu_temperature_c > 22.0
+
+
+def test_cosimulation_step_rate_16_servers(benchmark):
+    def run_minute():
+        cluster = Cluster("bench")
+        for i in range(16):
+            server = Server(make_server_spec(name=f"s{i}"))
+            for j in range(4):
+                server.host_vm(make_vm(f"vm-{i}-{j}", vcpus=2, level=0.6))
+            cluster.add_server(server)
+        sim = DatacenterSimulation(cluster=cluster, rng=RngFactory(1))
+        sim.run(60.0)
+        return sim
+
+    sim = benchmark(run_minute)
+    assert sim.time_s == 60.0
+
+
+def test_smo_fit_200_samples(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(200, 10))
+    y = 40.0 + 10.0 * x[:, 0] + 5.0 * np.sin(3.0 * x[:, 1])
+    gram = RbfKernel(gamma=0.1).gram(x, x)
+
+    result = benchmark(lambda: solve_svr_dual(gram, y, c=100.0, epsilon=0.1))
+    assert result.converged
+
+
+def test_rbf_gram_500x500(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, size=(500, 18))
+    kernel = RbfKernel(gamma=0.05)
+
+    gram = benchmark(lambda: kernel.gram(x, x))
+    assert gram.shape == (500, 500)

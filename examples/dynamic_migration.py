@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Dynamic temperature prediction through a live VM migration.
+
+Reproduces the paper's Fig. 1(b) workflow interactively:
+
+1. train a stable model on profiling data;
+2. simulate a two-server scenario where a hot VM live-migrates into the
+   observed server at t = 900 s (pre-copy model: rounds, downtime);
+3. run the dynamic predictor online — pre-defined curve ψ*(t), runtime
+   calibration γ with λ = 0.8 — with and without calibration;
+4. print an ASCII strip chart comparing predictions to the sensor trace.
+
+Run:  python examples/dynamic_migration.py
+"""
+
+from repro import PredefinedCurve, PredictionConfig, replay_dynamic_prediction
+from repro.experiments.figures import train_default_stable_model
+from repro.experiments.runner import record_inputs_from_scenario
+from repro.experiments.scenarios import build_migration_simulation, migration_scenario
+
+
+def strip_chart(times, values, width=64, height=12, t_mark=None):
+    """Tiny ASCII plot of a temperature series."""
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-9)
+    t0, t1 = times[0], times[-1]
+    columns = []
+    for c in range(width):
+        target = t0 + (t1 - t0) * c / (width - 1)
+        nearest = min(range(len(times)), key=lambda i: abs(times[i] - target))
+        columns.append(values[nearest])
+    rows = []
+    for r in range(height, -1, -1):
+        level = lo + span * r / height
+        line = "".join("*" if abs(v - level) <= span / (2 * height) else " "
+                       for v in columns)
+        rows.append(f"{level:6.1f} |{line}")
+    axis = "       +" + "-" * width
+    marker = ""
+    if t_mark is not None:
+        pos = int((t_mark - t0) / (t1 - t0) * (width - 1))
+        marker = "        " + " " * pos + "^ migration lands"
+    return "\n".join(rows + [axis] + ([marker] if marker else []))
+
+
+def main() -> None:
+    print("== training stable model (one-off, ~30 s) ==")
+    report = train_default_stable_model(n_train=80, seed=7, n_folds=5)
+    predictor = report.predictor
+    print(f"  {report.grid.summary()}")
+
+    print("\n== simulating the migration scenario ==")
+    scenario = migration_scenario(seed=42, migration_time_s=900.0, duration_s=2400.0)
+    sim, destination, plan = build_migration_simulation(scenario)
+    phi_0 = sim.cluster.server(destination).thermal.cpu_temperature_c
+    sim.run(2400.0)
+    print(
+        f"  pre-copy plan: {plan.rounds} rounds, {plan.transferred_gb:.1f} GiB "
+        f"moved in {plan.duration_s:.1f} s, downtime {plan.downtime_s * 1000:.0f} ms"
+    )
+    trace = sim.telemetry.for_server(destination).cpu_temperature
+
+    print("\n== dynamic prediction (Eq. 3-8) ==")
+    config = PredictionConfig()  # Δ_gap=60 s, Δ_update=15 s, λ=0.8
+    psi_before = predictor.predict(record_inputs_from_scenario(scenario.base))
+    curve = PredefinedCurve(
+        phi_0=phi_0, psi_stable=psi_before,
+        t_break_s=config.t_break_s, delta=config.curve_delta,
+    )
+    lands = scenario.migration_time_s + plan.duration_s
+    # Re-query the stable model for the post-migration VM set.
+    from repro.experiments.figures import _post_migration_record
+
+    psi_after = predictor.predict(_post_migration_record(scenario))
+    retargets = [(lands, psi_after)]
+
+    calibrated = replay_dynamic_prediction(
+        trace.times, trace.values, curve, config, retargets=retargets
+    )
+    uncalibrated = replay_dynamic_prediction(
+        trace.times, trace.values, curve, config, calibrated=False,
+        retargets=retargets,
+    )
+    print(f"  ψ_stable before migration: {psi_before:.2f} °C")
+    print(f"  ψ_stable after migration:  {psi_after:.2f} °C")
+    print(f"  MSE with calibration:      {calibrated.mse:.3f}")
+    print(f"  MSE without calibration:   {uncalibrated.mse:.3f}")
+
+    print("\n== empirical CPU temperature (sensor trace) ==")
+    print(strip_chart(trace.times, trace.values, t_mark=lands))
+
+
+if __name__ == "__main__":
+    main()

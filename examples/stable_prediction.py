@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Stable-temperature profiling in depth: datasets, persistence, baselines.
+
+A longer tour of the Eq. (1)-(2) workflow than the quickstart:
+
+1. build a labelled dataset from randomized experiments and persist it
+   to JSON (the format a real profiling campaign would accumulate);
+2. reload it, split train/test, grid-search the ε-SVR;
+3. compare against both prior-art baselines ([4] task profiles, [5] RC
+   circuit fit) to show why VM-level features matter;
+4. inspect which inputs drive predictions by perturbing one at a time.
+
+Run:  python examples/stable_prediction.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import RngFactory, train_stable_predictor
+from repro.core.baselines import RcFitBaseline, TaskProfileBaseline
+from repro.core.records import ExperimentRecord
+from repro.experiments.dataset import RecordDataset
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import random_scenarios
+
+
+def perturbed(record: ExperimentRecord, **changes) -> ExperimentRecord:
+    """Copy of a record with selected θ fields replaced."""
+    data = record.to_dict()
+    data.update(changes)
+    return ExperimentRecord.from_dict(data)
+
+
+def main() -> None:
+    print("== 1. profiling campaign -> JSON dataset ==")
+    scenarios = random_scenarios(70, base_seed=321_000, n_vms_range=(2, 12),
+                                 duration_s=1200.0)
+    dataset = RecordDataset([run_experiment(s).record for s in scenarios])
+    path = Path(tempfile.gettempdir()) / "repro_profiling_records.json"
+    dataset.save_json(path)
+    print(f"  wrote {len(dataset)} records to {path}")
+    print(f"  summary: {dataset.summary()}")
+
+    print("\n== 2. reload, split, grid-search ==")
+    reloaded = RecordDataset.load_json(path)
+    train, test = reloaded.split(0.8, rng=RngFactory(4).stream("split"))
+    report = train_stable_predictor(
+        train.records,
+        n_splits=5,
+        c_grid=(64.0, 512.0, 4096.0),
+        gamma_grid=(0.004, 0.02, 0.1),
+        epsilon_grid=(0.125,),
+        rng=RngFactory(4).stream("cv"),
+    )
+    print(f"  {report.grid.summary()}")
+
+    print("\n== 3. SVR vs prior-art baselines (held-out) ==")
+    svr_metrics = report.predictor.evaluate(test.records)
+    profile_metrics = TaskProfileBaseline().fit(train.records).evaluate(test.records)
+    rc_metrics = RcFitBaseline().fit(train.records).evaluate(test.records)
+    print(ascii_table(
+        ["model", "MSE", "MAE", "R2"],
+        [
+            ("SVR (VM-level, paper)", svr_metrics["mse"], svr_metrics["mae"],
+             svr_metrics["r2"]),
+            ("task profiles [4]", profile_metrics["mse"], profile_metrics["mae"],
+             profile_metrics["r2"]),
+            ("RC circuit fit [5]", rc_metrics["mse"], rc_metrics["mae"],
+             rc_metrics["r2"]),
+        ],
+    ))
+
+    print("\n== 4. what-if analysis on one host ==")
+    base = test.records[0]
+    base_prediction = report.predictor.predict(base)
+    print(f"  base: {base.n_vms} VMs, {base.theta_fan_count} fans, "
+          f"env {base.delta_env_c:.1f} °C -> predicted {base_prediction:.2f} °C")
+    what_ifs = [
+        ("fans 2 -> 8", perturbed(base, theta_fan_count=8)),
+        ("fan speed -> 1.0", perturbed(base, theta_fan_speed=1.0)),
+        ("env +4 °C", perturbed(base, delta_env_c=base.delta_env_c + 4.0)),
+    ]
+    rows = []
+    for label, variant in what_ifs:
+        prediction = report.predictor.predict(variant)
+        rows.append((label, prediction, prediction - base_prediction))
+    print(ascii_table(["what-if", "predicted °C", "Δ vs base"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which build an editable wheel) fail; this
+shim lets ``pip install -e .`` fall back to the legacy develop install.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

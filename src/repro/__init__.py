@@ -1,0 +1,98 @@
+"""repro — VM-level temperature profiling and prediction in cloud datacenters.
+
+A full reproduction of Wu et al., "Virtual Machine Level Temperature
+Profiling and Prediction in Cloud Datacenters" (ICDCS 2016), including
+every substrate the paper's testbed provided:
+
+* :mod:`repro.core` — the paper's method: stable-temperature SVR (Eq. 1–2),
+  pre-defined curve (Eq. 3), runtime calibration (Eq. 4–7), dynamic
+  prediction (Eq. 8);
+* :mod:`repro.svm` — from-scratch ε-SVR/SMO, grid search, CV (LIBSVM +
+  easygrid substitute);
+* :mod:`repro.thermal` — RC-network server thermal plant (testbed
+  substitute);
+* :mod:`repro.datacenter` — VMs, VMM, migration, schedulers, telemetry,
+  co-simulation;
+* :mod:`repro.management` — thermal management built on the predictions
+  (the paper's motivating use case);
+* :mod:`repro.experiments` — scenario generators and the Fig. 1(a)/(b)/(c)
+  builders.
+
+Quickstart::
+
+    from repro import (
+        random_scenarios, run_experiment, train_stable_predictor,
+    )
+
+    records = [run_experiment(s).record for s in random_scenarios(60)]
+    report = train_stable_predictor(records[:50], n_splits=5)
+    print(report.predictor.predict(records[50]))
+"""
+
+from repro.config import (
+    ExperimentConfig,
+    PredictionConfig,
+    SensorConfig,
+    ThermalConfig,
+)
+from repro.core import (
+    DynamicTemperaturePredictor,
+    ExperimentRecord,
+    FeatureExtractor,
+    PredefinedCurve,
+    RcFitBaseline,
+    RuntimeCalibrator,
+    StableTemperaturePredictor,
+    TaskProfileBaseline,
+    VmRecord,
+    evaluate_stable_predictor,
+    train_stable_predictor,
+)
+from repro.core.dynamic import replay_dynamic_prediction
+from repro.errors import ReproError
+from repro.experiments import (
+    RecordDataset,
+    build_fig1a,
+    build_fig1b,
+    build_fig1c,
+    random_scenario,
+    random_scenarios,
+    run_experiment,
+)
+from repro.rng import RngFactory
+from repro.svm import EpsilonSVR, RbfKernel, grid_search_svr, mean_squared_error
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicTemperaturePredictor",
+    "EpsilonSVR",
+    "ExperimentConfig",
+    "ExperimentRecord",
+    "FeatureExtractor",
+    "PredefinedCurve",
+    "PredictionConfig",
+    "RbfKernel",
+    "RcFitBaseline",
+    "RecordDataset",
+    "ReproError",
+    "RngFactory",
+    "RuntimeCalibrator",
+    "SensorConfig",
+    "StableTemperaturePredictor",
+    "TaskProfileBaseline",
+    "ThermalConfig",
+    "VmRecord",
+    "__version__",
+    "build_fig1a",
+    "build_fig1b",
+    "build_fig1c",
+    "evaluate_stable_predictor",
+    "grid_search_svr",
+    "mean_squared_error",
+    "random_scenario",
+    "random_scenarios",
+    "replay_dynamic_prediction",
+    "run_experiment",
+    "train_stable_predictor",
+]

@@ -1,0 +1,134 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Usage (module form)::
+
+    python -m repro.cli fig1a [--quick] [--seed N]
+    python -m repro.cli fig1b [--quick] [--seed N]
+    python -m repro.cli fig1c [--quick] [--seed N]
+    python -m repro.cli dataset --n 50 --out records.json
+
+``--quick`` shrinks training sizes and CV folds so each figure completes
+in well under a minute (with looser accuracy); omit it for the
+full-scale numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.dataset import RecordDataset
+from repro.experiments.figures import (
+    build_fig1a,
+    build_fig1b,
+    build_fig1c,
+    train_default_stable_model,
+)
+from repro.experiments.reporting import format_fig1a, format_fig1b, format_fig1c
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import random_scenarios
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="root seed (default 7)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale: fewer experiments, smaller CV",
+    )
+
+
+def _cmd_fig1a(args: argparse.Namespace) -> int:
+    started = time.time()
+    if args.quick:
+        result = build_fig1a(n_train=60, n_test=10, n_folds=5, seed=args.seed,
+                             duration_s=1200.0)
+    else:
+        result = build_fig1a(seed=args.seed)
+    print(format_fig1a(result))
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
+def _trained_model(args: argparse.Namespace):
+    n_train = 60 if args.quick else 120
+    return train_default_stable_model(n_train=n_train, seed=args.seed, n_folds=5)
+
+
+def _cmd_fig1b(args: argparse.Namespace) -> int:
+    started = time.time()
+    report = _trained_model(args)
+    print(f"stable model: {report.grid.summary()}\n")
+    result = build_fig1b(report.predictor, seed=args.seed * 6)
+    print(format_fig1b(result))
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
+def _cmd_fig1c(args: argparse.Namespace) -> int:
+    started = time.time()
+    report = _trained_model(args)
+    print(f"stable model: {report.grid.summary()}\n")
+    result = build_fig1c(report.predictor, seed=args.seed * 6)
+    print(format_fig1c(result))
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    scenarios = random_scenarios(
+        args.n, base_seed=args.seed * 10_000, n_vms_range=(2, 12)
+    )
+    dataset = RecordDataset()
+    for index, scenario in enumerate(scenarios):
+        dataset.append(run_experiment(scenario).record)
+        if (index + 1) % 10 == 0:
+            print(f"  {index + 1}/{args.n} experiments done", file=sys.stderr)
+    dataset.save_json(args.out)
+    print(f"wrote {len(dataset)} records to {args.out}")
+    summary = dataset.summary()
+    print(
+        f"ψ_stable range [{summary['psi_min']:.1f}, {summary['psi_max']:.1f}] °C, "
+        f"{summary['vms_min']:.0f}-{summary['vms_max']:.0f} VMs per case"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VM-level temperature profiling & prediction (ICDCS'16 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig1a = commands.add_parser("fig1a", help="regenerate Fig. 1(a): stable prediction")
+    _add_common(fig1a)
+    fig1a.set_defaults(handler=_cmd_fig1a)
+
+    fig1b = commands.add_parser("fig1b", help="regenerate Fig. 1(b): dynamic case study")
+    _add_common(fig1b)
+    fig1b.set_defaults(handler=_cmd_fig1b)
+
+    fig1c = commands.add_parser("fig1c", help="regenerate Fig. 1(c): gap×update sweep")
+    _add_common(fig1c)
+    fig1c.set_defaults(handler=_cmd_fig1c)
+
+    dataset = commands.add_parser("dataset", help="simulate a profiling campaign → JSON")
+    dataset.add_argument("--n", type=int, default=50, help="number of experiments")
+    dataset.add_argument("--out", type=str, default="records.json", help="output path")
+    dataset.add_argument("--seed", type=int, default=7)
+    dataset.set_defaults(handler=_cmd_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

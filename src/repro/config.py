@@ -1,0 +1,168 @@
+"""Global parameter objects for the paper's constants and simulator defaults.
+
+The paper (Wu et al., ICDCS 2016) fixes a handful of constants:
+
+====================  =======  ==========================================
+symbol                default  meaning
+====================  =======  ==========================================
+``t_break``           600 s    warm-up period before temperature is stable
+``lambda_``           0.8      calibration learning rate (Eq. 6)
+``prediction_gap``    60 s     how far ahead dynamic prediction looks
+``update_interval``   15 s     period between calibration updates
+====================  =======  ==========================================
+
+Everything configurable lives in frozen dataclasses so experiment code can
+swap parameter sets without mutating shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Warm-up period (seconds) after which CPU temperature is considered stable
+#: (Eq. 1 of the paper; "set to 600s deduced from experiments").
+DEFAULT_T_BREAK_S = 600.0
+
+#: Calibration learning rate λ (Eq. 6 of the paper).
+DEFAULT_LEARNING_RATE = 0.8
+
+#: Default prediction gap Δ_gap (seconds) used in the paper's example.
+DEFAULT_PREDICTION_GAP_S = 60.0
+
+#: Default calibration update interval Δ_update (seconds).
+DEFAULT_UPDATE_INTERVAL_S = 15.0
+
+#: Curvature of the pre-defined logarithmic curve (Eq. 3 reconstruction);
+#: see DESIGN.md §1 — the PDF rendering of Eq. 3 is ambiguous, so the
+#: curvature is exposed as a parameter.
+DEFAULT_CURVE_DELTA = 0.05
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class PredictionConfig:
+    """Constants of the paper's prediction method (Eq. 1, 3, 6, 8)."""
+
+    t_break_s: float = DEFAULT_T_BREAK_S
+    learning_rate: float = DEFAULT_LEARNING_RATE
+    prediction_gap_s: float = DEFAULT_PREDICTION_GAP_S
+    update_interval_s: float = DEFAULT_UPDATE_INTERVAL_S
+    curve_delta: float = DEFAULT_CURVE_DELTA
+
+    def __post_init__(self) -> None:
+        _require(self.t_break_s > 0, f"t_break_s must be > 0, got {self.t_break_s}")
+        _require(
+            0.0 <= self.learning_rate <= 1.0,
+            f"learning_rate must be in [0, 1], got {self.learning_rate}",
+        )
+        _require(
+            self.prediction_gap_s > 0,
+            f"prediction_gap_s must be > 0, got {self.prediction_gap_s}",
+        )
+        _require(
+            self.update_interval_s > 0,
+            f"update_interval_s must be > 0, got {self.update_interval_s}",
+        )
+        _require(self.curve_delta > 0, f"curve_delta must be > 0, got {self.curve_delta}")
+
+    def with_(self, **changes: Any) -> "PredictionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Physical constants of the simulated server thermal plant.
+
+    The values model a commodity 2-socket rack server: an idle package in a
+    ~22 °C room sits around 35 °C and a fully loaded one reaches 70–80 °C,
+    with a first-order time constant of a few minutes — the regime in which
+    the paper's 600 s warm-up makes sense.
+    """
+
+    #: Heat capacity of the CPU package + heatsink lump (J/K) — die, IHS
+    #: and a ~400 g copper heatsink.
+    cpu_heat_capacity_j_per_k: float = 150.0
+    #: Heat capacity of the server case / internal air lump (J/K).
+    case_heat_capacity_j_per_k: float = 2000.0
+    #: Thermal resistance die→case at the reference fan operating point (K/W).
+    cpu_to_case_resistance_k_per_w: float = 0.18
+    #: Thermal resistance case→ambient at the reference fan point (K/W).
+    case_to_ambient_resistance_k_per_w: float = 0.06
+    #: Integration step for the fixed-step thermal solver (s).
+    time_step_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_heat_capacity_j_per_k",
+            "case_heat_capacity_j_per_k",
+            "cpu_to_case_resistance_k_per_w",
+            "case_to_ambient_resistance_k_per_w",
+            "time_step_s",
+        ):
+            value = getattr(self, name)
+            _require(value > 0, f"{name} must be > 0, got {value}")
+
+    def with_(self, **changes: Any) -> "ThermalConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Digital-thermal-sensor characteristics (noise, quantization, rate)."""
+
+    #: Sampling period of the temperature sensor (s).
+    sampling_period_s: float = 5.0
+    #: Standard deviation of additive Gaussian read noise (°C).
+    noise_std_c: float = 0.25
+    #: Quantization step of the sensor register (°C); 0 disables quantization.
+    quantization_c: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(
+            self.sampling_period_s > 0,
+            f"sampling_period_s must be > 0, got {self.sampling_period_s}",
+        )
+        _require(self.noise_std_c >= 0, f"noise_std_c must be >= 0, got {self.noise_std_c}")
+        _require(
+            self.quantization_c >= 0,
+            f"quantization_c must be >= 0, got {self.quantization_c}",
+        )
+
+    def with_(self, **changes: Any) -> "SensorConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of a profiling experiment (one Eq. 2 record per run)."""
+
+    #: Total experiment duration t_exp (s); must exceed ``t_break_s``.
+    duration_s: float = 1800.0
+    #: Warm-up period, mirroring :class:`PredictionConfig`.
+    t_break_s: float = DEFAULT_T_BREAK_S
+    #: Thermal solver / telemetry configuration.
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    sensor: SensorConfig = field(default_factory=SensorConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.duration_s > 0, f"duration_s must be > 0, got {self.duration_s}")
+        _require(self.t_break_s > 0, f"t_break_s must be > 0, got {self.t_break_s}")
+        _require(
+            self.duration_s > self.t_break_s,
+            "duration_s must exceed t_break_s so a stable window exists "
+            f"(got duration_s={self.duration_s}, t_break_s={self.t_break_s})",
+        )
+
+    def with_(self, **changes: Any) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,39 @@
+"""The paper's contribution: VM-level temperature profiling and prediction.
+
+* :mod:`repro.core.records` — the Eq. (2) record schema;
+* :mod:`repro.core.features` — record → numeric feature vector;
+* :mod:`repro.core.stable` — stable temperature prediction (Eq. 1–2);
+* :mod:`repro.core.curve` — the pre-defined temperature curve ψ*(t) (Eq. 3);
+* :mod:`repro.core.calibration` — runtime calibration γ (Eq. 4–7);
+* :mod:`repro.core.dynamic` — dynamic prediction ψ(t+Δgap) = ψ*(t+Δgap)+γ (Eq. 8);
+* :mod:`repro.core.pipeline` — train/evaluate workflows;
+* :mod:`repro.core.baselines` — prior-art comparators ([4] task profiles,
+  [5] RC circuit fit).
+"""
+
+from repro.core.baselines import RcFitBaseline, TaskProfileBaseline
+from repro.core.calibration import CalibrationStep, RuntimeCalibrator
+from repro.core.curve import PredefinedCurve
+from repro.core.dynamic import DynamicPredictionResult, DynamicTemperaturePredictor
+from repro.core.features import FeatureExtractor
+from repro.core.monitor import TemperatureMonitor
+from repro.core.pipeline import evaluate_stable_predictor, train_stable_predictor
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.core.stable import StableTemperaturePredictor
+
+__all__ = [
+    "CalibrationStep",
+    "DynamicPredictionResult",
+    "DynamicTemperaturePredictor",
+    "ExperimentRecord",
+    "FeatureExtractor",
+    "PredefinedCurve",
+    "RcFitBaseline",
+    "RuntimeCalibrator",
+    "StableTemperaturePredictor",
+    "TaskProfileBaseline",
+    "TemperatureMonitor",
+    "VmRecord",
+    "evaluate_stable_predictor",
+    "train_stable_predictor",
+]

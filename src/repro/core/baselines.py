@@ -1,0 +1,147 @@
+"""Prior-art baselines the paper argues against.
+
+* :class:`TaskProfileBaseline` — task-temperature profiles (paper ref
+  [4], Wang et al.): catalogue the stable temperature each *task type*
+  produces, assuming one task per server. Under multi-tenancy we apply
+  the standard adaptation: predict from the dominant task kind's profile.
+* :class:`RcFitBaseline` — lumped RC circuit model (paper ref [5]):
+  steady-state physics says ψ = δ_env + P·R; with power approximately
+  affine in CPU demand, ψ − δ_env is affine in demand. The baseline fits
+  that affine law — capturing load, but blind to fan state, task mix and
+  multi-tenant contention.
+
+Both expose the same fit/predict/evaluate surface as
+:class:`~repro.core.stable.StableTemperaturePredictor`, so the comparison
+benchmark treats all three uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import ExperimentRecord
+from repro.errors import DatasetError, NotFittedError
+from repro.svm.metrics import mean_absolute_error, mean_squared_error, r2_score, rmse
+
+
+def _evaluate(model, records: list[ExperimentRecord]) -> dict[str, float]:
+    actual = [r.require_output() for r in records]
+    predicted = [model.predict(r) for r in records]
+    return {
+        "mse": mean_squared_error(actual, predicted),
+        "rmse": rmse(actual, predicted),
+        "mae": mean_absolute_error(actual, predicted),
+        "r2": r2_score(actual, predicted),
+        "n": float(len(records)),
+    }
+
+
+def dominant_task_kind(record: ExperimentRecord) -> str:
+    """Most frequent task kind across the record's VMs (ties break
+    alphabetically for determinism); 'idle' when no tasks are deployed."""
+    counts: dict[str, int] = {}
+    for vm in record.vms:
+        for kind in vm.task_kinds:
+            counts[kind] = counts.get(kind, 0) + 1
+    if not counts:
+        return "idle"
+    return max(sorted(counts), key=lambda k: counts[k])
+
+
+class TaskProfileBaseline:
+    """Per-task-kind temperature profiles (single-task-era approach)."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, float] | None = None
+        self._global_mean = 0.0
+
+    def fit(self, records: list[ExperimentRecord]) -> "TaskProfileBaseline":
+        """Catalogue mean ψ_stable per dominant task kind."""
+        if not records:
+            raise DatasetError("TaskProfileBaseline needs at least one record")
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        total = 0.0
+        for record in records:
+            kind = dominant_task_kind(record)
+            value = record.require_output()
+            sums[kind] = sums.get(kind, 0.0) + value
+            counts[kind] = counts.get(kind, 0) + 1
+            total += value
+        self._profiles = {kind: sums[kind] / counts[kind] for kind in sums}
+        self._global_mean = total / len(records)
+        return self
+
+    def predict(self, record: ExperimentRecord) -> float:
+        """Profile lookup by dominant task kind."""
+        if self._profiles is None:
+            raise NotFittedError("TaskProfileBaseline used before fit")
+        return self._profiles.get(dominant_task_kind(record), self._global_mean)
+
+    def evaluate(self, records: list[ExperimentRecord]) -> dict[str, float]:
+        """Same metric bundle as the stable predictor."""
+        return _evaluate(self, records)
+
+    def clone(self) -> "TaskProfileBaseline":
+        """Unfitted copy."""
+        return TaskProfileBaseline()
+
+    @property
+    def profiles(self) -> dict[str, float]:
+        """Learned kind → temperature table."""
+        if self._profiles is None:
+            raise NotFittedError("TaskProfileBaseline used before fit")
+        return dict(self._profiles)
+
+
+class RcFitBaseline:
+    """Lumped-RC steady-state fit: ψ ≈ δ_env + c₀ + c₁·demand + c₂·capacity.
+
+    The physics-faithful part is the ambient offset; the rest is the
+    affine power/resistance approximation. Deliberately excludes fan
+    state and task mix, as RC scheduling models of that era did.
+    """
+
+    def __init__(self) -> None:
+        self._coef: np.ndarray | None = None
+
+    @staticmethod
+    def _design_row(record: ExperimentRecord) -> list[float]:
+        demand = sum(vm.vcpus * vm.nominal_utilization for vm in record.vms)
+        return [1.0, demand, record.theta_cpu_ghz]
+
+    def fit(self, records: list[ExperimentRecord]) -> "RcFitBaseline":
+        """Least-squares fit of the affine over-ambient temperature."""
+        if len(records) < 3:
+            raise DatasetError(
+                f"RcFitBaseline needs >= 3 records to fit 3 coefficients, "
+                f"got {len(records)}"
+            )
+        a = np.array([self._design_row(r) for r in records], dtype=float)
+        b = np.array(
+            [r.require_output() - r.delta_env_c for r in records], dtype=float
+        )
+        self._coef, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return self
+
+    def predict(self, record: ExperimentRecord) -> float:
+        """δ_env plus the fitted affine over-temperature."""
+        if self._coef is None:
+            raise NotFittedError("RcFitBaseline used before fit")
+        row = np.array(self._design_row(record), dtype=float)
+        return float(record.delta_env_c + row @ self._coef)
+
+    def evaluate(self, records: list[ExperimentRecord]) -> dict[str, float]:
+        """Same metric bundle as the stable predictor."""
+        return _evaluate(self, records)
+
+    def clone(self) -> "RcFitBaseline":
+        """Unfitted copy."""
+        return RcFitBaseline()
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted [c₀, c₁, c₂]."""
+        if self._coef is None:
+            raise NotFittedError("RcFitBaseline used before fit")
+        return self._coef.copy()

@@ -1,0 +1,83 @@
+"""Runtime calibration γ — Eq. (4)–(7).
+
+The calibration is an exponentially weighted correction to the
+pre-defined curve. At every update instant the difference between the
+measurement φ(t) and the current prediction ψ(t) = ψ*(t) + γ is folded
+into γ with learning rate λ::
+
+    dif = φ(t) − (ψ*(t) + γ)          (Eq. 5)
+    γ  ← γ + λ·dif                    (Eq. 6)
+
+Predictions Δ_gap ahead then read ψ(t+Δ_gap) = ψ*(t+Δ_gap) + γ (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_LEARNING_RATE
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CalibrationStep:
+    """One calibration update, kept for analysis/plotting."""
+
+    time_s: float
+    measured_c: float
+    curve_value_c: float
+    dif: float
+    gamma_after: float
+
+
+class RuntimeCalibrator:
+    """Stateful γ per Eq. (4)–(7).
+
+    Parameters
+    ----------
+    learning_rate:
+        λ of Eq. (6); the paper fixes 0.8.
+    """
+
+    def __init__(self, learning_rate: float = DEFAULT_LEARNING_RATE) -> None:
+        if not 0.0 <= learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must be in [0, 1], got {learning_rate}"
+            )
+        self.learning_rate = learning_rate
+        self._gamma = 0.0  # "At the very beginning (t=0) ... γ=0"
+        self._history: list[CalibrationStep] = []
+
+    @property
+    def gamma(self) -> float:
+        """Current calibration value."""
+        return self._gamma
+
+    @property
+    def history(self) -> list[CalibrationStep]:
+        """All updates applied so far (oldest first)."""
+        return list(self._history)
+
+    def update(self, time_s: float, measured_c: float, curve_value_c: float) -> float:
+        """Apply Eq. (5)–(6) for a measurement at ``time_s``; returns γ."""
+        dif = measured_c - (curve_value_c + self._gamma)
+        self._gamma += self.learning_rate * dif
+        self._history.append(
+            CalibrationStep(
+                time_s=time_s,
+                measured_c=measured_c,
+                curve_value_c=curve_value_c,
+                dif=dif,
+                gamma_after=self._gamma,
+            )
+        )
+        return self._gamma
+
+    def correct(self, curve_value_c: float) -> float:
+        """Calibrated prediction ψ = ψ* + γ (Eq. 8's additive term)."""
+        return curve_value_c + self._gamma
+
+    def reset(self) -> None:
+        """Zero γ and drop history (fresh scenario)."""
+        self._gamma = 0.0
+        self._history.clear()

@@ -1,0 +1,95 @@
+"""The pre-defined temperature curve ψ*(t) — Eq. (3).
+
+A logarithmic saturating rise from the pre-experiment temperature φ(0) to
+the (predicted) stable temperature ψ_stable over the warm-up period
+t_break, constant afterwards::
+
+    ψ*(t) = φ(0) + (ψ_stable − φ(0)) · ln(1 + δ·(t−t₀)) / ln(1 + δ·t_break)
+                                                        for t₀ ≤ t ≤ t₀+t_break
+    ψ*(t) = ψ_stable                                    for t > t₀+t_break
+
+The curve is anchored at an absolute origin ``t₀`` so that dynamic
+scenarios (VM arrivals/migrations mid-run) can *retarget* a fresh curve
+from the current measurement without rebasing the caller's clock.
+
+The true plant transient is exponential, not logarithmic, so ψ* is a
+deliberately coarse model — the runtime calibration of Eq. (4–7) exists
+precisely to absorb that mismatch (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_CURVE_DELTA, DEFAULT_T_BREAK_S
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PredefinedCurve:
+    """ψ*(t) of Eq. (3), anchored at absolute time ``origin_s``.
+
+    Parameters
+    ----------
+    phi_0:
+        Temperature φ(0) at the curve origin (measured, °C).
+    psi_stable:
+        Target stable temperature (predicted by the stable model, °C).
+    t_break_s:
+        Warm-up duration over which the curve saturates.
+    delta:
+        Curvature of the logarithmic rise (1/s).
+    origin_s:
+        Absolute simulation time of the curve's t=0.
+    """
+
+    phi_0: float
+    psi_stable: float
+    t_break_s: float = DEFAULT_T_BREAK_S
+    delta: float = DEFAULT_CURVE_DELTA
+    origin_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_break_s <= 0:
+            raise ConfigurationError(f"t_break_s must be > 0, got {self.t_break_s}")
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be > 0, got {self.delta}")
+
+    def value(self, time_s: float) -> float:
+        """ψ*(t) at absolute time ``time_s``.
+
+        Times before the origin clamp to φ(0) (the curve is not defined
+        for t < 0 in the paper; clamping keeps online callers safe).
+        """
+        local = time_s - self.origin_s
+        if local <= 0.0:
+            return self.phi_0
+        if local >= self.t_break_s:
+            return self.psi_stable
+        rise = math.log1p(self.delta * local) / math.log1p(self.delta * self.t_break_s)
+        return self.phi_0 + (self.psi_stable - self.phi_0) * rise
+
+    def __call__(self, time_s: float) -> float:
+        return self.value(time_s)
+
+    def values(self, times_s: list[float]) -> list[float]:
+        """Vector evaluation of :meth:`value`."""
+        return [self.value(t) for t in times_s]
+
+    def is_saturated(self, time_s: float) -> bool:
+        """True once the curve has reached ψ_stable."""
+        return time_s - self.origin_s >= self.t_break_s
+
+    def retargeted(
+        self, origin_s: float, phi_0: float, psi_stable: float
+    ) -> "PredefinedCurve":
+        """A fresh curve from a new anchor — used when the VM set changes
+        (e.g. a migration lands) and the stable model predicts a new target."""
+        return PredefinedCurve(
+            phi_0=phi_0,
+            psi_stable=psi_stable,
+            t_break_s=self.t_break_s,
+            delta=self.delta,
+            origin_s=origin_s,
+        )

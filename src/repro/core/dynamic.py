@@ -1,0 +1,205 @@
+"""Dynamic CPU temperature prediction — Eq. (8) and the online loop.
+
+The predictor combines the pre-defined curve ψ*(t) with the runtime
+calibration γ: at any time ``t`` it forecasts
+
+    ψ(t + Δ_gap) = ψ*(t + Δ_gap) + γ
+
+while γ is refreshed from measurements every Δ_update seconds. When the
+hosted VM set changes (arrival, departure, migration), callers retarget
+the curve from the current measurement toward the stable model's new
+ψ_stable prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import PredictionConfig
+from repro.core.calibration import RuntimeCalibrator
+from repro.core.curve import PredefinedCurve
+from repro.errors import ConfigurationError
+from repro.svm.metrics import mean_squared_error
+
+
+@dataclass(frozen=True)
+class DynamicPrediction:
+    """One forecast: made at ``made_at_s`` for ``target_time_s``."""
+
+    made_at_s: float
+    target_time_s: float
+    predicted_c: float
+    gamma_used: float
+
+
+@dataclass
+class DynamicPredictionResult:
+    """Forecast trace paired with the actuals it was scored against."""
+
+    predictions: list[DynamicPrediction] = field(default_factory=list)
+    actuals: list[float] = field(default_factory=list)
+
+    @property
+    def mse(self) -> float:
+        """MSE of all scored forecasts — the paper's dynamic metric."""
+        predicted = [p.predicted_c for p in self.predictions]
+        return mean_squared_error(self.actuals, predicted)
+
+    @property
+    def target_times(self) -> list[float]:
+        """Forecast target times."""
+        return [p.target_time_s for p in self.predictions]
+
+    @property
+    def predicted_values(self) -> list[float]:
+        """Forecast values."""
+        return [p.predicted_c for p in self.predictions]
+
+
+class DynamicTemperaturePredictor:
+    """Online dynamic predictor: curve + calibration + retargeting.
+
+    Parameters
+    ----------
+    curve:
+        Initial pre-defined curve (from φ(0) and the stable prediction).
+    config:
+        λ, Δ_gap, Δ_update, t_break and curve δ.
+    calibrated:
+        When False the calibration is never updated (γ stays 0) — the
+        paper's "without calibration" comparison arm in Fig. 1(b).
+    """
+
+    def __init__(
+        self,
+        curve: PredefinedCurve,
+        config: PredictionConfig | None = None,
+        calibrated: bool = True,
+    ) -> None:
+        self.config = config or PredictionConfig()
+        self.curve = curve
+        self.calibrated = calibrated
+        self.calibrator = RuntimeCalibrator(self.config.learning_rate)
+        self._next_update_s = curve.origin_s  # first observation calibrates
+        self._retarget_log: list[tuple[float, float, float]] = []
+
+    # -- online interface --------------------------------------------------
+
+    def observe(self, time_s: float, measured_c: float) -> bool:
+        """Feed a measurement; applies a calibration update when due.
+
+        Returns True when an update was applied. Updates occur on the
+        Δ_update schedule; measurements between updates are ignored, as in
+        the paper's formulation.
+        """
+        if not self.calibrated:
+            return False
+        if time_s + 1e-9 < self._next_update_s:
+            return False
+        self.calibrator.update(time_s, measured_c, self.curve.value(time_s))
+        self._next_update_s = time_s + self.config.update_interval_s
+        return True
+
+    def predict_at(self, target_time_s: float) -> float:
+        """ψ(target) = ψ*(target) + γ."""
+        return self.calibrator.correct(self.curve.value(target_time_s))
+
+    def predict_ahead(self, now_s: float) -> DynamicPrediction:
+        """Forecast Δ_gap ahead of ``now_s`` (Eq. 8)."""
+        target = now_s + self.config.prediction_gap_s
+        return DynamicPrediction(
+            made_at_s=now_s,
+            target_time_s=target,
+            predicted_c=self.predict_at(target),
+            gamma_used=self.calibrator.gamma,
+        )
+
+    def retarget(self, time_s: float, measured_c: float, new_psi_stable: float) -> None:
+        """Re-anchor the curve after a VM-set change.
+
+        A new curve starts at the current measurement and saturates at the
+        stable model's prediction for the *new* configuration. The
+        calibration is kept (it tracks sensor-level offsets), matching the
+        incremental spirit of Eq. (6) — but its reference curve changes.
+        """
+        self.curve = self.curve.retargeted(time_s, measured_c, new_psi_stable)
+        self._retarget_log.append((time_s, measured_c, new_psi_stable))
+
+    @property
+    def retarget_log(self) -> list[tuple[float, float, float]]:
+        """(time, measured φ, new ψ_stable) for every retarget."""
+        return list(self._retarget_log)
+
+
+def replay_dynamic_prediction(
+    times_s: list[float],
+    measured_c: list[float],
+    curve: PredefinedCurve,
+    config: PredictionConfig | None = None,
+    calibrated: bool = True,
+    retargets: list[tuple[float, float]] | None = None,
+) -> DynamicPredictionResult:
+    """Replay the online loop over a recorded temperature trace.
+
+    At every sample the predictor observes the measurement (calibrating on
+    its Δ_update schedule) and issues a Δ_gap-ahead forecast; forecasts
+    whose target time lands inside the trace are scored against the
+    linearly interpolated actual.
+
+    Parameters
+    ----------
+    times_s / measured_c:
+        The recorded (sensor) trace, times ascending.
+    curve:
+        Initial pre-defined curve.
+    retargets:
+        Optional list of (time_s, new_psi_stable): at the first sample at
+        or after ``time_s`` the curve is retargeted from the measured
+        value — modelling "the stable model was re-queried when the VM
+        set changed".
+    """
+    if len(times_s) != len(measured_c):
+        raise ConfigurationError(
+            f"trace length mismatch: {len(times_s)} times vs {len(measured_c)} values"
+        )
+    if len(times_s) < 2:
+        raise ConfigurationError("trace must contain at least two samples")
+
+    predictor = DynamicTemperaturePredictor(curve, config=config, calibrated=calibrated)
+    pending = sorted(retargets or [], key=lambda r: r[0])
+    result = DynamicPredictionResult()
+    horizon = times_s[-1]
+    raw: list[DynamicPrediction] = []
+    for t, phi in zip(times_s, measured_c):
+        while pending and t + 1e-9 >= pending[0][0]:
+            _, new_target = pending.pop(0)
+            predictor.retarget(t, phi, new_target)
+        predictor.observe(t, phi)
+        forecast = predictor.predict_ahead(t)
+        if forecast.target_time_s <= horizon + 1e-9:
+            raw.append(forecast)
+
+    for forecast in raw:
+        result.predictions.append(forecast)
+        result.actuals.append(_interpolate(times_s, measured_c, forecast.target_time_s))
+    return result
+
+
+def _interpolate(times: list[float], values: list[float], t: float) -> float:
+    """Linear interpolation with end clamping (times ascending)."""
+    if t <= times[0]:
+        return values[0]
+    if t >= times[-1]:
+        return values[-1]
+    lo, hi = 0, len(times) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if times[mid] <= t:
+            lo = mid
+        else:
+            hi = mid
+    t0, t1 = times[lo], times[hi]
+    if t1 <= t0:
+        return values[hi]
+    frac = (t - t0) / (t1 - t0)
+    return values[lo] + frac * (values[hi] - values[lo])

@@ -1,0 +1,156 @@
+"""The Eq. (2) record schema.
+
+One record is produced per profiling experiment::
+
+    data_train_or_test = {input, output}
+    input  = {θ_cpu, θ_memory, θ_fan, ξ_VM, δ_env}
+    output = ψ_stable
+
+``ξ_VM`` ("VM status, including VM configurations and deployed tasks") is
+a variable-length list, captured here as a tuple of :class:`VmRecord`.
+Records serialize to plain dictionaries for JSON persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class VmRecord:
+    """Per-VM slice of the ``ξ_VM`` feature."""
+
+    vcpus: int
+    memory_gb: float
+    task_kinds: tuple[str, ...]
+    nominal_utilization: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise DatasetError(f"vcpus must be >= 1, got {self.vcpus}")
+        if self.memory_gb <= 0:
+            raise DatasetError(f"memory_gb must be > 0, got {self.memory_gb}")
+        if not 0.0 <= self.nominal_utilization <= 1.0:
+            raise DatasetError(
+                f"nominal_utilization must be in [0, 1], got {self.nominal_utilization}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON."""
+        return {
+            "vcpus": self.vcpus,
+            "memory_gb": self.memory_gb,
+            "task_kinds": list(self.task_kinds),
+            "nominal_utilization": self.nominal_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "VmRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            vcpus=int(data["vcpus"]),
+            memory_gb=float(data["memory_gb"]),
+            task_kinds=tuple(data["task_kinds"]),
+            nominal_utilization=float(data["nominal_utilization"]),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One Eq. (2) record: inputs plus the measured ψ_stable output.
+
+    ``psi_stable_c`` is ``None`` for records built at prediction time
+    (inputs known, outcome not yet observed).
+    """
+
+    theta_cpu_cores: int
+    theta_cpu_ghz: float
+    theta_memory_gb: float
+    theta_fan_count: int
+    theta_fan_speed: float
+    delta_env_c: float
+    vms: tuple[VmRecord, ...]
+    psi_stable_c: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.theta_cpu_cores < 1:
+            raise DatasetError(f"theta_cpu_cores must be >= 1, got {self.theta_cpu_cores}")
+        if self.theta_cpu_ghz <= 0:
+            raise DatasetError(f"theta_cpu_ghz must be > 0, got {self.theta_cpu_ghz}")
+        if self.theta_memory_gb <= 0:
+            raise DatasetError(
+                f"theta_memory_gb must be > 0, got {self.theta_memory_gb}"
+            )
+        if self.theta_fan_count < 1:
+            raise DatasetError(
+                f"theta_fan_count must be >= 1, got {self.theta_fan_count}"
+            )
+        if not 0.0 < self.theta_fan_speed <= 1.0:
+            raise DatasetError(
+                f"theta_fan_speed must be in (0, 1], got {self.theta_fan_speed}"
+            )
+
+    @property
+    def n_vms(self) -> int:
+        """Number of co-located VMs in this experiment."""
+        return len(self.vms)
+
+    @property
+    def has_output(self) -> bool:
+        """Whether the record carries a measured ψ_stable."""
+        return self.psi_stable_c is not None
+
+    def require_output(self) -> float:
+        """ψ_stable, raising when the record is input-only."""
+        if self.psi_stable_c is None:
+            raise DatasetError("record has no ψ_stable output (input-only record)")
+        return self.psi_stable_c
+
+    def with_output(self, psi_stable_c: float) -> "ExperimentRecord":
+        """Copy of this record carrying a measured output."""
+        return ExperimentRecord(
+            theta_cpu_cores=self.theta_cpu_cores,
+            theta_cpu_ghz=self.theta_cpu_ghz,
+            theta_memory_gb=self.theta_memory_gb,
+            theta_fan_count=self.theta_fan_count,
+            theta_fan_speed=self.theta_fan_speed,
+            delta_env_c=self.delta_env_c,
+            vms=self.vms,
+            psi_stable_c=psi_stable_c,
+            metadata=dict(self.metadata),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON."""
+        return {
+            "theta_cpu_cores": self.theta_cpu_cores,
+            "theta_cpu_ghz": self.theta_cpu_ghz,
+            "theta_memory_gb": self.theta_memory_gb,
+            "theta_fan_count": self.theta_fan_count,
+            "theta_fan_speed": self.theta_fan_speed,
+            "delta_env_c": self.delta_env_c,
+            "vms": [vm.to_dict() for vm in self.vms],
+            "psi_stable_c": self.psi_stable_c,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            theta_cpu_cores=int(data["theta_cpu_cores"]),
+            theta_cpu_ghz=float(data["theta_cpu_ghz"]),
+            theta_memory_gb=float(data["theta_memory_gb"]),
+            theta_fan_count=int(data["theta_fan_count"]),
+            theta_fan_speed=float(data["theta_fan_speed"]),
+            delta_env_c=float(data["delta_env_c"]),
+            vms=tuple(VmRecord.from_dict(vm) for vm in data["vms"]),
+            psi_stable_c=(
+                None if data.get("psi_stable_c") is None else float(data["psi_stable_c"])
+            ),
+            metadata=dict(data.get("metadata", {})),
+        )

@@ -1,0 +1,91 @@
+"""Discrete-event engine.
+
+A minimal but complete event queue: events carry a firing time and a
+monotonically increasing sequence number so simultaneous events fire in
+schedule order (deterministic ties). The co-simulation loop in
+:mod:`repro.datacenter.simulation` pops due events between thermal steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.datacenter.simulation import DatacenterSimulation
+
+
+class Event(ABC):
+    """Base class for schedulable events."""
+
+    def __init__(self, time_s: float) -> None:
+        if time_s < 0:
+            raise SimulationError(f"event time must be >= 0, got {time_s}")
+        self.time_s = time_s
+
+    @abstractmethod
+    def apply(self, sim: "DatacenterSimulation") -> None:
+        """Execute the event's effect against the simulation."""
+
+    def describe(self) -> str:
+        """Human-readable label (used by logs and tests)."""
+        return type(self).__name__
+
+
+class FunctionEvent(Event):
+    """Event wrapping a plain callback — handy for tests and scenarios."""
+
+    def __init__(
+        self,
+        time_s: float,
+        action: Callable[["DatacenterSimulation"], None],
+        label: str = "function",
+    ) -> None:
+        super().__init__(time_s)
+        self.action = action
+        self.label = label
+
+    def apply(self, sim: "DatacenterSimulation") -> None:
+        self.action(sim)
+
+    def describe(self) -> str:
+        return f"FunctionEvent({self.label})"
+
+
+class EventQueue:
+    """Priority queue of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (event.time_s, self._sequence, event))
+        self._sequence += 1
+
+    def peek_time(self) -> float | None:
+        """Firing time of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next event."""
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def pop_due(self, now_s: float) -> list[Event]:
+        """Pop every event with ``time_s <= now_s``, in firing order."""
+        due: list[Event] = []
+        while self._heap and self._heap[0][0] <= now_s + 1e-9:
+            due.append(self.pop())
+        return due
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

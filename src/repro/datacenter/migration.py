@@ -1,0 +1,188 @@
+"""Pre-copy live migration model.
+
+Live migration is the dynamic scenario the paper singles out as breaking
+traditional temperature models. We implement the standard pre-copy
+algorithm analytically:
+
+* round 0 transfers the whole memory image at link bandwidth;
+* each later round transfers the pages dirtied during the previous round
+  (dirty rate × previous round duration);
+* rounds stop when the residual dirty set fits the downtime target or a
+  round cap is hit; the final stop-and-copy transfers the remainder.
+
+The resulting :class:`MigrationPlan` drives two simulation events
+(:class:`MigrationStartEvent`, :class:`MigrationCompleteEvent`): during
+migration both hosts pay CPU overhead (page tracking and transfer
+threads, modelled by the VMM), and at completion the VM atomically moves
+to the destination — changing both hosts' thermal trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datacenter.events import Event
+from repro.datacenter.vm import Vm
+from repro.errors import MigrationError
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Outcome of the pre-copy analysis for one VM migration."""
+
+    vm_name: str
+    source: str
+    destination: str
+    memory_gb: float
+    rounds: int
+    transferred_gb: float
+    duration_s: float
+    downtime_s: float
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Transferred data / VM memory footprint (≥ 1 for pre-copy)."""
+        return self.transferred_gb / self.memory_gb
+
+
+def plan_migration(
+    vm_memory_gb: float,
+    vm_name: str,
+    source: str,
+    destination: str,
+    bandwidth_gbps: float = 10.0,
+    dirty_rate_gbps: float = 1.0,
+    downtime_target_s: float = 0.3,
+    max_rounds: int = 30,
+) -> MigrationPlan:
+    """Analyse a pre-copy migration and return its plan.
+
+    Parameters mirror a 10 GbE datacenter link and a moderately
+    write-intensive VM. ``bandwidth_gbps``/``dirty_rate_gbps`` are in
+    gigaBYTES per second to keep units consistent with memory sizes.
+    """
+    if vm_memory_gb <= 0:
+        raise MigrationError(f"vm_memory_gb must be > 0, got {vm_memory_gb}")
+    if bandwidth_gbps <= 0:
+        raise MigrationError(f"bandwidth_gbps must be > 0, got {bandwidth_gbps}")
+    if dirty_rate_gbps < 0:
+        raise MigrationError(f"dirty_rate_gbps must be >= 0, got {dirty_rate_gbps}")
+    if dirty_rate_gbps >= bandwidth_gbps:
+        raise MigrationError(
+            "dirty rate must be below link bandwidth for pre-copy to converge "
+            f"(dirty={dirty_rate_gbps}, bandwidth={bandwidth_gbps})"
+        )
+    if source == destination:
+        raise MigrationError(f"source and destination are both {source!r}")
+
+    transferred = 0.0
+    duration = 0.0
+    to_send = vm_memory_gb
+    rounds = 0
+    downtime_budget_gb = downtime_target_s * bandwidth_gbps
+    while rounds < max_rounds:
+        rounds += 1
+        round_time = to_send / bandwidth_gbps
+        transferred += to_send
+        duration += round_time
+        dirtied = dirty_rate_gbps * round_time
+        if dirtied <= downtime_budget_gb:
+            to_send = dirtied
+            break
+        to_send = dirtied
+    # Final stop-and-copy of the residual dirty set.
+    downtime = to_send / bandwidth_gbps
+    transferred += to_send
+    duration += downtime
+    return MigrationPlan(
+        vm_name=vm_name,
+        source=source,
+        destination=destination,
+        memory_gb=vm_memory_gb,
+        rounds=rounds,
+        transferred_gb=transferred,
+        duration_s=duration,
+        downtime_s=downtime,
+    )
+
+
+class MigrationStartEvent(Event):
+    """Begin a live migration: both hosts start paying overhead."""
+
+    def __init__(self, time_s: float, plan: MigrationPlan) -> None:
+        super().__init__(time_s)
+        self.plan = plan
+
+    def apply(self, sim) -> None:
+        source = sim.cluster.server(self.plan.source)
+        destination = sim.cluster.server(self.plan.destination)
+        vm = source.vms.get(self.plan.vm_name)
+        if vm is None:
+            raise MigrationError(
+                f"VM {self.plan.vm_name!r} not on source {self.plan.source!r}"
+            )
+        vm.begin_migration()
+        source.active_migrations += 1
+        destination.active_migrations += 1
+        sim.events.push(MigrationCompleteEvent(self.time_s + self.plan.duration_s, self.plan))
+        sim.log(
+            self.time_s,
+            f"migration of {vm.name} {self.plan.source}→{self.plan.destination} "
+            f"started ({self.plan.rounds} rounds, {self.plan.duration_s:.1f}s)",
+        )
+
+    def describe(self) -> str:
+        return f"MigrationStart({self.plan.vm_name})"
+
+
+class MigrationCompleteEvent(Event):
+    """Finish a live migration: the VM switches hosts atomically."""
+
+    def __init__(self, time_s: float, plan: MigrationPlan) -> None:
+        super().__init__(time_s)
+        self.plan = plan
+
+    def apply(self, sim) -> None:
+        source = sim.cluster.server(self.plan.source)
+        destination = sim.cluster.server(self.plan.destination)
+        vm = source.remove_vm(self.plan.vm_name)
+        destination.attach_migrating_vm(vm)
+        source.active_migrations -= 1
+        destination.active_migrations -= 1
+        sim.log(
+            self.time_s,
+            f"migration of {vm.name} completed on {self.plan.destination} "
+            f"(downtime {self.plan.downtime_s * 1000:.0f} ms)",
+        )
+
+    def describe(self) -> str:
+        return f"MigrationComplete({self.plan.vm_name})"
+
+
+def migrate_vm(
+    sim,
+    vm_name: str,
+    destination: str,
+    start_time_s: float,
+    bandwidth_gbps: float = 10.0,
+    dirty_rate_gbps: float = 1.0,
+) -> MigrationPlan:
+    """Convenience: plan and schedule a migration on a running simulation."""
+    vm, source = sim.cluster.find_vm(vm_name)
+    if source.name == destination:
+        raise MigrationError(f"VM {vm_name!r} is already on {destination!r}")
+    dest_server = sim.cluster.server(destination)
+    if not dest_server.can_host(vm):
+        raise MigrationError(
+            f"destination {destination!r} lacks capacity for VM {vm_name!r}"
+        )
+    plan = plan_migration(
+        vm_memory_gb=vm.spec.memory_gb,
+        vm_name=vm_name,
+        source=source.name,
+        destination=destination,
+        bandwidth_gbps=bandwidth_gbps,
+        dirty_rate_gbps=dirty_rate_gbps,
+    )
+    sim.events.push(MigrationStartEvent(start_time_s, plan))
+    return plan

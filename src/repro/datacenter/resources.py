@@ -1,0 +1,54 @@
+"""Resource capacity and demand value types.
+
+Capacities describe what a physical server offers (the paper's ``θ_cpu``
+and ``θ_memory`` features); demands describe what a VM asks for. Both are
+immutable values with arithmetic helpers used by placement and the VMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourceCapacity:
+    """Physical capacity of a server."""
+
+    cpu_cores: int
+    ghz_per_core: float
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ConfigurationError(f"cpu_cores must be >= 1, got {self.cpu_cores}")
+        if self.ghz_per_core <= 0:
+            raise ConfigurationError(f"ghz_per_core must be > 0, got {self.ghz_per_core}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(f"memory_gb must be > 0, got {self.memory_gb}")
+
+    @property
+    def total_ghz(self) -> float:
+        """Aggregate compute capacity — the paper's ``θ_cpu`` feature."""
+        return self.cpu_cores * self.ghz_per_core
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Resources requested by one VM."""
+
+    vcpus: int
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"vcpus must be >= 1, got {self.vcpus}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(f"memory_gb must be > 0, got {self.memory_gb}")
+
+    def __add__(self, other: "ResourceDemand") -> "ResourceDemand":
+        return ResourceDemand(
+            vcpus=self.vcpus + other.vcpus,
+            memory_gb=self.memory_gb + other.memory_gb,
+        )

@@ -1,0 +1,88 @@
+"""VM placement schedulers.
+
+Classic admission-time policies used both to randomize experiment
+scenarios and as baselines for the prediction-driven thermal-aware policy
+in :mod:`repro.management.thermal_aware`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.datacenter.vm import Vm
+from repro.errors import SchedulingError
+from repro.rng import RngStream
+
+
+class PlacementScheduler(ABC):
+    """Chooses a host server for each incoming VM."""
+
+    @abstractmethod
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        """Return the chosen host; raise SchedulingError when none fits."""
+
+    def _feasible(self, vm: Vm, cluster: Cluster) -> list[Server]:
+        servers = [s for s in cluster.servers if s.can_host(vm)]
+        if not servers:
+            raise SchedulingError(
+                f"no server in {cluster.name!r} can host VM {vm.name!r} "
+                f"({vm.spec.vcpus} vCPU, {vm.spec.memory_gb:.1f} GiB)"
+            )
+        return servers
+
+
+class FirstFitScheduler(PlacementScheduler):
+    """First server (in cluster order) with room."""
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        return self._feasible(vm, cluster)[0]
+
+
+class RoundRobinScheduler(PlacementScheduler):
+    """Cycle through servers, skipping full ones."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        servers = cluster.servers
+        if not servers:
+            raise SchedulingError("cluster has no servers")
+        for offset in range(len(servers)):
+            candidate = servers[(self._next + offset) % len(servers)]
+            if candidate.can_host(vm):
+                self._next = (self._next + offset + 1) % len(servers)
+                return candidate
+        raise SchedulingError(
+            f"no server in {cluster.name!r} can host VM {vm.name!r}"
+        )
+
+
+class BestFitScheduler(PlacementScheduler):
+    """Feasible server with the least free memory left after placement
+    (consolidating: packs VMs tightly)."""
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        candidates = self._feasible(vm, cluster)
+        return min(candidates, key=lambda s: (s.free_memory_gb - vm.spec.memory_gb, s.name))
+
+
+class WorstFitScheduler(PlacementScheduler):
+    """Feasible server with the most free memory (load-spreading)."""
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        candidates = self._feasible(vm, cluster)
+        return max(candidates, key=lambda s: (s.free_memory_gb, s.name))
+
+
+class RandomScheduler(PlacementScheduler):
+    """Uniform random feasible server (scenario randomization)."""
+
+    def __init__(self, rng: RngStream) -> None:
+        self._rng = rng
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        candidates = self._feasible(vm, cluster)
+        return candidates[self._rng.randint(0, len(candidates) - 1)]

@@ -1,0 +1,168 @@
+"""Physical server: capacity, fans, hosted VMs, and the thermal plant.
+
+A server binds together the resource bookkeeping (capacity checks on VM
+placement), its hypervisor (:class:`~repro.datacenter.vmm.Vmm`), its fan
+bank, and its thermal plant
+(:class:`~repro.thermal.server_thermal.ServerThermalModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import ThermalConfig
+from repro.datacenter.resources import ResourceCapacity
+from repro.datacenter.vm import Vm, VmState
+from repro.datacenter.vmm import HostLoad, Vmm
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.thermal.fan import FanBank
+from repro.thermal.power import CpuPowerModel
+from repro.thermal.server_thermal import ServerThermalModel
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Immutable server description.
+
+    ``θ_cpu`` (total GHz) and ``θ_memory`` of the paper map to
+    ``capacity.total_ghz`` and ``capacity.memory_gb``; ``θ_fan`` maps to
+    the fan bank state.
+    """
+
+    name: str
+    capacity: ResourceCapacity
+    fan_count: int = 4
+    fan_speed: float = 0.7
+    #: Allowed vCPU:core overcommit ratio for placement admission.
+    cpu_overcommit: float = 2.0
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("server name must be non-empty")
+        if self.cpu_overcommit < 1.0:
+            raise ConfigurationError(
+                f"cpu_overcommit must be >= 1.0, got {self.cpu_overcommit}"
+            )
+
+    def build_power_model(self) -> CpuPowerModel:
+        """Power model scaled to this server's capacity."""
+        return CpuPowerModel.for_capacity(
+            total_ghz=self.capacity.total_ghz,
+            memory_gb=self.capacity.memory_gb,
+        )
+
+
+class Server:
+    """Runtime server instance hosting VMs."""
+
+    def __init__(self, spec: ServerSpec, initial_temperature_c: float = 22.0) -> None:
+        self.spec = spec
+        self.vms: dict[str, Vm] = {}
+        self.vmm = Vmm(physical_cores=spec.capacity.cpu_cores)
+        self.fans = FanBank(count=spec.fan_count, speed=spec.fan_speed)
+        self.thermal = ServerThermalModel(
+            power_model=spec.build_power_model(),
+            fans=self.fans,
+            config=spec.thermal,
+            initial_temperature_c=initial_temperature_c,
+        )
+        #: Number of live migrations currently involving this host.
+        self.active_migrations = 0
+
+    @property
+    def name(self) -> str:
+        """The server's unique name (from its spec)."""
+        return self.spec.name
+
+    # -- capacity bookkeeping -----------------------------------------------
+
+    @property
+    def used_memory_gb(self) -> float:
+        """Memory committed to hosted (non-terminated) VMs."""
+        return sum(vm.spec.memory_gb for vm in self.vms.values())
+
+    @property
+    def used_vcpus(self) -> int:
+        """vCPUs committed to hosted VMs."""
+        return sum(vm.spec.vcpus for vm in self.vms.values())
+
+    @property
+    def free_memory_gb(self) -> float:
+        """Uncommitted memory."""
+        return self.spec.capacity.memory_gb - self.used_memory_gb
+
+    def can_host(self, vm: Vm) -> bool:
+        """Admission check: memory is a hard constraint, vCPUs may be
+        overcommitted up to the spec's ratio."""
+        if vm.spec.memory_gb > self.free_memory_gb + 1e-9:
+            return False
+        vcpu_limit = self.spec.capacity.cpu_cores * self.spec.cpu_overcommit
+        return self.used_vcpus + vm.spec.vcpus <= vcpu_limit + 1e-9
+
+    # -- VM lifecycle ------------------------------------------------------
+
+    def host_vm(self, vm: Vm, time_s: float = 0.0) -> None:
+        """Place ``vm`` on this server and start it."""
+        if vm.name in self.vms:
+            raise SimulationError(f"VM {vm.name!r} already on server {self.name!r}")
+        if not self.can_host(vm):
+            raise CapacityError(
+                f"server {self.name!r} cannot host VM {vm.name!r}: "
+                f"free memory {self.free_memory_gb:.1f} GiB, "
+                f"requested {vm.spec.memory_gb:.1f} GiB"
+            )
+        self.vms[vm.name] = vm
+        vm.start(self.name, time_s)
+
+    def attach_migrating_vm(self, vm: Vm) -> None:
+        """Attach a VM that completed migration to this destination host."""
+        if vm.name in self.vms:
+            raise SimulationError(f"VM {vm.name!r} already on server {self.name!r}")
+        if not self.can_host(vm):
+            raise CapacityError(
+                f"server {self.name!r} cannot receive migrating VM {vm.name!r}"
+            )
+        self.vms[vm.name] = vm
+        vm.complete_migration(self.name)
+
+    def remove_vm(self, vm_name: str) -> Vm:
+        """Detach a VM from this server (migration source / termination)."""
+        if vm_name not in self.vms:
+            raise SimulationError(f"VM {vm_name!r} not on server {self.name!r}")
+        return self.vms.pop(vm_name)
+
+    def running_vms(self) -> list[Vm]:
+        """VMs currently consuming CPU (running or mid-migration)."""
+        return [
+            vm
+            for vm in self.vms.values()
+            if vm.state in (VmState.RUNNING, VmState.MIGRATING)
+        ]
+
+    # -- dynamics ----------------------------------------------------------
+
+    def current_load(self, time_s: float) -> HostLoad:
+        """Ask the VMM to arbitrate CPU at ``time_s``."""
+        return self.vmm.schedule(
+            self.running_vms(), time_s, active_migrations=self.active_migrations
+        )
+
+    def set_fan_speed(self, speed: float) -> None:
+        """Change fan speed (keeps count), retuning the thermal plant."""
+        self.fans = self.fans.with_speed(speed)
+        self.thermal.set_fans(self.fans)
+
+    def set_fan_count(self, count: int) -> None:
+        """Change the number of spinning fans, retuning the thermal plant."""
+        self.fans = self.fans.with_count(count)
+        self.thermal.set_fans(self.fans)
+
+    def step_thermal(self, dt_s: float, time_s: float, ambient_c: float) -> HostLoad:
+        """Advance the thermal plant one step driven by the VMM's decision."""
+        load = self.current_load(time_s)
+        self.thermal.step(dt_s, load.utilization, ambient_c)
+        return load
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Server(name={self.name!r}, vms={sorted(self.vms)})"

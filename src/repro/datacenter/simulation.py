@@ -1,0 +1,138 @@
+"""Co-simulation loop: discrete events + fixed-step thermal integration.
+
+The loop advances simulated time in fixed steps (default 1 s). At each
+step it:
+
+1. fires every event due at or before the new time (migrations, workload
+   changes, fan actions, scenario callbacks);
+2. asks each server's VMM for the current CPU arbitration and advances
+   that server's thermal plant by one step;
+3. lets each server's temperature sensor sample on its own period and
+   records everything into the telemetry pipeline.
+
+The step size bounds event-timing error at dt/2, far below the thermal
+time constants (minutes), so events landing mid-step are indistinguishable
+from reality at sensor resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import SensorConfig
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.events import Event, EventQueue
+from repro.errors import SimulationError
+from repro.rng import RngFactory
+from repro.thermal.environment import ConstantEnvironment, EnvironmentProfile
+from repro.thermal.sensors import TemperatureSensor
+
+#: Probe signature: (sim, time_s) -> None, called after every step.
+Probe = Callable[["DatacenterSimulation", float], None]
+
+
+class DatacenterSimulation:
+    """Simulates a cluster's load, events, and thermals over time."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        environment: EnvironmentProfile | None = None,
+        rng: RngFactory | None = None,
+        sensor_config: SensorConfig | None = None,
+        time_step_s: float = 1.0,
+    ) -> None:
+        if time_step_s <= 0:
+            raise SimulationError(f"time_step_s must be > 0, got {time_step_s}")
+        self.cluster = cluster
+        self.environment = environment or ConstantEnvironment()
+        self.rng = rng or RngFactory(0)
+        self.sensor_config = sensor_config or SensorConfig()
+        self.time_step_s = time_step_s
+        self.events = EventQueue()
+        self.time_s = 0.0
+        self._probes: list[Probe] = []
+        self._telemetry = None  # lazily built so cluster can be mutated first
+        self._sensors: dict[str, TemperatureSensor] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The telemetry collector (created on first access)."""
+        if self._telemetry is None:
+            from repro.datacenter.telemetry import TelemetryCollector
+
+            self._telemetry = TelemetryCollector()
+        return self._telemetry
+
+    def sensor_for(self, server_name: str) -> TemperatureSensor:
+        """The temperature sensor attached to a server."""
+        if server_name not in self._sensors:
+            self._sensors[server_name] = TemperatureSensor(
+                self.sensor_config,
+                self.rng.stream(f"sensor/{server_name}"),
+            )
+        return self._sensors[server_name]
+
+    def add_probe(self, probe: Probe) -> None:
+        """Register a per-step callback (scenario instrumentation)."""
+        self._probes.append(probe)
+
+    def schedule(self, event: Event) -> None:
+        """Schedule an event for later execution."""
+        self.events.push(event)
+
+    def log(self, time_s: float, message: str) -> None:
+        """Record a log line into telemetry."""
+        self.telemetry.log_event(time_s, message)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise SimulationError(f"duration_s must be > 0, got {duration_s}")
+        end_time = self.time_s + duration_s
+        # Fire anything scheduled exactly at the start time.
+        self._fire_due_events()
+        while self.time_s < end_time - 1e-9:
+            dt = min(self.time_step_s, end_time - self.time_s)
+            self._step(dt)
+
+    def _step(self, dt: float) -> None:
+        new_time = self.time_s + dt
+        self.time_s = new_time
+        self._fire_due_events()
+        ambient = self.environment.temperature(new_time)
+        self.telemetry.record_environment(new_time, ambient)
+        for server in self.cluster.servers:
+            load = server.step_thermal(dt, new_time, ambient)
+            bundle = self.telemetry.for_server(server.name)
+            bundle.utilization.append(new_time, load.utilization)
+            bundle.vm_count.append(new_time, len(server.running_vms()))
+            bundle.fan_count.append(new_time, server.fans.count)
+            bundle.fan_speed.append(new_time, server.fans.speed)
+            sensor = self.sensor_for(server.name)
+            reading = sensor.maybe_sample(new_time, server.thermal.cpu_temperature_c)
+            if reading is not None:
+                bundle.cpu_temperature.append(reading.time_s, reading.temperature_c)
+        for probe in self._probes:
+            probe(self, new_time)
+
+    def _fire_due_events(self) -> None:
+        for event in self.events.pop_due(self.time_s):
+            event.apply(self)
+
+    # -- initialization helpers ---------------------------------------------
+
+    def equalize_temperatures(self) -> None:
+        """Set every server's lumps to the current ambient (cold start)."""
+        ambient = self.environment.temperature(self.time_s)
+        for server in self.cluster.servers:
+            server.thermal.set_temperatures(ambient, ambient)
+
+    def warm_up(self, duration_s: float) -> None:
+        """Run the plant without recording telemetry resets — alias of
+        :meth:`run`, kept for scenario readability."""
+        self.run(duration_s)

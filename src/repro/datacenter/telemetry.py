@@ -1,0 +1,152 @@
+"""Telemetry pipeline: what the monitoring system records about a run.
+
+The predictor only ever consumes telemetry — never the simulator's
+internal state — mirroring the data sources the paper lists: VMM
+statistics, temperature sensors, and the environment temperature feed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import TelemetryError
+
+
+class TimeSeries:
+    """Append-only time series with window statistics and interpolation."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time_s: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self._times and time_s < self._times[-1] - 1e-9:
+            raise TelemetryError(
+                f"series {self.name!r}: non-monotonic time {time_s} after {self._times[-1]}"
+            )
+        self._times.append(time_s)
+        self._values.append(value)
+
+    @property
+    def times(self) -> list[float]:
+        """Sample times (view copy)."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values (view copy)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def window(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with ``t0 <= t < t1``."""
+        lo = bisect_left(self._times, t0)
+        hi = bisect_left(self._times, t1)
+        out = TimeSeries(self.name)
+        out._times = self._times[lo:hi]
+        out._values = self._values[lo:hi]
+        return out
+
+    def mean(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Mean value, optionally restricted to ``[t0, t1)``."""
+        series = self
+        if t0 is not None or t1 is not None:
+            series = self.window(
+                t0 if t0 is not None else float("-inf"),
+                t1 if t1 is not None else float("inf"),
+            )
+        if not series._values:
+            raise TelemetryError(f"series {self.name!r}: empty window")
+        return sum(series._values) / len(series._values)
+
+    def last_before(self, time_s: float) -> tuple[float, float]:
+        """Latest (time, value) with time <= time_s."""
+        idx = bisect_right(self._times, time_s) - 1
+        if idx < 0:
+            raise TelemetryError(f"series {self.name!r}: no sample at or before {time_s}")
+        return self._times[idx], self._values[idx]
+
+    def value_at(self, time_s: float) -> float:
+        """Linear interpolation at ``time_s`` (clamped at the ends)."""
+        if not self._times:
+            raise TelemetryError(f"series {self.name!r} is empty")
+        if time_s <= self._times[0]:
+            return self._values[0]
+        if time_s >= self._times[-1]:
+            return self._values[-1]
+        hi = bisect_left(self._times, time_s)
+        lo = hi - 1
+        t0, t1 = self._times[lo], self._times[hi]
+        v0, v1 = self._values[lo], self._values[hi]
+        if t1 <= t0:
+            return v1
+        frac = (time_s - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def iter_samples(self):
+        """Iterate (time, value) pairs."""
+        return zip(self._times, self._values)
+
+
+@dataclass
+class ServerTelemetry:
+    """All series collected for one server."""
+
+    server_name: str
+    cpu_temperature: TimeSeries = field(default_factory=lambda: TimeSeries("cpu_temperature"))
+    utilization: TimeSeries = field(default_factory=lambda: TimeSeries("utilization"))
+    vm_count: TimeSeries = field(default_factory=lambda: TimeSeries("vm_count"))
+    fan_count: TimeSeries = field(default_factory=lambda: TimeSeries("fan_count"))
+    fan_speed: TimeSeries = field(default_factory=lambda: TimeSeries("fan_speed"))
+
+
+class TelemetryCollector:
+    """Collects per-server series plus the shared environment feed."""
+
+    def __init__(self) -> None:
+        self._servers: dict[str, ServerTelemetry] = {}
+        self.environment = TimeSeries("environment")
+        self._log: list[tuple[float, str]] = []
+
+    def for_server(self, server_name: str) -> ServerTelemetry:
+        """Telemetry bundle for one server (created on first use)."""
+        if server_name not in self._servers:
+            self._servers[server_name] = ServerTelemetry(server_name)
+        return self._servers[server_name]
+
+    @property
+    def server_names(self) -> list[str]:
+        """Servers with any telemetry."""
+        return sorted(self._servers)
+
+    def record_environment(self, time_s: float, temperature_c: float) -> None:
+        """Append a sample to the shared environment feed."""
+        self.environment.append(time_s, temperature_c)
+
+    def log_event(self, time_s: float, message: str) -> None:
+        """Record a simulation log line."""
+        self._log.append((time_s, message))
+
+    @property
+    def event_log(self) -> list[tuple[float, str]]:
+        """All (time, message) log lines."""
+        return list(self._log)
+
+    def stable_cpu_temperature(
+        self, server_name: str, t_break_s: float, t_exp_s: float
+    ) -> float:
+        """The paper's Eq. (1): mean sampled CPU temperature over
+        ``[t_break, t_exp]``."""
+        series = self.for_server(server_name).cpu_temperature
+        window = series.window(t_break_s, t_exp_s + 1e-9)
+        if len(window) == 0:
+            raise TelemetryError(
+                f"no CPU temperature samples for {server_name!r} in "
+                f"[{t_break_s}, {t_exp_s}]"
+            )
+        return window.mean()

@@ -1,0 +1,137 @@
+"""Virtual machines: specification and runtime lifecycle.
+
+A :class:`VmSpec` is the immutable description a tenant submits (vCPUs,
+memory, the tasks it will run) — the per-VM part of the paper's ``ξ_VM``
+feature. A :class:`Vm` is the runtime object living on a host, with a
+small lifecycle state machine::
+
+    PROVISIONING ──► RUNNING ──► MIGRATING ──► RUNNING ──► ... ──► TERMINATED
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.datacenter.resources import ResourceDemand
+from repro.datacenter.workload import Task
+from repro.errors import ConfigurationError, SimulationError
+
+
+class VmState(enum.Enum):
+    """Lifecycle states of a VM."""
+
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """Immutable VM description (configuration + deployed tasks)."""
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    tasks: tuple[Task, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("VM name must be non-empty")
+        if self.vcpus < 1:
+            raise ConfigurationError(f"vcpus must be >= 1, got {self.vcpus}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(f"memory_gb must be > 0, got {self.memory_gb}")
+
+    @property
+    def demand(self) -> ResourceDemand:
+        """Resource demand of this VM."""
+        return ResourceDemand(vcpus=self.vcpus, memory_gb=self.memory_gb)
+
+    def nominal_utilization(self) -> float:
+        """Average per-vCPU nominal utilization across deployed tasks.
+
+        Tasks beyond the vCPU count still contribute (they time-share),
+        capped at full utilization of all vCPUs.
+        """
+        if not self.tasks:
+            return 0.0
+        total = sum(task.nominal_utilization() for task in self.tasks)
+        return min(1.0, total / self.vcpus)
+
+    def task_kind_counts(self) -> dict[str, int]:
+        """Histogram of deployed task kinds (feature input)."""
+        counts: dict[str, int] = {}
+        for task in self.tasks:
+            counts[task.kind] = counts.get(task.kind, 0) + 1
+        return counts
+
+
+class Vm:
+    """Runtime VM instance."""
+
+    def __init__(self, spec: VmSpec) -> None:
+        self.spec = spec
+        self.state = VmState.PROVISIONING
+        self.host_name: str | None = None
+        #: Simulation time at which the VM last started running on its
+        #: current host; tasks see time relative to this so a migrated VM's
+        #: workload pattern continues rather than restarting.
+        self.started_at_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """The VM's unique name (from its spec)."""
+        return self.spec.name
+
+    def start(self, host_name: str, time_s: float) -> None:
+        """Transition PROVISIONING → RUNNING on the given host."""
+        if self.state not in (VmState.PROVISIONING, VmState.MIGRATING):
+            raise SimulationError(f"cannot start VM {self.name!r} in state {self.state}")
+        if self.state is VmState.PROVISIONING:
+            self.started_at_s = time_s
+        self.host_name = host_name
+        self.state = VmState.RUNNING
+
+    def begin_migration(self) -> None:
+        """Transition RUNNING → MIGRATING (VM keeps running on source)."""
+        if self.state is not VmState.RUNNING:
+            raise SimulationError(
+                f"cannot migrate VM {self.name!r} in state {self.state}"
+            )
+        self.state = VmState.MIGRATING
+
+    def complete_migration(self, new_host: str) -> None:
+        """Transition MIGRATING → RUNNING on the destination host."""
+        if self.state is not VmState.MIGRATING:
+            raise SimulationError(
+                f"VM {self.name!r} is not migrating (state {self.state})"
+            )
+        self.host_name = new_host
+        self.state = VmState.RUNNING
+
+    def terminate(self) -> None:
+        """Transition any live state → TERMINATED."""
+        if self.state is VmState.TERMINATED:
+            raise SimulationError(f"VM {self.name!r} already terminated")
+        self.state = VmState.TERMINATED
+        self.host_name = None
+
+    def cpu_demand(self, time_s: float) -> float:
+        """Aggregate vCPU demand (in vCPU units, 0..vcpus) at ``time_s``.
+
+        Task clocks are relative to when the VM first started, so the
+        demand pattern survives migration.
+        """
+        if self.state not in (VmState.RUNNING, VmState.MIGRATING):
+            return 0.0
+        local_t = max(0.0, time_s - self.started_at_s)
+        total = sum(task.utilization(local_t) for task in self.spec.tasks)
+        return min(float(self.spec.vcpus), total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Vm(name={self.name!r}, state={self.state.value}, "
+            f"host={self.host_name!r})"
+        )

@@ -1,0 +1,119 @@
+"""Virtual Machine Manager (hypervisor) CPU scheduling model.
+
+The VMM arbitrates physical CPU among hosted VMs and is the source of the
+paper's VM-level statistics. The model is a work-conserving proportional
+share scheduler:
+
+* each VM demands some number of vCPU-units of compute (its tasks' current
+  utilizations, capped at its vCPU count);
+* each running VM also costs a small fixed virtualization overhead
+  (world-switches, I/O emulation) charged to the host;
+* if total demand + overhead fits in the physical core count, everyone is
+  allocated what they asked for;
+* otherwise allocations are scaled proportionally and the shortfall is
+  reported per VM as *steal time* — exactly what a real VMM exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datacenter.vm import Vm
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HostLoad:
+    """One scheduling decision at an instant.
+
+    Attributes
+    ----------
+    utilization:
+        Host CPU utilization ∈ [0, 1] (allocated cores / physical cores).
+    allocations:
+        vCPU-units actually granted to each VM.
+    steal:
+        vCPU-units each VM wanted but did not get (contention signal).
+    overhead_cores:
+        Cores consumed by virtualization overhead.
+    """
+
+    utilization: float
+    allocations: dict[str, float] = field(default_factory=dict)
+    steal: dict[str, float] = field(default_factory=dict)
+    overhead_cores: float = 0.0
+
+    @property
+    def total_steal(self) -> float:
+        """Aggregate steal across VMs (vCPU-units)."""
+        return sum(self.steal.values())
+
+
+class Vmm:
+    """Proportional-share hypervisor scheduler for one host.
+
+    Parameters
+    ----------
+    physical_cores:
+        Number of physical cores the scheduler can hand out.
+    overhead_cores_per_vm:
+        Fixed virtualization tax per running VM, in core-units.
+    migration_overhead_cores:
+        Extra cores consumed while a migration involves this host (page
+        tracking / transfer threads), applied per active migration.
+    """
+
+    def __init__(
+        self,
+        physical_cores: int,
+        overhead_cores_per_vm: float = 0.03,
+        migration_overhead_cores: float = 0.25,
+    ) -> None:
+        if physical_cores < 1:
+            raise ConfigurationError(f"physical_cores must be >= 1, got {physical_cores}")
+        if overhead_cores_per_vm < 0:
+            raise ConfigurationError(
+                f"overhead_cores_per_vm must be >= 0, got {overhead_cores_per_vm}"
+            )
+        if migration_overhead_cores < 0:
+            raise ConfigurationError(
+                f"migration_overhead_cores must be >= 0, got {migration_overhead_cores}"
+            )
+        self.physical_cores = physical_cores
+        self.overhead_cores_per_vm = overhead_cores_per_vm
+        self.migration_overhead_cores = migration_overhead_cores
+
+    def schedule(
+        self, vms: list[Vm], time_s: float, active_migrations: int = 0
+    ) -> HostLoad:
+        """Arbitrate CPU among ``vms`` at ``time_s``.
+
+        Returns the host utilization and per-VM allocations/steal. The
+        utilization is what drives the thermal plant, so virtualization
+        and migration overheads genuinely heat the server.
+        """
+        demands = {vm.name: vm.cpu_demand(time_s) for vm in vms}
+        overhead = (
+            self.overhead_cores_per_vm * len(vms)
+            + self.migration_overhead_cores * active_migrations
+        )
+        overhead = min(overhead, float(self.physical_cores))
+        available = self.physical_cores - overhead
+        total_demand = sum(demands.values())
+
+        if total_demand <= available or total_demand == 0.0:
+            allocations = dict(demands)
+            steal = {name: 0.0 for name in demands}
+        else:
+            scale = available / total_demand
+            allocations = {name: d * scale for name, d in demands.items()}
+            steal = {name: d * (1.0 - scale) for name, d in demands.items()}
+
+        used = sum(allocations.values()) + overhead
+        utilization = min(1.0, used / self.physical_cores)
+        return HostLoad(
+            utilization=utilization,
+            allocations=allocations,
+            steal=steal,
+            overhead_cores=overhead,
+        )

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while still
+being able to discriminate the sub-domains (simulation, learning,
+experiment orchestration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its documented domain."""
+
+
+class CapacityError(ReproError):
+    """A placement or provisioning request exceeds server capacity."""
+
+
+class SchedulingError(ReproError):
+    """A placement policy could not produce a valid assignment."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event / thermal co-simulation reached an invalid state."""
+
+
+class MigrationError(ReproError):
+    """A live-migration request is invalid (unknown VM, same host, ...)."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry was queried for data it has not collected."""
+
+
+class NotFittedError(ReproError):
+    """A model was used for prediction before being trained."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class DatasetError(ReproError):
+    """A dataset operation (split, scaling, serialization) is invalid."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction received telemetry it cannot featurize."""

@@ -1,0 +1,99 @@
+"""Record datasets: splits, persistence, summaries."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.records import ExperimentRecord
+from repro.errors import DatasetError
+from repro.rng import RngStream
+
+
+class RecordDataset:
+    """An ordered collection of Eq. (2) records."""
+
+    def __init__(self, records: list[ExperimentRecord] | None = None) -> None:
+        self._records: list[ExperimentRecord] = list(records or [])
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> ExperimentRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> list[ExperimentRecord]:
+        """All records (copy of the list, records are immutable)."""
+        return list(self._records)
+
+    def append(self, record: ExperimentRecord) -> None:
+        """Add one record."""
+        self._records.append(record)
+
+    def extend(self, records: list[ExperimentRecord]) -> None:
+        """Add many records."""
+        self._records.extend(records)
+
+    # -- splits ------------------------------------------------------------
+
+    def split(
+        self, train_fraction: float, rng: RngStream | None = None
+    ) -> tuple["RecordDataset", "RecordDataset"]:
+        """Shuffled train/test split; deterministic given the stream."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        if len(self._records) < 2:
+            raise DatasetError("need at least 2 records to split")
+        order = list(range(len(self._records)))
+        if rng is not None:
+            rng.shuffle(order)
+        cut = max(1, min(len(order) - 1, int(round(train_fraction * len(order)))))
+        train = [self._records[i] for i in order[:cut]]
+        test = [self._records[i] for i in order[cut:]]
+        return RecordDataset(train), RecordDataset(test)
+
+    def filter(self, predicate) -> "RecordDataset":
+        """Records satisfying a predicate."""
+        return RecordDataset([r for r in self._records if predicate(r)])
+
+    # -- persistence ------------------------------------------------------------
+
+    def save_json(self, path: str | Path) -> None:
+        """Serialize to a JSON file."""
+        payload = [record.to_dict() for record in self._records]
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "RecordDataset":
+        """Load a dataset written by :meth:`save_json`."""
+        raw = json.loads(Path(path).read_text())
+        if not isinstance(raw, list):
+            raise DatasetError(f"{path}: expected a JSON list of records")
+        return cls([ExperimentRecord.from_dict(item) for item in raw])
+
+    # -- summaries ----------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics over labelled records."""
+        labelled = [r for r in self._records if r.has_output]
+        if not labelled:
+            return {"n": float(len(self._records)), "n_labelled": 0.0}
+        outputs = [r.require_output() for r in labelled]
+        n_vms = [r.n_vms for r in labelled]
+        return {
+            "n": float(len(self._records)),
+            "n_labelled": float(len(labelled)),
+            "psi_mean": sum(outputs) / len(outputs),
+            "psi_min": min(outputs),
+            "psi_max": max(outputs),
+            "vms_min": float(min(n_vms)),
+            "vms_max": float(max(n_vms)),
+        }

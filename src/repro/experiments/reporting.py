@@ -1,0 +1,77 @@
+"""ASCII reporting: tables the benchmarks print, paper-vs-measured rows."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import Fig1aResult, Fig1bResult, Fig1cResult
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header separator."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_fig1a(result: Fig1aResult) -> str:
+    """Fig. 1(a) table: per-case actual vs predicted stable temperature."""
+    rows = [
+        (c.case_id, c.n_vms, c.actual_c, c.predicted_c, c.squared_error)
+        for c in result.cases
+    ]
+    table = ascii_table(
+        ["case", "VMs", "empirical ψ (°C)", "predicted ψ (°C)", "sq.err"], rows
+    )
+    summary = (
+        f"\naverage MSE over {len(result.cases)} cases: {result.mse:.3f} "
+        f"(paper: within 1.10)\n"
+        f"train MSE {result.train_mse:.3f}, CV MSE {result.cv_mse:.3f}, "
+        f"{result.n_train} training records\n{result.best_params}"
+    )
+    return table + summary
+
+
+def format_fig1b(result: Fig1bResult) -> str:
+    """Fig. 1(b) summary: calibrated vs uncalibrated dynamic MSE."""
+    lines = [
+        "dynamic case study (migration lands at "
+        f"{result.migration_lands_s:.0f}s):",
+        f"  ψ_stable before = {result.psi_stable_before:.2f} °C, "
+        f"after = {result.psi_stable_after:.2f} °C",
+        f"  MSE with calibration:    {result.mse_calibrated:.3f}",
+        f"  MSE without calibration: {result.mse_uncalibrated:.3f}",
+        f"  calibration wins: {result.calibration_wins} (paper: yes)",
+    ]
+    return "\n".join(lines)
+
+
+def format_fig1c(result: Fig1cResult) -> str:
+    """Fig. 1(c) matrix: MSE per (prediction gap × update interval)."""
+    headers = ["gap \\ update"] + [f"{u:.0f}s" for u in result.updates_s]
+    rows = []
+    for gap, row in zip(result.gaps_s, result.mse):
+        rows.append([f"{gap:.0f}s"] + [f"{v:.3f}" for v in row])
+    table = ascii_table(headers, rows)
+    return (
+        table
+        + f"\nMSE range [{result.min_mse:.3f}, {result.max_mse:.3f}] "
+        "(paper: 0.70-1.50, 4 fans)"
+    )
+
+
+def paper_vs_measured(rows: list[tuple[str, str, str, str]]) -> str:
+    """Table of (experiment, paper result, measured result, verdict)."""
+    return ascii_table(["experiment", "paper", "measured", "shape holds"], rows)

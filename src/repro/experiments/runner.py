@@ -1,0 +1,103 @@
+"""Run one scenario → one Eq. (2) record plus its sensor trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.telemetry import TimeSeries
+from repro.experiments.scenarios import ExperimentScenario, build_simulation
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one profiling run produced."""
+
+    record: ExperimentRecord
+    trace: TimeSeries
+    utilization: TimeSeries
+    phi_0: float
+    true_stable_c: float
+
+    @property
+    def psi_stable_c(self) -> float:
+        """Measured stable temperature (Eq. 1 estimator)."""
+        return self.record.require_output()
+
+
+def record_inputs_from_scenario(scenario: ExperimentScenario) -> ExperimentRecord:
+    """Input-only Eq. (2) record for a scenario (no output yet)."""
+    vms = tuple(
+        VmRecord(
+            vcpus=spec.vcpus,
+            memory_gb=spec.memory_gb,
+            task_kinds=tuple(task.kind for task in spec.tasks),
+            nominal_utilization=spec.nominal_utilization(),
+        )
+        for spec in scenario.vm_specs
+    )
+    capacity = scenario.server.capacity
+    return ExperimentRecord(
+        theta_cpu_cores=capacity.cpu_cores,
+        theta_cpu_ghz=capacity.total_ghz,
+        theta_memory_gb=capacity.memory_gb,
+        theta_fan_count=scenario.server.fan_count,
+        theta_fan_speed=scenario.server.fan_speed,
+        delta_env_c=scenario.environment.mean_over(0.0, scenario.config.duration_s),
+        vms=vms,
+        psi_stable_c=None,
+        metadata={"scenario": scenario.name, "seed": scenario.seed},
+    )
+
+
+def run_experiment(scenario: ExperimentScenario) -> ExperimentResult:
+    """Execute a profiling experiment end to end.
+
+    Runs the co-simulation for the scenario's duration, then applies the
+    paper's Eq. (1): ψ_stable is the mean *sensor-sampled* CPU temperature
+    over [t_break, t_exp]. The returned record carries that output; the
+    trace is the full sensor series (what dynamic prediction replays).
+    """
+    sim = build_simulation(scenario)
+    server_name = scenario.server.name
+    phi_0 = sim.cluster.server(server_name).thermal.cpu_temperature_c
+    sim.run(scenario.config.duration_s)
+
+    psi_stable = sim.telemetry.stable_cpu_temperature(
+        server_name,
+        t_break_s=scenario.config.t_break_s,
+        t_exp_s=scenario.config.duration_s,
+    )
+    record = record_inputs_from_scenario(scenario).with_output(psi_stable)
+
+    server = sim.cluster.server(server_name)
+    bundle = sim.telemetry.for_server(server_name)
+    mean_util = bundle.utilization.mean(scenario.config.t_break_s, scenario.config.duration_s)
+    true_stable = server.thermal.steady_state_cpu_temperature(
+        mean_util, scenario.environment.mean_over(0.0, scenario.config.duration_s)
+    )
+    return ExperimentResult(
+        record=record,
+        trace=bundle.cpu_temperature,
+        utilization=bundle.utilization,
+        phi_0=phi_0,
+        true_stable_c=true_stable,
+    )
+
+
+def run_experiments(scenarios: list[ExperimentScenario]) -> list[ExperimentResult]:
+    """Run many scenarios sequentially."""
+    return [run_experiment(s) for s in scenarios]
+
+
+def run_simulation_trace(
+    sim: DatacenterSimulation, server_name: str, duration_s: float
+) -> TimeSeries:
+    """Run an already-built simulation and return one server's sensor trace.
+
+    Used by the dynamic scenarios (migration case study) where the caller
+    needs the simulation object for event scheduling.
+    """
+    sim.run(duration_s)
+    return sim.telemetry.for_server(server_name).cpu_temperature

@@ -1,0 +1,129 @@
+"""Migration advisor: clear predicted hotspots with live migration.
+
+Closes the remaining loop of the paper's motivation: once the monitor
+predicts a hotspot, *which VM should move, and where?* The advisor
+evaluates candidate (VM, destination) pairs with the stable model —
+"source without the VM" and "destination with the VM" — and recommends
+the move that removes the hotspot with the smallest new peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stable import StableTemperaturePredictor
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.datacenter.vm import Vm
+from repro.errors import SchedulingError
+from repro.management.thermal_aware import record_for_host
+
+
+@dataclass(frozen=True)
+class MigrationAdvice:
+    """One recommended move."""
+
+    vm_name: str
+    source: str
+    destination: str
+    predicted_source_c: float
+    predicted_destination_c: float
+
+    @property
+    def predicted_peak_c(self) -> float:
+        """Peak of the two affected hosts after the move."""
+        return max(self.predicted_source_c, self.predicted_destination_c)
+
+
+class MigrationAdvisor:
+    """Recommends migrations away from (predicted) hotspots.
+
+    Parameters
+    ----------
+    predictor:
+        Trained stable-temperature model.
+    environment_c:
+        Environment temperature assumed for predictions.
+    """
+
+    def __init__(
+        self, predictor: StableTemperaturePredictor, environment_c: float = 22.0
+    ) -> None:
+        self.predictor = predictor
+        self.environment_c = environment_c
+
+    def _predict_without(self, server: Server, vm_name: str) -> float:
+        """ψ_stable of a host with one VM hypothetically removed."""
+        from repro.core.records import ExperimentRecord, VmRecord
+
+        vms = [vm for name, vm in server.vms.items() if name != vm_name]
+        vm_records = tuple(
+            VmRecord(
+                vcpus=vm.spec.vcpus,
+                memory_gb=vm.spec.memory_gb,
+                task_kinds=tuple(task.kind for task in vm.spec.tasks),
+                nominal_utilization=vm.spec.nominal_utilization(),
+            )
+            for vm in vms
+        )
+        capacity = server.spec.capacity
+        reduced = ExperimentRecord(
+            theta_cpu_cores=capacity.cpu_cores,
+            theta_cpu_ghz=capacity.total_ghz,
+            theta_memory_gb=capacity.memory_gb,
+            theta_fan_count=server.fans.count,
+            theta_fan_speed=server.fans.speed,
+            delta_env_c=self.environment_c,
+            vms=vm_records,
+            metadata={"server": server.name, "hypothetical_removal": vm_name},
+        )
+        return self.predictor.predict(reduced)
+
+    def _predict_with(self, server: Server, vm: Vm) -> float:
+        """ψ_stable of a host with an extra VM hypothetically added."""
+        record = record_for_host(server, self.environment_c, extra_vm=vm)
+        return self.predictor.predict(record)
+
+    def advise(
+        self,
+        cluster: Cluster,
+        hot_server: str,
+        threshold_c: float = 75.0,
+    ) -> MigrationAdvice:
+        """Best (VM, destination) move off ``hot_server``.
+
+        Considers every hosted VM × every other feasible host; ranks by
+        predicted post-move peak over the two affected hosts; requires
+        the source to drop below the threshold. Raises
+        :class:`SchedulingError` when no move achieves that.
+        """
+        source = cluster.server(hot_server)
+        if not source.vms:
+            raise SchedulingError(f"server {hot_server!r} hosts no VMs to move")
+        best: MigrationAdvice | None = None
+        for vm_name, vm in source.vms.items():
+            source_after = self._predict_without(source, vm_name)
+            for destination in cluster.servers:
+                if destination.name == hot_server or not destination.can_host(vm):
+                    continue
+                destination_after = self._predict_with(destination, vm)
+                advice = MigrationAdvice(
+                    vm_name=vm_name,
+                    source=hot_server,
+                    destination=destination.name,
+                    predicted_source_c=source_after,
+                    predicted_destination_c=destination_after,
+                )
+                if best is None or advice.predicted_peak_c < best.predicted_peak_c:
+                    best = advice
+        if best is None:
+            raise SchedulingError(
+                f"no feasible destination for any VM on {hot_server!r}"
+            )
+        if best.predicted_source_c > threshold_c:
+            raise SchedulingError(
+                f"no single migration cools {hot_server!r} below "
+                f"{threshold_c:.1f} °C (best predicted "
+                f"{best.predicted_source_c:.1f} °C)"
+            )
+        return best

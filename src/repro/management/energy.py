@@ -1,0 +1,85 @@
+"""Cooling power model and energy accounting.
+
+The paper's opening argument: cooling is ~half of datacenter energy, and
+thermal management attacks it. This module supplies the standard CRAC
+efficiency model used in that literature — a Coefficient of Performance
+(COP) quadratic in supply temperature (from HP's water-chiller
+characterization): ``COP(T) = 0.0068·T² + 0.0008·T + 0.458``. Higher
+supply temperature ⇒ higher COP ⇒ less cooling power for the same heat —
+which is why placement that tolerates a warmer room saves energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """CRAC cooling-power model based on the HP COP curve."""
+
+    cop_quadratic: float = 0.0068
+    cop_linear: float = 0.0008
+    cop_constant: float = 0.458
+
+    def cop(self, supply_temperature_c: float) -> float:
+        """Coefficient of performance at a supply temperature."""
+        if supply_temperature_c < 0.0:
+            raise ConfigurationError(
+                f"supply temperature must be >= 0 °C, got {supply_temperature_c}"
+            )
+        return (
+            self.cop_quadratic * supply_temperature_c**2
+            + self.cop_linear * supply_temperature_c
+            + self.cop_constant
+        )
+
+    def cooling_power_w(self, it_power_w: float, supply_temperature_c: float) -> float:
+        """Power the CRAC draws to remove ``it_power_w`` of heat."""
+        if it_power_w < 0.0:
+            raise ConfigurationError(f"it_power_w must be >= 0, got {it_power_w}")
+        return it_power_w / self.cop(supply_temperature_c)
+
+    def total_power_w(self, it_power_w: float, supply_temperature_c: float) -> float:
+        """IT + cooling power."""
+        return it_power_w + self.cooling_power_w(it_power_w, supply_temperature_c)
+
+
+@dataclass
+class EnergyAccount:
+    """Integrates IT and cooling energy over a simulation run."""
+
+    cooling: CoolingModel = field(default_factory=CoolingModel)
+    it_energy_j: float = 0.0
+    cooling_energy_j: float = 0.0
+    _samples: int = 0
+
+    def add_interval(
+        self, it_power_w: float, supply_temperature_c: float, duration_s: float
+    ) -> None:
+        """Accumulate one interval of operation."""
+        if duration_s < 0:
+            raise ConfigurationError(f"duration_s must be >= 0, got {duration_s}")
+        self.it_energy_j += it_power_w * duration_s
+        self.cooling_energy_j += (
+            self.cooling.cooling_power_w(it_power_w, supply_temperature_c) * duration_s
+        )
+        self._samples += 1
+
+    @property
+    def total_energy_j(self) -> float:
+        """IT plus cooling energy."""
+        return self.it_energy_j + self.cooling_energy_j
+
+    @property
+    def pue(self) -> float:
+        """Power-usage-effectiveness style ratio (total / IT)."""
+        if self.it_energy_j <= 0:
+            raise ConfigurationError("PUE undefined before any IT energy is accounted")
+        return self.total_energy_j / self.it_energy_j
+
+    def to_kwh(self, joules: float) -> float:
+        """Convenience joules → kWh conversion."""
+        return joules / 3.6e6

@@ -1,0 +1,56 @@
+"""Hotspot detection over predicted or measured server temperatures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One server exceeding the thermal threshold."""
+
+    server_name: str
+    temperature_c: float
+    threshold_c: float
+
+    @property
+    def severity_c(self) -> float:
+        """Degrees above threshold."""
+        return self.temperature_c - self.threshold_c
+
+
+class HotspotDetector:
+    """Flags servers whose (predicted) CPU temperature exceeds a threshold.
+
+    Datacenter practice treats sustained CPU temperatures above roughly
+    80 °C as throttling/reliability territory; the default threshold sits
+    slightly below to give proactive policies headroom.
+    """
+
+    def __init__(self, threshold_c: float = 75.0) -> None:
+        if not 0.0 < threshold_c < 150.0:
+            raise ConfigurationError(
+                f"threshold_c must be a plausible CPU limit, got {threshold_c}"
+            )
+        self.threshold_c = threshold_c
+
+    def detect(self, temperatures: dict[str, float]) -> list[Hotspot]:
+        """Hotspots for a server→temperature mapping, hottest first."""
+        spots = [
+            Hotspot(name, temp, self.threshold_c)
+            for name, temp in temperatures.items()
+            if temp > self.threshold_c
+        ]
+        return sorted(spots, key=lambda h: (-h.temperature_c, h.server_name))
+
+    def headroom(self, temperatures: dict[str, float]) -> dict[str, float]:
+        """Degrees of margin per server (negative = hotspot)."""
+        return {
+            name: self.threshold_c - temp for name, temp in temperatures.items()
+        }
+
+    def would_overheat(self, predicted_c: float) -> bool:
+        """Admission check for a predicted post-action temperature."""
+        return predicted_c > self.threshold_c

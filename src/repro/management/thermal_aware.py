@@ -1,0 +1,101 @@
+"""Prediction-driven thermal-aware VM placement.
+
+For each candidate host the scheduler builds the hypothetical Eq. (2)
+record "this host with the new VM added", asks the stable model for the
+resulting ψ_stable, and places the VM on the host with the lowest
+predicted temperature (skipping hosts predicted to overheat). This is
+exactly the proactive decision-making the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.core.stable import StableTemperaturePredictor
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.scheduler import PlacementScheduler
+from repro.datacenter.server import Server
+from repro.datacenter.vm import Vm
+from repro.errors import SchedulingError
+from repro.management.hotspot import HotspotDetector
+
+
+def record_for_host(
+    server: Server, environment_c: float, extra_vm: Vm | None = None
+) -> ExperimentRecord:
+    """Eq. (2) input record describing a host's current (or hypothetical)
+    VM set."""
+    vms = list(server.vms.values())
+    if extra_vm is not None:
+        vms.append(extra_vm)
+    vm_records = tuple(
+        VmRecord(
+            vcpus=vm.spec.vcpus,
+            memory_gb=vm.spec.memory_gb,
+            task_kinds=tuple(task.kind for task in vm.spec.tasks),
+            nominal_utilization=vm.spec.nominal_utilization(),
+        )
+        for vm in vms
+    )
+    capacity = server.spec.capacity
+    return ExperimentRecord(
+        theta_cpu_cores=capacity.cpu_cores,
+        theta_cpu_ghz=capacity.total_ghz,
+        theta_memory_gb=capacity.memory_gb,
+        theta_fan_count=server.fans.count,
+        theta_fan_speed=server.fans.speed,
+        delta_env_c=environment_c,
+        vms=vm_records,
+        metadata={"server": server.name, "hypothetical": extra_vm is not None},
+    )
+
+
+class ThermalAwareScheduler(PlacementScheduler):
+    """Places each VM where the predicted post-placement ψ_stable is lowest.
+
+    Parameters
+    ----------
+    predictor:
+        A trained stable-temperature model.
+    environment_c:
+        Environment temperature assumed for predictions.
+    detector:
+        Optional hotspot detector; hosts predicted above its threshold
+        are rejected outright (unless *every* host would overheat, in
+        which case the coolest is chosen — degrading gracefully beats
+        failing the placement).
+    """
+
+    def __init__(
+        self,
+        predictor: StableTemperaturePredictor,
+        environment_c: float = 22.0,
+        detector: HotspotDetector | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.environment_c = environment_c
+        self.detector = detector
+        self.decision_log: list[tuple[str, str, float]] = []
+
+    def place(self, vm: Vm, cluster: Cluster) -> Server:
+        """Predict ψ_stable per feasible host; pick the coolest."""
+        candidates = self._feasible(vm, cluster)
+        predicted: list[tuple[float, Server]] = []
+        for server in candidates:
+            record = record_for_host(server, self.environment_c, extra_vm=vm)
+            predicted.append((self.predictor.predict(record), server))
+        predicted.sort(key=lambda pair: (pair[0], pair[1].name))
+
+        if self.detector is not None:
+            acceptable = [
+                (temp, server)
+                for temp, server in predicted
+                if not self.detector.would_overheat(temp)
+            ]
+            if acceptable:
+                predicted = acceptable
+        if not predicted:
+            raise SchedulingError(f"no feasible host for VM {vm.name!r}")
+
+        temperature, chosen = predicted[0]
+        self.decision_log.append((vm.name, chosen.name, temperature))
+        return chosen

@@ -1,0 +1,65 @@
+"""Regression metrics.
+
+The paper reports Mean Squared Error throughout (stable MSE ≤ 1.10,
+dynamic MSE 0.70–1.50), so MSE is first-class here; the rest support the
+extended analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _check_pair(y_true: Sequence[float], y_pred: Sequence[float]) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    if len(y_true) == 0:
+        raise ValueError("metrics require at least one sample")
+
+
+def mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean squared error — the paper's headline metric."""
+    _check_pair(y_true, y_pred)
+    return sum((t - p) ** 2 for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean squared error."""
+    return math.sqrt(mean_squared_error(y_true, y_pred))
+
+
+def mean_absolute_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error."""
+    _check_pair(y_true, y_pred)
+    return sum(abs(t - p) for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+def max_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Largest absolute residual."""
+    _check_pair(y_true, y_pred)
+    return max(abs(t - p) for t, p in zip(y_true, y_pred))
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target (no variance to explain) when the
+    prediction is exact, else −inf-like large negative is avoided by the
+    conventional 0/ss_tot guard.
+    """
+    _check_pair(y_true, y_pred)
+    mean = sum(y_true) / len(y_true)
+    ss_tot = sum((t - mean) ** 2 for t in y_true)
+    ss_res = sum((t - p) ** 2 for t, p in zip(y_true, y_pred))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def bias(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean signed residual (prediction − truth); >0 means over-prediction."""
+    _check_pair(y_true, y_pred)
+    return sum(p - t for t, p in zip(y_true, y_pred)) / len(y_true)

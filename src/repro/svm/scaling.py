@@ -1,0 +1,101 @@
+"""Feature scaling, in the style of LIBSVM's ``svm-scale``.
+
+RBF kernels are scale-sensitive, so LIBSVM workflows scale every feature
+to a fixed interval before training and apply the *same* affine map at
+prediction time. :class:`MinMaxScaler` reproduces ``svm-scale``'s default
+[-1, 1] behaviour; :class:`StandardScaler` (z-score) is provided as an
+alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class MinMaxScaler:
+    """Affine map of each feature to ``[lower, upper]`` (default [-1, 1]).
+
+    Constant features (max == min) map to the interval midpoint, matching
+    svm-scale's behaviour of emitting a constant.
+    """
+
+    def __init__(self, lower: float = -1.0, upper: float = 1.0) -> None:
+        if upper <= lower:
+            raise ValueError(f"upper must exceed lower, got [{lower}, {upper}]")
+        self.lower = lower
+        self.upper = upper
+        self._min: np.ndarray | None = None
+        self._max: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature ranges from the training matrix."""
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError(f"expected non-empty 2-D matrix, got shape {arr.shape}")
+        self._min = arr.min(axis=0)
+        self._max = arr.max(axis=0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned map; out-of-range values extrapolate linearly."""
+        if self._min is None or self._max is None:
+            raise NotFittedError("MinMaxScaler.transform called before fit")
+        arr = np.asarray(x, dtype=float)
+        span = self._max - self._min
+        out = np.empty_like(arr, dtype=float)
+        constant = span <= 0
+        safe_span = np.where(constant, 1.0, span)
+        frac = (arr - self._min) / safe_span
+        out = self.lower + frac * (self.upper - self.lower)
+        midpoint = 0.5 * (self.lower + self.upper)
+        out[:, constant] = midpoint
+        return out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map scaled values back to original units."""
+        if self._min is None or self._max is None:
+            raise NotFittedError("MinMaxScaler.inverse_transform called before fit")
+        arr = np.asarray(x, dtype=float)
+        span = self._max - self._min
+        frac = (arr - self.lower) / (self.upper - self.lower)
+        return self._min + frac * span
+
+
+class StandardScaler:
+    """Per-feature z-score scaling: subtract mean, divide by std."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        arr = np.asarray(x, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError(f"expected non-empty 2-D matrix, got shape {arr.shape}")
+        self._mean = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        self._std = np.where(std <= 0, 1.0, std)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        return (np.asarray(x, dtype=float) - self._mean) / self._std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map standardized values back to original units."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("StandardScaler.inverse_transform called before fit")
+        return np.asarray(x, dtype=float) * self._std + self._mean

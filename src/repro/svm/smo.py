@@ -1,0 +1,270 @@
+"""Sequential Minimal Optimization for the ε-SVR dual.
+
+Solves LIBSVM's ε-SVR formulation. With ``β_i = α_i − α*_i`` the dual is
+
+    min_β  ½ βᵀKβ − yᵀβ + ε·Σ|β_i|
+    s.t.   Σβ_i = 0,   −C ≤ β_i ≤ C
+
+which we optimize in the standard 2n-variable form ``a = [α; α*]``,
+``a_p ∈ [0, C]`` with constraint coefficients ``z_p = +1`` for the first
+half and ``−1`` for the second. The solver keeps ``u = Kβ`` incrementally
+updated, selects the maximal violating pair each iteration (LIBSVM's
+working-set selection 1), solves the two-variable subproblem analytically
+and clips to the box. Convergence is declared when the KKT violation gap
+``m(a) − M(a)`` drops below ``tol``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+
+
+@dataclass
+class SmoResult:
+    """Solution of the ε-SVR dual.
+
+    Attributes
+    ----------
+    beta:
+        Dual coefficient differences ``α − α*`` per training point.
+    bias:
+        Intercept ``b`` of the decision function.
+    iterations:
+        SMO iterations performed.
+    kkt_gap:
+        Final maximal-violating-pair gap (≤ tol on clean convergence).
+    converged:
+        Whether the gap criterion was met within the iteration budget.
+    """
+
+    beta: np.ndarray
+    bias: float
+    iterations: int
+    kkt_gap: float
+    converged: bool
+
+    @property
+    def support_mask(self) -> np.ndarray:
+        """Boolean mask of support vectors (|β| > 0)."""
+        return np.abs(self.beta) > 1e-12
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors."""
+        return int(np.count_nonzero(self.support_mask))
+
+
+def solve_svr_dual(
+    kernel_matrix: np.ndarray,
+    y: np.ndarray,
+    c: float,
+    epsilon: float,
+    tol: float = 1e-3,
+    max_iter: int = 200_000,
+    on_no_convergence: str = "warn",
+) -> SmoResult:
+    """Run SMO on a precomputed Gram matrix.
+
+    Parameters
+    ----------
+    kernel_matrix:
+        Symmetric PSD Gram matrix of the training points, shape (n, n).
+    y:
+        Regression targets, shape (n,).
+    c:
+        Box constraint (LIBSVM's ``-c``).
+    epsilon:
+        Width of the ε-insensitive tube (LIBSVM's ``-p``).
+    tol:
+        KKT gap tolerance (LIBSVM's ``-e``, default 1e-3).
+    max_iter:
+        Iteration budget.
+    on_no_convergence:
+        ``"warn"`` (default), ``"raise"`` or ``"ignore"`` when the budget
+        is exhausted before the gap criterion is met.
+    """
+    k = np.asarray(kernel_matrix, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = y.shape[0]
+    if k.shape != (n, n):
+        raise ConfigurationError(
+            f"kernel matrix shape {k.shape} does not match {n} targets"
+        )
+    if c <= 0:
+        raise ConfigurationError(f"C must be > 0, got {c}")
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+    if on_no_convergence not in ("warn", "raise", "ignore"):
+        raise ConfigurationError(
+            f"on_no_convergence must be 'warn', 'raise' or 'ignore', "
+            f"got {on_no_convergence!r}"
+        )
+    if n == 0:
+        return SmoResult(
+            beta=np.zeros(0), bias=0.0, iterations=0, kkt_gap=0.0, converged=True
+        )
+
+    alpha_plus = np.zeros(n)
+    alpha_minus = np.zeros(n)
+    u = np.zeros(n)  # u = K @ beta, maintained incrementally
+    diag = np.diag(k).copy()
+    neg_inf = -np.inf
+
+    iterations = 0
+    gap = np.inf
+    converged = False
+    while iterations < max_iter:
+        residual = y - u
+        score_plus = residual - epsilon  # −z_p ∇_p for the α half
+        score_minus = residual + epsilon  # −z_p ∇_p for the α* half
+
+        up_plus = np.where(alpha_plus < c, score_plus, neg_inf)
+        up_minus = np.where(alpha_minus > 0, score_minus, neg_inf)
+        low_plus = np.where(alpha_plus > 0, score_plus, np.inf)
+        low_minus = np.where(alpha_minus < c, score_minus, np.inf)
+
+        i_plus = int(np.argmax(up_plus))
+        i_minus = int(np.argmax(up_minus))
+        if up_plus[i_plus] >= up_minus[i_minus]:
+            i, z_i, m_val = i_plus, 1.0, up_plus[i_plus]
+        else:
+            i, z_i, m_val = i_minus, -1.0, up_minus[i_minus]
+
+        big_m_val = min(float(np.min(low_plus)), float(np.min(low_minus)))
+        gap = m_val - big_m_val
+        if not np.isfinite(gap):
+            # One of the index sets is empty: every variable is at the same
+            # bound — the problem is solved (degenerate but feasible).
+            gap = 0.0
+            converged = True
+            break
+        if gap <= tol:
+            converged = True
+            break
+
+        # Second-order working-set selection (LIBSVM WSS2): among the low
+        # set entries that violate against i, pick the one maximizing the
+        # guaranteed decrease diff²/η. Curvature along the feasible
+        # direction v = z_i·e_i − z_j·e_j is K_ii + K_jj − 2K_ij in *data*
+        # indices; degenerate pairs are guarded by a small floor.
+        k_row = k[i]
+        eta_all = np.maximum(diag[i] + diag - 2.0 * k_row, 1e-12)
+        diff_plus = m_val - low_plus
+        diff_minus = m_val - low_minus
+        obj_plus = np.where(diff_plus > 0, diff_plus * diff_plus / eta_all, neg_inf)
+        obj_minus = np.where(diff_minus > 0, diff_minus * diff_minus / eta_all, neg_inf)
+        j_plus = int(np.argmax(obj_plus))
+        j_minus = int(np.argmax(obj_minus))
+        if obj_plus[j_plus] >= obj_minus[j_minus]:
+            j, z_j, j_score = j_plus, 1.0, low_plus[j_plus]
+        else:
+            j, z_j, j_score = j_minus, -1.0, low_minus[j_minus]
+
+        eta = float(eta_all[j])
+        t = (m_val - j_score) / eta  # −∇f·v / η along the chosen pair
+
+        # Box limits for a_i moving by +z_i·t and a_j by −z_j·t.
+        if z_i > 0:
+            t_hi_i = c - alpha_plus[i]
+            t_lo_i = -alpha_plus[i]
+        else:
+            t_hi_i = alpha_minus[i]
+            t_lo_i = alpha_minus[i] - c
+        if z_j > 0:
+            t_hi_j = alpha_plus[j]
+            t_lo_j = alpha_plus[j] - c
+        else:
+            t_hi_j = c - alpha_minus[j]
+            t_lo_j = -alpha_minus[j]
+        t = min(t, t_hi_i, t_hi_j)
+        t = max(t, t_lo_i, t_lo_j, 0.0)
+        if t <= 0.0:
+            # Numerically stuck pair; declare convergence at current gap
+            # rather than spinning (can happen at gap ≈ tol).
+            break
+
+        if z_i > 0:
+            alpha_plus[i] += t
+        else:
+            alpha_minus[i] -= t
+        if z_j > 0:
+            alpha_plus[j] -= t
+        else:
+            alpha_minus[j] += t
+        # β changes by +t at data index i and −t at data index j.
+        u += t * (k[:, i] - k[:, j])
+        iterations += 1
+
+    if not converged and iterations >= max_iter:
+        message = (
+            f"SMO did not converge in {max_iter} iterations "
+            f"(KKT gap {gap:.3g} > tol {tol:g})"
+        )
+        if on_no_convergence == "raise":
+            raise ConvergenceError(message)
+        if on_no_convergence == "warn":
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+
+    beta = alpha_plus - alpha_minus
+    bias = _compute_bias(alpha_plus, alpha_minus, y, u, c, epsilon)
+    return SmoResult(
+        beta=beta,
+        bias=bias,
+        iterations=iterations,
+        kkt_gap=float(gap),
+        converged=converged,
+    )
+
+
+def _compute_bias(
+    alpha_plus: np.ndarray,
+    alpha_minus: np.ndarray,
+    y: np.ndarray,
+    u: np.ndarray,
+    c: float,
+    epsilon: float,
+) -> float:
+    """Intercept from the KKT conditions.
+
+    Free (0 < α < C) variables pin ``b`` exactly; with none free, take the
+    midpoint of the feasible interval given by the bound variables.
+    """
+    residual = y - u
+    margin = 1e-9 * max(c, 1.0)
+    free_plus = (alpha_plus > margin) & (alpha_plus < c - margin)
+    free_minus = (alpha_minus > margin) & (alpha_minus < c - margin)
+    estimates = []
+    if np.any(free_plus):
+        estimates.extend((residual[free_plus] - epsilon).tolist())
+    if np.any(free_minus):
+        estimates.extend((residual[free_minus] + epsilon).tolist())
+    if estimates:
+        return float(np.mean(estimates))
+
+    # No free variables: b lies between the up/low KKT bounds.
+    lows = []
+    highs = []
+    score_plus = residual - epsilon
+    score_minus = residual + epsilon
+    up = np.concatenate(
+        [score_plus[alpha_plus < c - margin], score_minus[alpha_minus > margin]]
+    )
+    low = np.concatenate(
+        [score_plus[alpha_plus > margin], score_minus[alpha_minus < c - margin]]
+    )
+    if up.size:
+        highs.append(float(np.max(up)))
+    if low.size:
+        lows.append(float(np.min(low)))
+    if highs and lows:
+        return 0.5 * (highs[0] + lows[0])
+    if highs:
+        return highs[0]
+    if lows:
+        return lows[0]
+    return float(np.mean(residual))

@@ -1,0 +1,178 @@
+"""C-support-vector classification — completing the LIBSVM substitution.
+
+LIBSVM is "an integrated software for support vector classification,
+regression and distribution estimation" (the paper's ref [6]); the paper
+itself only uses regression, but downstream thermal management benefits
+from classification too (e.g. "will this placement create a hotspot?").
+This module implements binary C-SVC by reusing the SMO machinery's
+structure: the dual here has variables ``0 ≤ α_i ≤ C`` with constraint
+``Σ y_i α_i = 0`` and objective ``½ αᵀQα − 1ᵀα`` where
+``Q_ij = y_i y_j K_ij``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.svm.kernels import Kernel, RbfKernel
+
+
+class SupportVectorClassifier:
+    """Binary C-SVC with labels in {−1, +1}.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel instance (RBF by default, as in the paper's tooling).
+    c:
+        Box constraint.
+    tol / max_iter:
+        SMO stopping controls.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        c: float = 1.0,
+        tol: float = 1e-3,
+        max_iter: int = 100_000,
+    ) -> None:
+        if c <= 0:
+            raise ConfigurationError(f"C must be > 0, got {c}")
+        self.kernel = kernel or RbfKernel(gamma=0.1)
+        self.c = c
+        self.tol = tol
+        self.max_iter = max_iter
+        self._support_x: np.ndarray | None = None
+        self._support_coef: np.ndarray | None = None  # y_i·α_i for SVs
+        self._bias = 0.0
+        self.iterations_ = 0
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SupportVectorClassifier":
+        """Train on features ``x`` and labels ``y`` ∈ {−1, +1}."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise ValueError(f"y shape {y.shape} does not match {x.shape[0]} samples")
+        labels = set(np.unique(y))
+        if not labels <= {-1.0, 1.0}:
+            raise ValueError(f"labels must be in {{-1, +1}}, got {sorted(labels)}")
+        if len(labels) < 2:
+            # Degenerate single-class problem: constant classifier.
+            self._support_x = x[:0]
+            self._support_coef = np.zeros(0)
+            self._bias = float(next(iter(labels))) if labels else 0.0
+            self.iterations_ = 0
+            return self
+
+        n = x.shape[0]
+        k = self.kernel.gram(x, x)
+        alpha = np.zeros(n)
+        # f_i = Σ_j y_j α_j K_ij (decision value without bias).
+        f = np.zeros(n)
+        iterations = 0
+        while iterations < self.max_iter:
+            # score_p = −y_p ∇_p = y_p − f·... with ∇_p = y_p f_p − 1:
+            score = (1.0 - y * f) * y  # equals y_p − f_p for y=+1 etc.
+            up_mask = ((y > 0) & (alpha < self.c)) | ((y < 0) & (alpha > 0))
+            low_mask = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < self.c))
+            up = np.where(up_mask, score, -np.inf)
+            low = np.where(low_mask, score, np.inf)
+            i = int(np.argmax(up))
+            m_val = up[i]
+            big_m = float(np.min(low))
+            gap = m_val - big_m
+            if not np.isfinite(gap) or gap <= self.tol:
+                break
+            # Second-order selection of j among violating low candidates.
+            diag = np.diag(k)
+            eta = np.maximum(diag[i] + diag - 2.0 * k[i], 1e-12)
+            diff = m_val - low
+            objective = np.where(diff > 0, diff * diff / eta, -np.inf)
+            j = int(np.argmax(objective))
+            t = diff[j] / eta[j]
+            # Box limits along v = y_i e_i − y_j e_j.
+            if y[i] > 0:
+                t = min(t, self.c - alpha[i])
+            else:
+                t = min(t, alpha[i])
+            if y[j] > 0:
+                t = min(t, alpha[j])
+            else:
+                t = min(t, self.c - alpha[j])
+            if t <= 0:
+                break
+            # Step along v with v_i = y_i, v_j = −y_j (keeps Σ y_p α_p).
+            alpha[i] += y[i] * t
+            alpha[j] -= y[j] * t
+            alpha[i] = min(max(alpha[i], 0.0), self.c)
+            alpha[j] = min(max(alpha[j], 0.0), self.c)
+            f += t * (k[:, i] - k[:, j])
+            iterations += 1
+        self.iterations_ = iterations
+
+        coef = y * alpha
+        mask = alpha > 1e-12
+        self._support_x = x[mask]
+        self._support_coef = coef[mask]
+        self._bias = self._compute_bias(alpha, y, f)
+        return self
+
+    def _compute_bias(self, alpha: np.ndarray, y: np.ndarray, f: np.ndarray) -> float:
+        margin = 1e-9 * self.c
+        free = (alpha > margin) & (alpha < self.c - margin)
+        if np.any(free):
+            return float(np.mean(y[free] - f[free]))
+        score = (1.0 - y * f) * y
+        up_mask = ((y > 0) & (alpha < self.c)) | ((y < 0) & (alpha > 0))
+        low_mask = ((y > 0) & (alpha > 0)) | ((y < 0) & (alpha < self.c))
+        highs = score[up_mask]
+        lows = score[low_mask]
+        if highs.size and lows.size:
+            return float((np.max(highs) + np.min(lows)) / 2.0)
+        return 0.0
+
+    # -- inference ------------------------------------------------------------
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed distance-like score; positive ⇒ class +1."""
+        if self._support_x is None or self._support_coef is None:
+            raise NotFittedError("SupportVectorClassifier used before fit")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x.reshape(1, -1)
+        if self._support_x.shape[0] == 0:
+            out = np.full(x.shape[0], self._bias)
+        else:
+            out = self.kernel.gram(x, self._support_x) @ self._support_coef + self._bias
+        return out[0] if single else out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class labels in {−1, +1} (ties go to +1)."""
+        scores = np.atleast_1d(self.decision_function(x))
+        labels = np.where(scores >= 0.0, 1.0, -1.0)
+        return labels[0] if np.ndim(x) == 1 else labels
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correctly classified samples."""
+        predictions = np.atleast_1d(self.predict(x))
+        return float(np.mean(predictions == np.asarray(y, dtype=float)))
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors."""
+        if self._support_coef is None:
+            raise NotFittedError("model not fitted")
+        return int(self._support_coef.shape[0])
+
+    def clone(self) -> "SupportVectorClassifier":
+        """Unfitted copy with identical hyper-parameters."""
+        return SupportVectorClassifier(
+            kernel=self.kernel, c=self.c, tol=self.tol, max_iter=self.max_iter
+        )

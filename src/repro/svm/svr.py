@@ -1,0 +1,139 @@
+"""ε-Support-Vector Regression estimator (the LIBSVM ``svm-train -s 3``
+equivalent).
+
+Wraps :func:`repro.svm.smo.solve_svr_dual` behind a fit/predict interface
+and keeps only the support vectors for prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.svm.kernels import Kernel, RbfKernel
+from repro.svm.smo import SmoResult, solve_svr_dual
+
+
+class EpsilonSVR:
+    """ε-SVR with an arbitrary kernel (RBF by default, as in the paper).
+
+    Parameters
+    ----------
+    kernel:
+        Kernel instance; defaults to :class:`RbfKernel` with γ=0.1.
+    c:
+        Box constraint — regularization/penalty trade-off.
+    epsilon:
+        Half-width of the ε-insensitive tube, in target units.
+    tol:
+        SMO stopping tolerance.
+    max_iter:
+        SMO iteration budget.
+    on_no_convergence:
+        Forwarded to the solver (``"warn"``, ``"raise"``, ``"ignore"``).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        c: float = 10.0,
+        epsilon: float = 0.1,
+        tol: float = 1e-3,
+        max_iter: int = 200_000,
+        on_no_convergence: str = "warn",
+    ) -> None:
+        self.kernel = kernel or RbfKernel(gamma=0.1)
+        self.c = c
+        self.epsilon = epsilon
+        self.tol = tol
+        self.max_iter = max_iter
+        self.on_no_convergence = on_no_convergence
+        self._support_x: np.ndarray | None = None
+        self._support_beta: np.ndarray | None = None
+        self._bias = 0.0
+        self._last_result: SmoResult | None = None
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "EpsilonSVR":
+        """Train on a feature matrix ``x`` (n, d) and targets ``y`` (n,)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.shape != (x.shape[0],):
+            raise ValueError(
+                f"y shape {y.shape} does not match {x.shape[0]} samples"
+            )
+        gram = self.kernel.gram(x, x)
+        result = solve_svr_dual(
+            gram,
+            y,
+            c=self.c,
+            epsilon=self.epsilon,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            on_no_convergence=self.on_no_convergence,
+        )
+        mask = result.support_mask
+        self._support_x = x[mask]
+        self._support_beta = result.beta[mask]
+        self._bias = result.bias
+        self._last_result = result
+        return self
+
+    # -- inference ------------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix (or a single row)."""
+        if self._support_x is None or self._support_beta is None:
+            raise NotFittedError("EpsilonSVR.predict called before fit")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x.reshape(1, -1)
+        if self._support_x.shape[0] == 0:
+            # All-zero dual (e.g. targets within ε of the bias): constant.
+            out = np.full(x.shape[0], self._bias)
+        else:
+            gram = self.kernel.gram(x, self._support_x)
+            out = gram @ self._support_beta + self._bias
+        return out[0] if single else out
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors retained after training."""
+        if self._support_beta is None:
+            raise NotFittedError("model not fitted")
+        return int(self._support_beta.shape[0])
+
+    @property
+    def bias(self) -> float:
+        """Intercept of the decision function."""
+        return self._bias
+
+    @property
+    def last_result(self) -> SmoResult:
+        """The raw solver result from the last fit."""
+        if self._last_result is None:
+            raise NotFittedError("model not fitted")
+        return self._last_result
+
+    def clone(self) -> "EpsilonSVR":
+        """Unfitted copy with identical hyper-parameters."""
+        return EpsilonSVR(
+            kernel=self.kernel,
+            c=self.c,
+            epsilon=self.epsilon,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            on_no_convergence=self.on_no_convergence,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EpsilonSVR(kernel={self.kernel.name}, c={self.c:g}, "
+            f"epsilon={self.epsilon:g})"
+        )

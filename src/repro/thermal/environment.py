@@ -1,0 +1,87 @@
+"""Environment (inlet/room) temperature profiles.
+
+The paper treats environment temperature ``δ_env`` as a first-class input
+feature "reflecting the overall cooling capacity within a datacenter".
+These profiles stand in for the CRAC-conditioned room: constant set-points
+for profiling experiments, sinusoidal daily drift and step changes
+(set-point adjustments, cooling degradation) for dynamic scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class EnvironmentProfile(ABC):
+    """Time-varying ambient temperature seen at the server inlet."""
+
+    @abstractmethod
+    def temperature(self, time_s: float) -> float:
+        """Ambient temperature (°C) at the given simulation time."""
+
+    def mean_over(self, t0: float, t1: float, samples: int = 64) -> float:
+        """Numerical mean over a window (used for feature extraction)."""
+        if t1 <= t0:
+            return self.temperature(t0)
+        step = (t1 - t0) / samples
+        return sum(self.temperature(t0 + (i + 0.5) * step) for i in range(samples)) / samples
+
+
+@dataclass(frozen=True)
+class ConstantEnvironment(EnvironmentProfile):
+    """Fixed ambient temperature — a well-regulated cold aisle."""
+
+    temperature_c: float = 22.0
+
+    def temperature(self, time_s: float) -> float:
+        return self.temperature_c
+
+
+@dataclass(frozen=True)
+class SinusoidalEnvironment(EnvironmentProfile):
+    """Sinusoidal drift around a mean — diurnal load on the cooling plant."""
+
+    mean_c: float = 22.0
+    amplitude_c: float = 1.5
+    period_s: float = 86400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError(f"period_s must be > 0, got {self.period_s}")
+        if self.amplitude_c < 0:
+            raise ConfigurationError(f"amplitude_c must be >= 0, got {self.amplitude_c}")
+
+    def temperature(self, time_s: float) -> float:
+        angle = 2.0 * math.pi * (time_s + self.phase_s) / self.period_s
+        return self.mean_c + self.amplitude_c * math.sin(angle)
+
+
+@dataclass(frozen=True)
+class SteppedEnvironment(EnvironmentProfile):
+    """Piecewise-constant profile: CRAC set-point changes / cooling events.
+
+    ``steps`` maps step start times to temperatures; the temperature before
+    the first step is ``initial_c``.
+    """
+
+    initial_c: float = 22.0
+    steps: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ConfigurationError("step times must be non-decreasing")
+
+    def temperature(self, time_s: float) -> float:
+        current = self.initial_c
+        for start, value in self.steps:
+            if time_s >= start:
+                current = value
+            else:
+                break
+        return current

@@ -1,0 +1,96 @@
+"""Server fan bank: airflow, thermal-resistance scaling, and fan power.
+
+The paper's feature vector includes *fan status* (``θ_fan``). Physically,
+fans change the convective resistance of the case→ambient path: more
+airflow, lower resistance. The standard correlation for forced convection
+over a heatsink is ``R ∝ airflow^(−0.8)``; we normalize at a reference
+operating point so the resistance in :class:`~repro.config.ThermalConfig`
+is exact at that point.
+
+Fan power follows the fan affinity law (``P ∝ speed³``) and is injected
+into the case node, so running fans faster is not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Airflow exponent of the convective resistance correlation.
+CONVECTION_EXPONENT = 0.8
+
+#: Operating point at which the configured case→ambient resistance holds.
+REFERENCE_FAN_COUNT = 4
+REFERENCE_FAN_SPEED = 0.7
+
+
+@dataclass
+class FanBank:
+    """A bank of identical fans with a shared speed setting.
+
+    Parameters
+    ----------
+    count:
+        Number of installed (and spinning) fans; the paper's ``θ_fan``.
+    speed:
+        Speed fraction in (0, 1] applied to every fan.
+    max_power_w_per_fan:
+        Electrical power of one fan at full speed.
+    """
+
+    count: int = REFERENCE_FAN_COUNT
+    speed: float = REFERENCE_FAN_SPEED
+    max_power_w_per_fan: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"fan count must be >= 1, got {self.count}")
+        if not 0.0 < self.speed <= 1.0:
+            raise ConfigurationError(f"fan speed must be in (0, 1], got {self.speed}")
+        if self.max_power_w_per_fan < 0:
+            raise ConfigurationError(
+                f"max_power_w_per_fan must be >= 0, got {self.max_power_w_per_fan}"
+            )
+
+    @property
+    def airflow(self) -> float:
+        """Relative volumetric airflow (fan-units); linear in count × speed."""
+        return self.count * self.speed
+
+    @property
+    def reference_airflow(self) -> float:
+        """Airflow at the calibration operating point."""
+        return REFERENCE_FAN_COUNT * REFERENCE_FAN_SPEED
+
+    def resistance_scale(self) -> float:
+        """Multiplier for the case→ambient resistance at current airflow.
+
+        Equals 1.0 at the reference point; >1 with less airflow, <1 with
+        more. Airflow is floored at 20 % of reference so a nearly stopped
+        fan bank yields a large-but-finite resistance (natural convection
+        still removes some heat).
+        """
+        floor = 0.2 * self.reference_airflow
+        effective = max(self.airflow, floor)
+        return (self.reference_airflow / effective) ** CONVECTION_EXPONENT
+
+    def power_w(self) -> float:
+        """Electrical power of the whole bank (fan affinity law, ∝ speed³)."""
+        return self.count * self.max_power_w_per_fan * self.speed**3
+
+    def with_speed(self, speed: float) -> "FanBank":
+        """Copy of this bank at a different speed (banks are cheap values)."""
+        return FanBank(
+            count=self.count,
+            speed=speed,
+            max_power_w_per_fan=self.max_power_w_per_fan,
+        )
+
+    def with_count(self, count: int) -> "FanBank":
+        """Copy of this bank with a different number of spinning fans."""
+        return FanBank(
+            count=count,
+            speed=self.speed,
+            max_power_w_per_fan=self.max_power_w_per_fan,
+        )

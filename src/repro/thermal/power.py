@@ -1,0 +1,101 @@
+"""CPU package power model.
+
+Maps aggregate CPU utilization to package power draw. The model is the
+standard affine-plus-superlinear form used in datacenter energy studies:
+
+``P(u) = P_idle + (P_max − P_idle) · u^α``
+
+with ``α`` slightly above 1 to capture the superlinear growth caused by
+turbo/voltage scaling at high load. Memory power is modelled as a small
+per-GiB term so that server memory size (a paper feature, ``θ_memory``)
+genuinely influences the thermal plant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CpuPowerModel:
+    """Utilization → package power (watts).
+
+    Parameters
+    ----------
+    idle_power_w:
+        Power drawn at zero utilization (uncore, leakage, idle states).
+    max_power_w:
+        Power drawn at 100 % utilization (roughly the package TDP).
+    exponent:
+        Superlinearity ``α`` of the dynamic-power term.
+    memory_power_w_per_gb:
+        Static per-GiB DRAM power contribution.
+    memory_gb:
+        Installed memory capacity feeding the static DRAM term.
+    """
+
+    idle_power_w: float = 60.0
+    max_power_w: float = 240.0
+    exponent: float = 1.25
+    memory_power_w_per_gb: float = 0.35
+    memory_gb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power_w < 0:
+            raise ConfigurationError(f"idle_power_w must be >= 0, got {self.idle_power_w}")
+        if self.max_power_w <= self.idle_power_w:
+            raise ConfigurationError(
+                "max_power_w must exceed idle_power_w "
+                f"(got max={self.max_power_w}, idle={self.idle_power_w})"
+            )
+        if self.exponent <= 0:
+            raise ConfigurationError(f"exponent must be > 0, got {self.exponent}")
+        if self.memory_power_w_per_gb < 0:
+            raise ConfigurationError(
+                f"memory_power_w_per_gb must be >= 0, got {self.memory_power_w_per_gb}"
+            )
+        if self.memory_gb < 0:
+            raise ConfigurationError(f"memory_gb must be >= 0, got {self.memory_gb}")
+
+    @property
+    def memory_power_w(self) -> float:
+        """Static DRAM power for the installed capacity."""
+        return self.memory_power_w_per_gb * self.memory_gb
+
+    def power(self, utilization: float) -> float:
+        """Package power (W) at the given aggregate utilization ∈ [0, 1].
+
+        Utilization outside [0, 1] is clamped: the VMM can momentarily
+        report tiny negative or >1 values from rounding, and the plant
+        should stay physical.
+        """
+        u = min(1.0, max(0.0, utilization))
+        dynamic = (self.max_power_w - self.idle_power_w) * (u**self.exponent)
+        return self.idle_power_w + dynamic + self.memory_power_w
+
+    def utilization_for_power(self, power_w: float) -> float:
+        """Inverse of :meth:`power` (clamped), used by baseline fitters."""
+        base = self.idle_power_w + self.memory_power_w
+        span = self.max_power_w - self.idle_power_w
+        if power_w <= base:
+            return 0.0
+        u = ((power_w - base) / span) ** (1.0 / self.exponent)
+        return min(1.0, u)
+
+    @classmethod
+    def for_capacity(cls, total_ghz: float, memory_gb: float) -> "CpuPowerModel":
+        """Build a power model scaled to a server's compute capacity.
+
+        Bigger boxes draw more: roughly 2.0 W idle and 6.5 W peak per GHz
+        of aggregate capacity, which puts a 16-core × 2.4 GHz server at
+        ~77 W idle / ~250 W peak — commodity-server territory.
+        """
+        if total_ghz <= 0:
+            raise ConfigurationError(f"total_ghz must be > 0, got {total_ghz}")
+        return cls(
+            idle_power_w=2.0 * total_ghz,
+            max_power_w=6.5 * total_ghz,
+            memory_gb=memory_gb,
+        )

@@ -1,0 +1,243 @@
+"""Generic resistor–capacitor (RC) thermal networks.
+
+An RC thermal network is the standard compact model for heat flow in
+electronics: every physical lump (CPU die, heatsink, case air, ...) is a
+node with a heat capacity ``C`` (J/K), and every heat path is a thermal
+resistance ``R`` (K/W) between two nodes or between a node and ambient.
+
+The network integrates the coupled first-order ODEs
+
+``C_i · dT_i/dt = P_i + Σ_j (T_j − T_i)/R_ij + (T_amb − T_i)/R_i,amb``
+
+This module is deliberately general (arbitrary node/edge topology) so that
+finer-grained plants (per-core nodes, inlet/outlet air) can be built on the
+same machinery; :mod:`repro.thermal.server_thermal` instantiates the
+two-node die/case chain used throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class ThermalNode:
+    """One lump of the network.
+
+    Parameters
+    ----------
+    name:
+        Unique node identifier.
+    heat_capacity_j_per_k:
+        Thermal mass ``C`` of the lump.
+    ambient_resistance_k_per_w:
+        Resistance of the node's direct path to ambient; ``None`` when the
+        node only exchanges heat with other nodes.
+    """
+
+    name: str
+    heat_capacity_j_per_k: float
+    ambient_resistance_k_per_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heat_capacity_j_per_k <= 0:
+            raise ConfigurationError(
+                f"node {self.name!r}: heat capacity must be > 0, "
+                f"got {self.heat_capacity_j_per_k}"
+            )
+        if self.ambient_resistance_k_per_w is not None and self.ambient_resistance_k_per_w <= 0:
+            raise ConfigurationError(
+                f"node {self.name!r}: ambient resistance must be > 0, "
+                f"got {self.ambient_resistance_k_per_w}"
+            )
+
+
+@dataclass
+class RcNetwork:
+    """A mutable RC thermal network with named nodes.
+
+    Edges and ambient couplings may be retuned at runtime (e.g. fan speed
+    changes an air-path resistance) via :meth:`set_edge_resistance` and
+    :meth:`set_ambient_resistance`.
+    """
+
+    nodes: list[ThermalNode] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._edges: dict[tuple[int, int], float] = {}
+        self._ambient_r: dict[int, float] = {}
+        self._temps: list[float] = []
+        for node in list(self.nodes):
+            self._register(node)
+
+    # -- construction ------------------------------------------------------
+
+    def _register(self, node: ThermalNode) -> None:
+        if node.name in self._index:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self._index[node.name] = len(self._index)
+        if node.ambient_resistance_k_per_w is not None:
+            self._ambient_r[self._index[node.name]] = node.ambient_resistance_k_per_w
+        self._temps.append(0.0)
+
+    def add_node(self, node: ThermalNode) -> None:
+        """Add a node after construction."""
+        self.nodes.append(node)
+        self._register(node)
+
+    def connect(self, a: str, b: str, resistance_k_per_w: float) -> None:
+        """Create a thermal path of the given resistance between two nodes."""
+        if resistance_k_per_w <= 0:
+            raise ConfigurationError(
+                f"edge {a!r}-{b!r}: resistance must be > 0, got {resistance_k_per_w}"
+            )
+        i, j = self._node_id(a), self._node_id(b)
+        if i == j:
+            raise ConfigurationError(f"cannot connect node {a!r} to itself")
+        self._edges[self._edge_key(i, j)] = resistance_k_per_w
+
+    # -- runtime tuning ----------------------------------------------------
+
+    def set_edge_resistance(self, a: str, b: str, resistance_k_per_w: float) -> None:
+        """Retune an existing edge (e.g. a fan changed the air path)."""
+        i, j = self._node_id(a), self._node_id(b)
+        key = self._edge_key(i, j)
+        if key not in self._edges:
+            raise SimulationError(f"no edge between {a!r} and {b!r}")
+        if resistance_k_per_w <= 0:
+            raise ConfigurationError(
+                f"edge {a!r}-{b!r}: resistance must be > 0, got {resistance_k_per_w}"
+            )
+        self._edges[key] = resistance_k_per_w
+
+    def set_ambient_resistance(self, name: str, resistance_k_per_w: float) -> None:
+        """Retune a node's direct path to ambient."""
+        i = self._node_id(name)
+        if i not in self._ambient_r:
+            raise SimulationError(f"node {name!r} has no ambient path")
+        if resistance_k_per_w <= 0:
+            raise ConfigurationError(
+                f"ambient path of {name!r}: resistance must be > 0, got {resistance_k_per_w}"
+            )
+        self._ambient_r[i] = resistance_k_per_w
+
+    # -- state -------------------------------------------------------------
+
+    def set_temperature(self, name: str, temperature_c: float) -> None:
+        """Set one node's temperature (initialization)."""
+        self._temps[self._node_id(name)] = temperature_c
+
+    def set_all_temperatures(self, temperature_c: float) -> None:
+        """Initialize every node to the same temperature."""
+        for i in range(len(self._temps)):
+            self._temps[i] = temperature_c
+
+    def temperature(self, name: str) -> float:
+        """Current temperature of a node (°C)."""
+        return self._temps[self._node_id(name)]
+
+    def temperatures(self) -> dict[str, float]:
+        """Snapshot of all node temperatures."""
+        return {node.name: self._temps[i] for node, i in zip(self.nodes, range(len(self.nodes)))}
+
+    # -- dynamics ----------------------------------------------------------
+
+    def derivatives(
+        self, temps: list[float], powers: dict[str, float], ambient_c: float
+    ) -> list[float]:
+        """Right-hand side of the network ODE for the given state.
+
+        ``powers`` maps node names to injected heat (W); nodes absent from
+        the mapping inject nothing.
+        """
+        n = len(self.nodes)
+        flows = [0.0] * n
+        for name, p in powers.items():
+            flows[self._node_id(name)] += p
+        for (i, j), r in self._edges.items():
+            q = (temps[j] - temps[i]) / r
+            flows[i] += q
+            flows[j] -= q
+        for i, r in self._ambient_r.items():
+            flows[i] += (ambient_c - temps[i]) / r
+        return [flows[i] / self.nodes[i].heat_capacity_j_per_k for i in range(n)]
+
+    def step(self, dt_s: float, powers: dict[str, float], ambient_c: float) -> None:
+        """Advance the network by ``dt_s`` seconds with forward Euler.
+
+        Forward Euler is adequate here because the solver step (1 s) is two
+        orders of magnitude below the smallest network time constant
+        (~100 s); :mod:`repro.thermal.solver` offers RK4 when callers
+        want higher order.
+        """
+        if dt_s <= 0:
+            raise SimulationError(f"dt_s must be > 0, got {dt_s}")
+        deriv = self.derivatives(self._temps, powers, ambient_c)
+        for i in range(len(self._temps)):
+            self._temps[i] += dt_s * deriv[i]
+
+    def steady_state(self, powers: dict[str, float], ambient_c: float) -> dict[str, float]:
+        """Solve the steady-state temperatures (dT/dt = 0) exactly.
+
+        Solves the linear system ``G · T = b`` built from the conductance
+        matrix by Gaussian elimination (the networks here are tiny, so no
+        numpy dependency is warranted).
+        """
+        n = len(self.nodes)
+        if n == 0:
+            return {}
+        g = [[0.0] * n for _ in range(n)]
+        b = [0.0] * n
+        for name, p in powers.items():
+            b[self._node_id(name)] += p
+        for (i, j), r in self._edges.items():
+            cond = 1.0 / r
+            g[i][i] += cond
+            g[j][j] += cond
+            g[i][j] -= cond
+            g[j][i] -= cond
+        grounded = False
+        for i, r in self._ambient_r.items():
+            cond = 1.0 / r
+            g[i][i] += cond
+            b[i] += ambient_c * cond
+            grounded = True
+        if not grounded:
+            raise SimulationError("network has no ambient path; steady state is undefined")
+        temps = _solve_linear(g, b)
+        return {node.name: temps[i] for i, node in enumerate(self.nodes)}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _node_id(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+
+    @staticmethod
+    def _edge_key(i: int, j: int) -> tuple[int, int]:
+        return (i, j) if i < j else (j, i)
+
+
+def _solve_linear(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Solve a small dense linear system with partial-pivot Gaussian elimination."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-12:
+            raise SimulationError("singular thermal network (disconnected node?)")
+        a[col], a[pivot] = a[pivot], a[col]
+        for row in range(col + 1, n):
+            factor = a[row][col] / a[col][col]
+            for k in range(col, n + 1):
+                a[row][k] -= factor * a[col][k]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = a[row][n] - sum(a[row][k] * x[k] for k in range(row + 1, n))
+        x[row] = acc / a[row][row]
+    return x

@@ -1,0 +1,92 @@
+"""Digital thermal sensor model.
+
+The learner never sees the plant's true state — only what a sensor
+reports: the true temperature corrupted by Gaussian read noise, then
+quantized to the sensor's register resolution, sampled on a fixed period.
+This mirrors the information available from IPMI/coretemp on the paper's
+testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SensorConfig
+from repro.rng import RngStream
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sampled sensor value."""
+
+    time_s: float
+    temperature_c: float
+
+
+class TemperatureSensor:
+    """Noisy, quantized, periodically sampled temperature sensor.
+
+    Parameters
+    ----------
+    config:
+        Noise/quantization/sampling parameters.
+    rng:
+        Dedicated random stream for this sensor's read noise.
+    """
+
+    def __init__(self, config: SensorConfig, rng: RngStream) -> None:
+        self.config = config
+        self._rng = rng
+        self._next_sample_time = 0.0
+        self._readings: list[SensorReading] = []
+
+    @property
+    def readings(self) -> list[SensorReading]:
+        """All samples taken so far (oldest first)."""
+        return self._readings
+
+    def read(self, time_s: float, true_temperature_c: float) -> SensorReading:
+        """Take an immediate (out-of-schedule) reading."""
+        value = true_temperature_c + self._rng.gauss(0.0, self.config.noise_std_c)
+        q = self.config.quantization_c
+        if q > 0:
+            value = round(value / q) * q
+        reading = SensorReading(time_s=time_s, temperature_c=value)
+        self._readings.append(reading)
+        return reading
+
+    def maybe_sample(self, time_s: float, true_temperature_c: float) -> SensorReading | None:
+        """Sample if the sampling period elapsed; return the reading or None.
+
+        Intended to be called every simulation step; the sensor keeps its
+        own schedule so the solver step and sampling period are decoupled.
+        """
+        if time_s + 1e-9 < self._next_sample_time:
+            return None
+        reading = self.read(time_s, true_temperature_c)
+        self._next_sample_time = self._next_sample_time + self.config.sampling_period_s
+        # If the simulation jumped past several periods, re-anchor rather
+        # than emitting a burst of stale samples.
+        if self._next_sample_time <= time_s:
+            self._next_sample_time = time_s + self.config.sampling_period_s
+        return reading
+
+    def readings_between(self, t0: float, t1: float) -> list[SensorReading]:
+        """Samples with ``t0 <= time < t1``."""
+        return [r for r in self._readings if t0 <= r.time_s < t1]
+
+    def mean_between(self, t0: float, t1: float) -> float:
+        """Mean sampled temperature over ``[t0, t1)``.
+
+        This is exactly the paper's Eq. (1) estimator when called with
+        ``(t_break, t_exp)``.
+        """
+        window = self.readings_between(t0, t1)
+        if not window:
+            raise ValueError(f"no sensor readings in [{t0}, {t1})")
+        return sum(r.temperature_c for r in window) / len(window)
+
+    def reset(self) -> None:
+        """Drop history and restart the sampling schedule."""
+        self._readings.clear()
+        self._next_sample_time = 0.0

@@ -1,0 +1,144 @@
+"""Assembled per-server thermal plant.
+
+Combines the pieces of this subpackage into the two-lump chain used for
+every simulated server::
+
+    CPU power ──► [cpu die+heatsink] ──R_die──► [case air] ──R_case(fans)──► ambient
+                                                  ▲
+                                             fan power
+
+``R_case`` is rescaled by the fan bank's operating point, so fan status
+(the paper's ``θ_fan`` feature) genuinely changes both the steady-state
+temperature and the transient.
+"""
+
+from __future__ import annotations
+
+from repro.config import ThermalConfig
+from repro.errors import SimulationError
+from repro.thermal.fan import FanBank
+from repro.thermal.power import CpuPowerModel
+from repro.thermal.rc import RcNetwork, ThermalNode
+
+CPU_NODE = "cpu"
+CASE_NODE = "case"
+
+
+class ServerThermalModel:
+    """Thermal plant of one server: power model + fan bank + RC network.
+
+    Parameters
+    ----------
+    power_model:
+        Utilization → watts mapping for the CPU package.
+    fans:
+        The server's fan bank; may be replaced at runtime via
+        :meth:`set_fans`.
+    config:
+        RC constants and solver step.
+    initial_temperature_c:
+        Initial temperature of both lumps (typically the ambient at t=0).
+    """
+
+    def __init__(
+        self,
+        power_model: CpuPowerModel,
+        fans: FanBank,
+        config: ThermalConfig | None = None,
+        initial_temperature_c: float = 22.0,
+    ) -> None:
+        self.power_model = power_model
+        self.config = config or ThermalConfig()
+        self._fans = fans
+        self._network = RcNetwork(
+            nodes=[
+                ThermalNode(CPU_NODE, self.config.cpu_heat_capacity_j_per_k),
+                ThermalNode(
+                    CASE_NODE,
+                    self.config.case_heat_capacity_j_per_k,
+                    ambient_resistance_k_per_w=self._case_resistance(),
+                ),
+            ]
+        )
+        self._network.connect(CPU_NODE, CASE_NODE, self.config.cpu_to_case_resistance_k_per_w)
+        self._network.set_all_temperatures(initial_temperature_c)
+        self.time_s = 0.0
+
+    # -- fan coupling --------------------------------------------------
+
+    @property
+    def fans(self) -> FanBank:
+        """Current fan bank."""
+        return self._fans
+
+    def set_fans(self, fans: FanBank) -> None:
+        """Swap the fan bank (count or speed change) and retune the plant."""
+        self._fans = fans
+        self._network.set_ambient_resistance(CASE_NODE, self._case_resistance())
+
+    def _case_resistance(self) -> float:
+        return (
+            self.config.case_to_ambient_resistance_k_per_w * self._fans.resistance_scale()
+        )
+
+    # -- dynamics --------------------------------------------------------
+
+    def step(self, dt_s: float, utilization: float, ambient_c: float) -> None:
+        """Advance the plant ``dt_s`` seconds at the given CPU utilization."""
+        if dt_s <= 0:
+            raise SimulationError(f"dt_s must be > 0, got {dt_s}")
+        powers = {
+            CPU_NODE: self.power_model.power(utilization),
+            CASE_NODE: self._fans.power_w(),
+        }
+        self._network.step(dt_s, powers, ambient_c)
+        self.time_s += dt_s
+
+    def advance(self, duration_s: float, utilization: float, ambient_c: float) -> None:
+        """Integrate over a longer window at constant load, honoring the
+        configured solver step."""
+        remaining = duration_s
+        dt = self.config.time_step_s
+        while remaining > 1e-9:
+            step = min(dt, remaining)
+            self.step(step, utilization, ambient_c)
+            remaining -= step
+
+    # -- observers ---------------------------------------------------------
+
+    @property
+    def cpu_temperature_c(self) -> float:
+        """True (pre-sensor) CPU lump temperature."""
+        return self._network.temperature(CPU_NODE)
+
+    @property
+    def case_temperature_c(self) -> float:
+        """True case-air lump temperature."""
+        return self._network.temperature(CASE_NODE)
+
+    def set_temperatures(self, cpu_c: float, case_c: float) -> None:
+        """Force the plant state (scenario initialization)."""
+        self._network.set_temperature(CPU_NODE, cpu_c)
+        self._network.set_temperature(CASE_NODE, case_c)
+
+    def steady_state_cpu_temperature(self, utilization: float, ambient_c: float) -> float:
+        """Exact stable CPU temperature at constant load — the physical
+        quantity the paper's ψ_stable estimates from sensor data."""
+        powers = {
+            CPU_NODE: self.power_model.power(utilization),
+            CASE_NODE: self._fans.power_w(),
+        }
+        return self._network.steady_state(powers, ambient_c)[CPU_NODE]
+
+    def dominant_time_constant_s(self) -> float:
+        """Upper-bound estimate of the slowest time constant (s).
+
+        For the two-lump chain the slow pole is bounded by the total
+        capacitance seen through the total resistance; used by tests to
+        check that ``t_break`` covers the transient.
+        """
+        r_total = self.config.cpu_to_case_resistance_k_per_w + self._case_resistance()
+        c_total = (
+            self.config.cpu_heat_capacity_j_per_k + self.config.case_heat_capacity_j_per_k
+        )
+        return r_total * c_total

@@ -1,0 +1,64 @@
+"""Fixed-step ODE integrators.
+
+The thermal plant is a small stiff-free linear ODE system; forward Euler
+at a 1 s step is accurate to well under the sensor noise floor. RK4 is
+provided for validation (the test-suite checks Euler against RK4 and the
+analytic solution of a single RC lump).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+Derivative = Callable[[float, Sequence[float]], Sequence[float]]
+
+
+def euler_step(f: Derivative, t: float, y: Sequence[float], dt: float) -> list[float]:
+    """One forward-Euler step: ``y + dt·f(t, y)``."""
+    dy = f(t, y)
+    return [yi + dt * di for yi, di in zip(y, dy)]
+
+
+def rk4_step(f: Derivative, t: float, y: Sequence[float], dt: float) -> list[float]:
+    """One classical Runge–Kutta 4 step."""
+    k1 = f(t, y)
+    k2 = f(t + dt / 2.0, [yi + dt / 2.0 * ki for yi, ki in zip(y, k1)])
+    k3 = f(t + dt / 2.0, [yi + dt / 2.0 * ki for yi, ki in zip(y, k2)])
+    k4 = f(t + dt, [yi + dt * ki for yi, ki in zip(y, k3)])
+    return [
+        yi + dt / 6.0 * (a + 2.0 * b + 2.0 * c + d)
+        for yi, a, b, c, d in zip(y, k1, k2, k3, k4)
+    ]
+
+
+def integrate(
+    f: Derivative,
+    y0: Sequence[float],
+    t0: float,
+    t1: float,
+    dt: float,
+    method: str = "euler",
+) -> tuple[list[float], list[list[float]]]:
+    """Integrate ``y' = f(t, y)`` from ``t0`` to ``t1`` at fixed step ``dt``.
+
+    Returns ``(times, states)`` including both endpoints. The final step is
+    shortened so the trajectory lands exactly on ``t1``.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be > 0, got {dt}")
+    if t1 < t0:
+        raise ValueError(f"t1 must be >= t0, got t0={t0}, t1={t1}")
+    stepper = {"euler": euler_step, "rk4": rk4_step}.get(method)
+    if stepper is None:
+        raise ValueError(f"unknown method {method!r}; expected 'euler' or 'rk4'")
+
+    times = [t0]
+    states = [list(y0)]
+    t, y = t0, list(y0)
+    while t < t1 - 1e-12:
+        step = min(dt, t1 - t)
+        y = stepper(f, t, y, step)
+        t += step
+        times.append(t)
+        states.append(list(y))
+    return times, states

@@ -1,0 +1,117 @@
+"""Unit tests for the prior-art baselines."""
+
+import pytest
+
+from repro.core.baselines import RcFitBaseline, TaskProfileBaseline, dominant_task_kind
+from repro.errors import DatasetError, NotFittedError
+from tests.conftest import make_record
+
+
+class TestDominantKind:
+    def test_majority_wins(self):
+        record = make_record(n_vms=3, kind="bursty")
+        assert dominant_task_kind(record) == "bursty"
+
+    def test_no_tasks_is_idle(self):
+        record = make_record(n_vms=0)
+        assert dominant_task_kind(record) == "idle"
+
+
+class TestTaskProfileBaseline:
+    def test_profiles_catalogue_kind_means(self):
+        records = [
+            make_record(psi=50.0, kind="constant"),
+            make_record(psi=54.0, kind="constant"),
+            make_record(psi=70.0, kind="bursty"),
+        ]
+        baseline = TaskProfileBaseline().fit(records)
+        assert baseline.profiles["constant"] == pytest.approx(52.0)
+        assert baseline.profiles["bursty"] == pytest.approx(70.0)
+
+    def test_prediction_looks_up_dominant_kind(self):
+        records = [
+            make_record(psi=50.0, kind="constant"),
+            make_record(psi=70.0, kind="bursty"),
+        ]
+        baseline = TaskProfileBaseline().fit(records)
+        assert baseline.predict(make_record(kind="bursty")) == pytest.approx(70.0)
+
+    def test_unknown_kind_falls_back_to_global_mean(self):
+        records = [
+            make_record(psi=50.0, kind="constant"),
+            make_record(psi=70.0, kind="constant"),
+        ]
+        baseline = TaskProfileBaseline().fit(records)
+        assert baseline.predict(make_record(kind="ramp")) == pytest.approx(60.0)
+
+    def test_blind_to_vm_count(self):
+        # The core failure mode the paper attacks: the profile cannot see
+        # multi-tenancy, so 2 VMs and 12 VMs predict the same.
+        records = [make_record(psi=55.0, n_vms=2), make_record(psi=85.0, n_vms=12)]
+        baseline = TaskProfileBaseline().fit(records)
+        assert baseline.predict(make_record(n_vms=2)) == baseline.predict(
+            make_record(n_vms=12)
+        )
+
+    def test_fit_requires_records(self):
+        with pytest.raises(DatasetError):
+            TaskProfileBaseline().fit([])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            TaskProfileBaseline().predict(make_record())
+
+    def test_evaluate_shape(self):
+        records = [make_record(psi=50.0 + i) for i in range(5)]
+        baseline = TaskProfileBaseline().fit(records)
+        metrics = baseline.evaluate(records)
+        assert set(metrics) == {"mse", "rmse", "mae", "r2", "n"}
+
+
+class TestRcFitBaseline:
+    def make_linear_records(self):
+        # ψ = env + 5 + 2·demand (demand = n_vms·2·util); capacity constant.
+        records = []
+        for n_vms in (2, 4, 6, 8):
+            for util in (0.25, 0.5, 0.75):
+                demand = n_vms * 2 * util
+                for env in (18.0, 24.0):
+                    records.append(
+                        make_record(psi=env + 5.0 + 2.0 * demand, n_vms=n_vms,
+                                    util=util, env=env)
+                    )
+        return records
+
+    def test_recovers_affine_law(self):
+        baseline = RcFitBaseline().fit(self.make_linear_records())
+        metrics = baseline.evaluate(self.make_linear_records())
+        assert metrics["mse"] < 1e-12
+
+    def test_tracks_ambient_exactly(self):
+        baseline = RcFitBaseline().fit(self.make_linear_records())
+        cold = baseline.predict(make_record(env=18.0))
+        warm = baseline.predict(make_record(env=28.0))
+        assert warm - cold == pytest.approx(10.0)
+
+    def test_blind_to_fan_state(self):
+        baseline = RcFitBaseline().fit(self.make_linear_records())
+        few_fans = baseline.predict(make_record(fan_count=2))
+        many_fans = baseline.predict(make_record(fan_count=8))
+        assert few_fans == pytest.approx(many_fans)
+
+    def test_fit_requires_three_records(self):
+        with pytest.raises(DatasetError):
+            RcFitBaseline().fit([make_record(), make_record()])
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            RcFitBaseline().predict(make_record())
+
+    def test_coefficients_exposed(self):
+        baseline = RcFitBaseline().fit(self.make_linear_records())
+        assert baseline.coefficients.shape == (3,)
+
+    def test_clone_unfitted(self):
+        baseline = RcFitBaseline().fit(self.make_linear_records())
+        with pytest.raises(NotFittedError):
+            baseline.clone().predict(make_record())

@@ -1,0 +1,81 @@
+"""Unit tests for the runtime calibrator (Eq. 4–7)."""
+
+import pytest
+
+from repro.core.calibration import RuntimeCalibrator
+from repro.errors import ConfigurationError
+
+
+class TestPaperExample:
+    """The worked example of §II: λ=0.8, γ starts at 0."""
+
+    def test_gamma_starts_at_zero(self):
+        assert RuntimeCalibrator().gamma == 0.0
+
+    def test_first_update_follows_eq6(self):
+        calibrator = RuntimeCalibrator(learning_rate=0.8)
+        # φ(15)=52.0, ψ*(15)=50.0 → dif = 2.0 → γ = 0.8·2.0.
+        gamma = calibrator.update(15.0, measured_c=52.0, curve_value_c=50.0)
+        assert gamma == pytest.approx(1.6)
+
+    def test_second_update_uses_previous_gamma(self):
+        calibrator = RuntimeCalibrator(learning_rate=0.8)
+        calibrator.update(15.0, 52.0, 50.0)  # γ = 1.6
+        # dif = 53.0 − (51.0 + 1.6) = 0.4 → γ = 1.6 + 0.32.
+        gamma = calibrator.update(30.0, 53.0, 51.0)
+        assert gamma == pytest.approx(1.92)
+
+    def test_correct_applies_gamma(self):
+        calibrator = RuntimeCalibrator(learning_rate=0.8)
+        calibrator.update(15.0, 52.0, 50.0)
+        assert calibrator.correct(60.0) == pytest.approx(61.6)
+
+
+class TestConvergence:
+    def test_constant_offset_absorbed_geometrically(self):
+        # Measured is always curve + 5: γ converges to 5 at rate (1−λ).
+        calibrator = RuntimeCalibrator(learning_rate=0.8)
+        for step in range(12):
+            calibrator.update(float(step), measured_c=55.0, curve_value_c=50.0)
+        assert calibrator.gamma == pytest.approx(5.0, abs=1e-6)
+
+    def test_zero_learning_rate_never_calibrates(self):
+        calibrator = RuntimeCalibrator(learning_rate=0.0)
+        calibrator.update(0.0, 99.0, 50.0)
+        assert calibrator.gamma == 0.0
+
+    def test_unit_learning_rate_jumps_to_offset(self):
+        calibrator = RuntimeCalibrator(learning_rate=1.0)
+        calibrator.update(0.0, 57.0, 50.0)
+        assert calibrator.gamma == pytest.approx(7.0)
+
+    def test_perfect_curve_keeps_gamma_zero(self):
+        calibrator = RuntimeCalibrator(learning_rate=0.8)
+        for step in range(5):
+            calibrator.update(float(step), measured_c=50.0, curve_value_c=50.0)
+        assert calibrator.gamma == 0.0
+
+
+class TestBookkeeping:
+    def test_history_records_every_update(self):
+        calibrator = RuntimeCalibrator()
+        calibrator.update(15.0, 52.0, 50.0)
+        calibrator.update(30.0, 53.0, 51.0)
+        history = calibrator.history
+        assert len(history) == 2
+        assert history[0].time_s == 15.0
+        assert history[0].dif == pytest.approx(2.0)
+        assert history[1].gamma_after == calibrator.gamma
+
+    def test_reset_clears_state(self):
+        calibrator = RuntimeCalibrator()
+        calibrator.update(15.0, 52.0, 50.0)
+        calibrator.reset()
+        assert calibrator.gamma == 0.0
+        assert calibrator.history == []
+
+    def test_rejects_learning_rate_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeCalibrator(learning_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            RuntimeCalibrator(learning_rate=-0.1)

@@ -1,0 +1,95 @@
+"""Unit tests for the pre-defined temperature curve (Eq. 3)."""
+
+import pytest
+
+from repro.core.curve import PredefinedCurve
+from repro.errors import ConfigurationError
+
+
+def curve(phi0=40.0, psi=70.0, t_break=600.0, delta=0.05, origin=0.0):
+    return PredefinedCurve(
+        phi_0=phi0, psi_stable=psi, t_break_s=t_break, delta=delta, origin_s=origin
+    )
+
+
+class TestEndpoints:
+    def test_starts_at_phi0(self):
+        assert curve().value(0.0) == pytest.approx(40.0)
+
+    def test_reaches_psi_stable_at_t_break(self):
+        assert curve().value(600.0) == pytest.approx(70.0)
+
+    def test_constant_after_t_break(self):
+        c = curve()
+        assert c.value(600.0) == c.value(601.0) == c.value(1e6) == 70.0
+
+    def test_clamps_before_origin(self):
+        assert curve().value(-50.0) == 40.0
+
+
+class TestShape:
+    def test_monotone_rising(self):
+        c = curve()
+        values = [c.value(t) for t in range(0, 601, 10)]
+        assert values == sorted(values)
+
+    def test_monotone_falling_when_cooling(self):
+        c = curve(phi0=70.0, psi=40.0)
+        values = [c.value(t) for t in range(0, 601, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_logarithmic_front_loading(self):
+        # The log curve covers more than half the rise by t_break/2.
+        c = curve()
+        midpoint_rise = (c.value(300.0) - 40.0) / 30.0
+        assert midpoint_rise > 0.5
+
+    def test_larger_delta_rises_faster_early(self):
+        shallow = curve(delta=0.01)
+        steep = curve(delta=0.5)
+        assert steep.value(60.0) > shallow.value(60.0)
+
+    def test_flat_curve_when_already_stable(self):
+        c = curve(phi0=55.0, psi=55.0)
+        assert c.value(123.0) == 55.0
+
+    def test_values_between_endpoints(self):
+        c = curve()
+        for t in range(1, 600, 13):
+            assert 40.0 < c.value(float(t)) < 70.0
+
+
+class TestAnchoring:
+    def test_origin_shifts_time_axis(self):
+        base = curve(origin=0.0)
+        shifted = curve(origin=1000.0)
+        assert shifted.value(1000.0 + 123.0) == pytest.approx(base.value(123.0))
+
+    def test_retargeted_keeps_shape_parameters(self):
+        c = curve(t_break=300.0, delta=0.1)
+        fresh = c.retargeted(origin_s=500.0, phi_0=60.0, psi_stable=52.0)
+        assert fresh.t_break_s == 300.0
+        assert fresh.delta == 0.1
+        assert fresh.value(500.0) == 60.0
+        assert fresh.value(800.0) == 52.0
+
+    def test_is_saturated(self):
+        c = curve(origin=100.0)
+        assert not c.is_saturated(100.0)
+        assert not c.is_saturated(600.0)
+        assert c.is_saturated(700.0)
+
+    def test_callable_and_vector_forms(self):
+        c = curve()
+        assert c(50.0) == c.value(50.0)
+        assert c.values([0.0, 600.0]) == [pytest.approx(40.0), pytest.approx(70.0)]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_t_break(self):
+        with pytest.raises(ConfigurationError):
+            curve(t_break=0.0)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ConfigurationError):
+            curve(delta=0.0)

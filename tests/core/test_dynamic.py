@@ -1,0 +1,129 @@
+"""Unit tests for the dynamic predictor and trace replay (Eq. 8)."""
+
+import math
+
+import pytest
+
+from repro.config import PredictionConfig
+from repro.core.curve import PredefinedCurve
+from repro.core.dynamic import (
+    DynamicTemperaturePredictor,
+    replay_dynamic_prediction,
+)
+from repro.errors import ConfigurationError
+
+
+def config(gap=60.0, update=15.0, lam=0.8):
+    return PredictionConfig(
+        prediction_gap_s=gap, update_interval_s=update, learning_rate=lam
+    )
+
+
+def flat_curve(value=50.0):
+    return PredefinedCurve(phi_0=value, psi_stable=value, t_break_s=600.0)
+
+
+def exponential_trace(phi0=40.0, target=70.0, tau=150.0, dt=5.0, duration=1800.0):
+    """A first-order plant trace — what the log curve approximates."""
+    times, values = [], []
+    t = 0.0
+    while t <= duration:
+        times.append(t)
+        values.append(target + (phi0 - target) * math.exp(-t / tau))
+        t += dt
+    return times, values
+
+
+class TestOnlinePredictor:
+    def test_prediction_is_curve_plus_gamma(self):
+        predictor = DynamicTemperaturePredictor(flat_curve(50.0), config())
+        predictor.observe(0.0, 53.0)  # first observation calibrates: γ=0.8·3
+        assert predictor.predict_at(100.0) == pytest.approx(50.0 + 2.4)
+
+    def test_updates_respect_interval(self):
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(update=15.0))
+        assert predictor.observe(0.0, 51.0) is True
+        assert predictor.observe(5.0, 51.0) is False
+        assert predictor.observe(14.9, 51.0) is False
+        assert predictor.observe(15.0, 51.0) is True
+
+    def test_uncalibrated_never_updates(self):
+        predictor = DynamicTemperaturePredictor(
+            flat_curve(), config(), calibrated=False
+        )
+        assert predictor.observe(0.0, 99.0) is False
+        assert predictor.calibrator.gamma == 0.0
+
+    def test_predict_ahead_uses_gap(self):
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(gap=60.0))
+        forecast = predictor.predict_ahead(100.0)
+        assert forecast.target_time_s == 160.0
+        assert forecast.made_at_s == 100.0
+
+    def test_retarget_replaces_curve(self):
+        predictor = DynamicTemperaturePredictor(flat_curve(50.0), config())
+        predictor.retarget(300.0, measured_c=55.0, new_psi_stable=65.0)
+        assert predictor.curve.origin_s == 300.0
+        assert predictor.curve.phi_0 == 55.0
+        assert predictor.predict_at(300.0 + 600.0) == pytest.approx(
+            65.0 + predictor.calibrator.gamma
+        )
+        assert predictor.retarget_log == [(300.0, 55.0, 65.0)]
+
+
+class TestReplay:
+    def test_calibrated_beats_uncalibrated_on_model_mismatch(self):
+        times, values = exponential_trace()
+        curve = PredefinedCurve(phi_0=40.0, psi_stable=70.0, t_break_s=600.0)
+        calibrated = replay_dynamic_prediction(times, values, curve, config())
+        uncalibrated = replay_dynamic_prediction(
+            times, values, curve, config(), calibrated=False
+        )
+        assert calibrated.mse < uncalibrated.mse
+
+    def test_perfect_curve_on_saturated_trace_near_zero_mse(self):
+        times = [float(t) for t in range(0, 1200, 5)]
+        values = [55.0] * len(times)
+        result = replay_dynamic_prediction(times, values, flat_curve(55.0), config())
+        assert result.mse == pytest.approx(0.0, abs=1e-12)
+
+    def test_forecasts_stay_within_trace(self):
+        times, values = exponential_trace(duration=900.0)
+        curve = PredefinedCurve(phi_0=40.0, psi_stable=70.0)
+        result = replay_dynamic_prediction(times, values, curve, config(gap=60.0))
+        assert max(p.target_time_s for p in result.predictions) <= 900.0 + 1e-9
+        assert len(result.predictions) == len(result.actuals)
+
+    def test_larger_gap_hurts_during_transient(self):
+        times, values = exponential_trace()
+        curve = PredefinedCurve(phi_0=40.0, psi_stable=70.0)
+        short = replay_dynamic_prediction(times, values, curve, config(gap=15.0))
+        long = replay_dynamic_prediction(times, values, curve, config(gap=120.0))
+        assert short.mse < long.mse
+
+    def test_retarget_improves_after_load_change(self):
+        # Trace: stable at 50 until 600 s, then rises toward 65.
+        times, values = [], []
+        for t in range(0, 1800, 5):
+            times.append(float(t))
+            if t < 600:
+                values.append(50.0)
+            else:
+                values.append(65.0 + (50.0 - 65.0) * math.exp(-(t - 600) / 150.0))
+        curve = PredefinedCurve(phi_0=50.0, psi_stable=50.0)
+        blind = replay_dynamic_prediction(
+            times, values, curve, config(), calibrated=False
+        )
+        informed = replay_dynamic_prediction(
+            times, values, curve, config(), calibrated=False,
+            retargets=[(600.0, 65.0)],
+        )
+        assert informed.mse < blind.mse
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            replay_dynamic_prediction([0.0, 1.0], [50.0], flat_curve(), config())
+
+    def test_rejects_tiny_trace(self):
+        with pytest.raises(ConfigurationError):
+            replay_dynamic_prediction([0.0], [50.0], flat_curve(), config())

@@ -1,0 +1,115 @@
+"""Unit tests for feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureExtractor
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.errors import FeatureError
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def extractor():
+    return FeatureExtractor()
+
+
+class TestShape:
+    def test_vector_matches_names(self, extractor):
+        vector = extractor.extract(make_record())
+        assert vector.shape == (extractor.n_features,)
+        assert len(extractor.feature_names) == extractor.n_features
+
+    def test_matrix_stacks_rows(self, extractor):
+        records = [make_record(n_vms=k) for k in (2, 5, 9)]
+        matrix = extractor.matrix(records)
+        assert matrix.shape == (3, extractor.n_features)
+
+    def test_matrix_of_zero_records_rejected(self, extractor):
+        with pytest.raises(FeatureError):
+            extractor.matrix([])
+
+    def test_targets_vector(self, extractor):
+        records = [make_record(psi=50.0), make_record(psi=60.0)]
+        assert extractor.targets(records).tolist() == [50.0, 60.0]
+
+
+class TestSemantics:
+    def feature(self, extractor, record, name):
+        return extractor.extract(record)[extractor.feature_names.index(name)]
+
+    def test_vm_count_aggregation(self, extractor):
+        assert self.feature(extractor, make_record(n_vms=7), "n_vms") == 7.0
+
+    def test_env_passthrough(self, extractor):
+        assert self.feature(extractor, make_record(env=25.5), "delta_env_c") == 25.5
+
+    def test_airflow_product(self, extractor):
+        record = make_record(fan_count=6)
+        assert self.feature(extractor, record, "fan_airflow") == pytest.approx(6 * 0.7)
+
+    def test_task_kind_histogram(self, extractor):
+        record = make_record(n_vms=3, kind="bursty")
+        assert self.feature(extractor, record, "tasks_bursty") == 3.0
+        assert self.feature(extractor, record, "tasks_constant") == 0.0
+
+    def test_unknown_task_kind_rejected(self, extractor):
+        record = make_record()
+        bad_vm = VmRecord(
+            vcpus=1, memory_gb=1.0, task_kinds=("quantum",), nominal_utilization=0.5
+        )
+        bad = ExperimentRecord(
+            theta_cpu_cores=record.theta_cpu_cores,
+            theta_cpu_ghz=record.theta_cpu_ghz,
+            theta_memory_gb=record.theta_memory_gb,
+            theta_fan_count=record.theta_fan_count,
+            theta_fan_speed=record.theta_fan_speed,
+            delta_env_c=record.delta_env_c,
+            vms=(bad_vm,),
+        )
+        with pytest.raises(FeatureError):
+            extractor.extract(bad)
+
+    def test_util_estimate_uncontended(self, extractor):
+        # 3 VMs × 2 vCPU × 0.5 = 3 cores demand + 0.09 overhead on 16 cores.
+        record = make_record(n_vms=3, util=0.5)
+        expected = (3.0 + 0.09) / 16.0
+        assert self.feature(extractor, record, "util_estimate") == pytest.approx(expected)
+
+    def test_util_estimate_saturates_at_one(self, extractor):
+        record = make_record(n_vms=12, util=1.0)  # 24 vCPUs fully busy on 16 cores
+        assert self.feature(extractor, record, "util_estimate") == pytest.approx(1.0)
+
+    def test_overtemp_proxy_is_product(self, extractor):
+        record = make_record()
+        ghz_used = self.feature(extractor, record, "ghz_used")
+        cooling = self.feature(extractor, record, "cooling_resistance_proxy")
+        assert self.feature(extractor, record, "overtemp_proxy") == pytest.approx(
+            ghz_used * cooling
+        )
+
+    def test_order_invariance_over_vm_permutation(self, extractor):
+        vms = (
+            VmRecord(vcpus=1, memory_gb=2.0, task_kinds=("constant",), nominal_utilization=0.3),
+            VmRecord(vcpus=4, memory_gb=8.0, task_kinds=("bursty",), nominal_utilization=0.7),
+        )
+        base = make_record()
+        a = ExperimentRecord(
+            theta_cpu_cores=base.theta_cpu_cores,
+            theta_cpu_ghz=base.theta_cpu_ghz,
+            theta_memory_gb=base.theta_memory_gb,
+            theta_fan_count=base.theta_fan_count,
+            theta_fan_speed=base.theta_fan_speed,
+            delta_env_c=base.delta_env_c,
+            vms=vms,
+        )
+        b = ExperimentRecord(
+            theta_cpu_cores=base.theta_cpu_cores,
+            theta_cpu_ghz=base.theta_cpu_ghz,
+            theta_memory_gb=base.theta_memory_gb,
+            theta_fan_count=base.theta_fan_count,
+            theta_fan_speed=base.theta_fan_speed,
+            delta_env_c=base.delta_env_c,
+            vms=vms[::-1],
+        )
+        assert np.allclose(extractor.extract(a), extractor.extract(b))

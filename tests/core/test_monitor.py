@@ -1,0 +1,121 @@
+"""Unit tests for the online temperature monitor."""
+
+import pytest
+
+from repro.config import PredictionConfig, SensorConfig
+from repro.core.monitor import TemperatureMonitor, record_for_server
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.migration import migrate_vm
+from repro.datacenter.server import Server
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import TelemetryError
+from repro.rng import RngFactory
+from repro.thermal.environment import ConstantEnvironment
+from tests.conftest import make_server_spec, make_vm
+
+
+def make_sim(n_servers=2):
+    cluster = Cluster("monitored")
+    for i in range(n_servers):
+        cluster.add_server(Server(make_server_spec(name=f"s{i}")))
+    sim = DatacenterSimulation(
+        cluster=cluster,
+        environment=ConstantEnvironment(22.0),
+        rng=RngFactory(77),
+        sensor_config=SensorConfig(sampling_period_s=5.0),
+    )
+    sim.equalize_temperatures()
+    return sim
+
+
+class TestRecordForServer:
+    def test_captures_current_vm_set(self):
+        sim = make_sim(1)
+        server = sim.cluster.server("s0")
+        server.host_vm(make_vm("a", vcpus=2))
+        record = record_for_server(server, environment_c=23.0)
+        assert record.n_vms == 1
+        assert record.delta_env_c == 23.0
+        assert record.metadata["online"] is True
+
+
+class TestOnlineForecasting:
+    def test_forecasts_accumulate(self, trained_predictor):
+        sim = make_sim(1)
+        sim.cluster.server("s0").host_vm(make_vm("a", vcpus=4, level=0.8, n_tasks=4))
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        sim.run(300.0)
+        log = monitor.logs["s0"]
+        assert len(log.forecasts) > 30
+        assert len(log.observations) == len(log.forecasts)
+
+    def test_forecast_query(self, trained_predictor):
+        sim = make_sim(1)
+        sim.cluster.server("s0").host_vm(make_vm("a", vcpus=4, level=0.8, n_tasks=4))
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        sim.run(120.0)
+        forecast = monitor.forecast("s0")
+        assert forecast.target_time_s > sim.time_s
+        assert 20.0 < forecast.predicted_c < 110.0
+
+    def test_forecast_before_samples_rejected(self, trained_predictor):
+        monitor = TemperatureMonitor(trained_predictor)
+        with pytest.raises(TelemetryError):
+            monitor.forecast("s0")
+
+    def test_realized_mse_reasonable_in_steady_state(self, trained_predictor):
+        sim = make_sim(1)
+        sim.cluster.server("s0").host_vm(make_vm("a", vcpus=4, level=0.7, n_tasks=4))
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        sim.run(1800.0)
+        mse = monitor.logs["s0"].realized_mse()
+        # Steady workload, calibrated predictor: a few degrees² at most.
+        assert mse < 8.0
+
+    def test_server_filter_restricts_monitoring(self, trained_predictor):
+        sim = make_sim(2)
+        monitor = TemperatureMonitor(trained_predictor, servers=["s1"])
+        monitor.attach(sim)
+        sim.run(60.0)
+        assert "s0" not in monitor.logs
+        assert "s1" in monitor.logs
+
+
+class TestRetargeting:
+    def test_retargets_when_vm_set_changes(self, trained_predictor):
+        sim = make_sim(2)
+        sim.cluster.server("s0").host_vm(make_vm("wanderer", vcpus=4, memory_gb=4.0,
+                                                 level=0.9, n_tasks=4))
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        migrate_vm(sim, "wanderer", "s1", start_time_s=100.0)
+        sim.run(400.0)
+        # Destination gained a VM; source lost one: both retarget.
+        assert len(monitor.logs["s1"].retargets) >= 1
+        assert len(monitor.logs["s0"].retargets) >= 1
+
+    def test_no_retarget_without_changes(self, trained_predictor):
+        sim = make_sim(1)
+        sim.cluster.server("s0").host_vm(make_vm("a"))
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        sim.run(300.0)
+        assert monitor.logs["s0"].retargets == []
+
+    def test_predicted_hotspots_ranked(self, trained_predictor):
+        sim = make_sim(2)
+        # s0 heavily loaded, s1 idle.
+        for i in range(4):
+            sim.cluster.server("s0").host_vm(
+                make_vm(f"hot-{i}", vcpus=8, level=1.0, n_tasks=8)
+            )
+        monitor = TemperatureMonitor(trained_predictor)
+        monitor.attach(sim)
+        sim.run(120.0)
+        forecasts = monitor.forecast_all()
+        assert forecasts["s0"] > forecasts["s1"]
+        threshold = (forecasts["s0"] + forecasts["s1"]) / 2.0
+        assert monitor.predicted_hotspots(threshold_c=threshold) == ["s0"]

@@ -1,0 +1,65 @@
+"""Unit tests for the train/evaluate workflows."""
+
+import pytest
+
+from repro.core.pipeline import evaluate_stable_predictor, train_stable_predictor
+from repro.errors import DatasetError
+from repro.rng import RngFactory
+from tests.core.test_stable import synthetic_records
+
+
+class TestTrainWorkflow:
+    def test_produces_fitted_predictor(self):
+        report = train_stable_predictor(
+            synthetic_records(30),
+            n_splits=5,
+            c_grid=(10.0, 100.0),
+            gamma_grid=(0.05,),
+            epsilon_grid=(0.1,),
+            rng=RngFactory(1).stream("cv"),
+        )
+        assert report.predictor.is_fitted
+        assert report.n_train == 30
+        assert len(report.grid.trials) == 2
+
+    def test_grid_choice_propagates_to_predictor(self):
+        report = train_stable_predictor(
+            synthetic_records(30),
+            n_splits=5,
+            c_grid=(100.0,),
+            gamma_grid=(0.07,),
+            epsilon_grid=(0.15,),
+        )
+        assert report.predictor.c == 100.0
+        assert report.predictor.gamma == 0.07
+        assert report.predictor.epsilon == 0.15
+
+    def test_rejects_too_few_records_for_folds(self):
+        with pytest.raises(DatasetError):
+            train_stable_predictor(synthetic_records(5), n_splits=10)
+
+
+class TestEvaluateWorkflow:
+    def test_reports_test_metrics(self):
+        records = synthetic_records(40)
+        report = train_stable_predictor(
+            records[:30],
+            n_splits=5,
+            c_grid=(100.0,),
+            gamma_grid=(0.05,),
+            epsilon_grid=(0.05,),
+        )
+        metrics = evaluate_stable_predictor(report.predictor, records[30:])
+        assert metrics["n"] == 10.0
+        assert metrics["mse"] < 2.0
+
+    def test_rejects_empty_test_set(self):
+        report = train_stable_predictor(
+            synthetic_records(20),
+            n_splits=5,
+            c_grid=(10.0,),
+            gamma_grid=(0.05,),
+            epsilon_grid=(0.1,),
+        )
+        with pytest.raises(DatasetError):
+            evaluate_stable_predictor(report.predictor, [])

@@ -1,0 +1,78 @@
+"""Unit tests for the Eq. (2) record schema."""
+
+import pytest
+
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.errors import DatasetError
+from tests.conftest import make_record
+
+
+class TestVmRecord:
+    def test_round_trip_dict(self):
+        vm = VmRecord(vcpus=2, memory_gb=4.0, task_kinds=("constant", "bursty"),
+                      nominal_utilization=0.55)
+        assert VmRecord.from_dict(vm.to_dict()) == vm
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(DatasetError):
+            VmRecord(vcpus=1, memory_gb=1.0, task_kinds=(), nominal_utilization=1.2)
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(DatasetError):
+            VmRecord(vcpus=0, memory_gb=1.0, task_kinds=(), nominal_utilization=0.5)
+
+
+class TestExperimentRecord:
+    def test_round_trip_dict(self):
+        record = make_record(psi=61.25)
+        assert ExperimentRecord.from_dict(record.to_dict()) == record
+
+    def test_round_trip_preserves_none_output(self):
+        record = make_record(psi=None)
+        restored = ExperimentRecord.from_dict(record.to_dict())
+        assert restored.psi_stable_c is None
+        assert not restored.has_output
+
+    def test_require_output(self):
+        assert make_record(psi=55.0).require_output() == 55.0
+        with pytest.raises(DatasetError):
+            make_record(psi=None).require_output()
+
+    def test_with_output_creates_labelled_copy(self):
+        record = make_record(psi=None)
+        labelled = record.with_output(58.5)
+        assert labelled.psi_stable_c == 58.5
+        assert record.psi_stable_c is None
+        assert labelled.vms == record.vms
+
+    def test_n_vms(self):
+        assert make_record(n_vms=5).n_vms == 5
+
+    def test_rejects_bad_fan_speed(self):
+        with pytest.raises(DatasetError):
+            ExperimentRecord(
+                theta_cpu_cores=8,
+                theta_cpu_ghz=16.0,
+                theta_memory_gb=32.0,
+                theta_fan_count=4,
+                theta_fan_speed=0.0,
+                delta_env_c=22.0,
+                vms=(),
+            )
+
+    def test_rejects_zero_fans(self):
+        with pytest.raises(DatasetError):
+            ExperimentRecord(
+                theta_cpu_cores=8,
+                theta_cpu_ghz=16.0,
+                theta_memory_gb=32.0,
+                theta_fan_count=0,
+                theta_fan_speed=0.5,
+                delta_env_c=22.0,
+                vms=(),
+            )
+
+    def test_metadata_preserved(self):
+        record = make_record()
+        labelled = record.with_output(60.0)
+        assert labelled.metadata == record.metadata

@@ -1,0 +1,79 @@
+"""Unit tests for the stable temperature predictor (Eq. 1–2 model)."""
+
+import pytest
+
+from repro.core.stable import StableTemperaturePredictor
+from repro.errors import DatasetError, NotFittedError
+from tests.conftest import make_record
+
+
+def synthetic_records(n=40):
+    """Records whose ψ_stable is a deterministic function of the inputs."""
+    records = []
+    for i in range(n):
+        n_vms = 2 + (i % 6)
+        util = 0.2 + 0.1 * (i % 7)
+        env = 18.0 + (i % 5) * 2.0
+        psi = env + 10.0 + 3.0 * n_vms * util
+        records.append(make_record(psi=psi, n_vms=n_vms, util=util, env=env))
+    return records
+
+
+class TestTraining:
+    def test_learns_synthetic_relationship(self):
+        records = synthetic_records()
+        model = StableTemperaturePredictor(c=100.0, gamma=0.05, epsilon=0.05)
+        model.fit(records[:30])
+        metrics = model.evaluate(records[30:])
+        assert metrics["mse"] < 1.0
+        assert metrics["r2"] > 0.9
+
+    def test_predict_single_record(self):
+        records = synthetic_records()
+        model = StableTemperaturePredictor().fit(records)
+        value = model.predict(records[0])
+        assert isinstance(value, float)
+        assert 20.0 < value < 100.0
+
+    def test_predict_many_shape(self):
+        records = synthetic_records()
+        model = StableTemperaturePredictor().fit(records)
+        assert model.predict_many(records[:5]).shape == (5,)
+
+    def test_learns_on_simulated_records(self, experiment_records, trained_predictor):
+        metrics = trained_predictor.evaluate(experiment_records)
+        # In-sample on real simulated data: must clearly beat predicting
+        # the mean (sanity, not a benchmark).
+        assert metrics["r2"] > 0.8
+
+    def test_evaluate_reports_all_metrics(self):
+        records = synthetic_records()
+        model = StableTemperaturePredictor().fit(records)
+        metrics = model.evaluate(records)
+        assert set(metrics) == {"mse", "rmse", "mae", "r2", "n"}
+
+
+class TestStatefulness:
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            StableTemperaturePredictor().predict(make_record())
+
+    def test_fit_requires_two_records(self):
+        with pytest.raises(DatasetError):
+            StableTemperaturePredictor().fit([make_record()])
+
+    def test_fit_requires_outputs(self):
+        with pytest.raises(DatasetError):
+            StableTemperaturePredictor().fit([make_record(psi=None), make_record()])
+
+    def test_clone_copies_hyperparameters(self):
+        model = StableTemperaturePredictor(c=5.0, gamma=0.3, epsilon=0.2)
+        clone = model.clone()
+        assert (clone.c, clone.gamma, clone.epsilon) == (5.0, 0.3, 0.2)
+        assert not clone.is_fitted
+
+    def test_is_fitted_flag(self):
+        model = StableTemperaturePredictor()
+        assert not model.is_fitted
+        model.fit(synthetic_records(10))
+        assert model.is_fitted

@@ -1,0 +1,88 @@
+"""Unit tests for the cluster container."""
+
+import pytest
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.errors import ConfigurationError, SimulationError
+from tests.conftest import make_server_spec, make_vm
+
+
+def make_cluster(n: int = 3) -> Cluster:
+    cluster = Cluster("test")
+    for i in range(n):
+        cluster.add_server(Server(make_server_spec(name=f"s{i}")), rack=f"rack-{i % 2}")
+    return cluster
+
+
+class TestMembership:
+    def test_add_and_lookup(self):
+        cluster = make_cluster()
+        assert cluster.server("s1").name == "s1"
+        assert len(cluster) == 3
+
+    def test_duplicate_server_rejected(self):
+        cluster = make_cluster(1)
+        with pytest.raises(SimulationError):
+            cluster.add_server(Server(make_server_spec(name="s0")))
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cluster().server("nope")
+
+    def test_rack_assignment(self):
+        cluster = make_cluster(3)
+        racks = cluster.racks()
+        assert racks["rack-0"] == ["s0", "s2"]
+        assert racks["rack-1"] == ["s1"]
+        assert cluster.rack_of("s2") == "rack-0"
+
+    def test_rack_of_unknown_server_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cluster().rack_of("nope")
+
+    def test_empty_cluster_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster("")
+
+
+class TestVmLookup:
+    def test_find_vm_returns_host(self):
+        cluster = make_cluster()
+        vm = make_vm("target")
+        cluster.server("s1").host_vm(vm)
+        found, host = cluster.find_vm("target")
+        assert found is vm
+        assert host.name == "s1"
+
+    def test_find_missing_vm_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cluster().find_vm("ghost")
+
+    def test_all_vms_spans_servers(self):
+        cluster = make_cluster()
+        cluster.server("s0").host_vm(make_vm("a"))
+        cluster.server("s2").host_vm(make_vm("b"))
+        names = {vm.name for vm in cluster.all_vms()}
+        assert names == {"a", "b"}
+
+
+class TestAggregates:
+    def test_totals(self):
+        cluster = make_cluster(2)
+        assert cluster.total_cores() == 32
+        assert cluster.total_memory_gb() == pytest.approx(128.0)
+
+    def test_peak_and_spread(self):
+        cluster = make_cluster(2)
+        cluster.server("s0").thermal.set_temperatures(70.0, 40.0)
+        cluster.server("s1").thermal.set_temperatures(50.0, 35.0)
+        assert cluster.peak_cpu_temperature_c() == pytest.approx(70.0)
+        assert cluster.temperature_spread_c() == pytest.approx(20.0)
+
+    def test_empty_cluster_aggregates_rejected(self):
+        empty = Cluster("empty")
+        with pytest.raises(SimulationError):
+            empty.peak_cpu_temperature_c()
+        with pytest.raises(SimulationError):
+            empty.temperature_spread_c()

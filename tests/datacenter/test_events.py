@@ -1,0 +1,75 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.datacenter.events import EventQueue, FunctionEvent
+from repro.errors import SimulationError
+
+
+def noop(_sim):
+    pass
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(FunctionEvent(30.0, noop, "c"))
+        queue.push(FunctionEvent(10.0, noop, "a"))
+        queue.push(FunctionEvent(20.0, noop, "b"))
+        labels = [queue.pop().label for _ in range(3)]
+        assert labels == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        for label in ("first", "second", "third"):
+            queue.push(FunctionEvent(5.0, noop, label))
+        labels = [queue.pop().label for _ in range(3)]
+        assert labels == ["first", "second", "third"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(FunctionEvent(42.0, noop))
+        assert queue.peek_time() == 42.0
+
+    def test_pop_due_takes_only_due_events(self):
+        queue = EventQueue()
+        queue.push(FunctionEvent(1.0, noop, "due1"))
+        queue.push(FunctionEvent(2.0, noop, "due2"))
+        queue.push(FunctionEvent(3.0, noop, "later"))
+        due = queue.pop_due(2.0)
+        assert [e.label for e in due] == ["due1", "due2"]
+        assert len(queue) == 1
+
+    def test_pop_due_includes_events_at_now_with_tolerance(self):
+        queue = EventQueue()
+        queue.push(FunctionEvent(2.0, noop, "exact"))
+        assert [e.label for e in queue.pop_due(2.0)] == ["exact"]
+
+
+class TestContainerBehaviour:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(FunctionEvent(1.0, noop))
+        assert queue
+        assert len(queue) == 1
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(SimulationError):
+            FunctionEvent(-1.0, noop)
+
+
+class TestFunctionEvent:
+    def test_apply_invokes_action(self):
+        calls = []
+        event = FunctionEvent(0.0, lambda sim: calls.append(sim), "probe")
+        event.apply("fake-sim")
+        assert calls == ["fake-sim"]
+
+    def test_describe_mentions_label(self):
+        assert "probe" in FunctionEvent(0.0, noop, "probe").describe()

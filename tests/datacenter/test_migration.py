@@ -1,0 +1,78 @@
+"""Unit tests for the pre-copy live migration model."""
+
+import pytest
+
+from repro.datacenter.migration import plan_migration
+from repro.errors import MigrationError
+
+
+def plan(memory=8.0, bw=10.0, dirty=1.0, downtime=0.3, rounds=30):
+    return plan_migration(
+        vm_memory_gb=memory,
+        vm_name="vm",
+        source="src",
+        destination="dst",
+        bandwidth_gbps=bw,
+        dirty_rate_gbps=dirty,
+        downtime_target_s=downtime,
+        max_rounds=rounds,
+    )
+
+
+class TestPreCopyAnalysis:
+    def test_first_round_sends_whole_image(self):
+        p = plan(memory=8.0, bw=10.0, dirty=0.0)
+        # Zero dirty rate: exactly one round plus empty stop-and-copy.
+        assert p.rounds == 1
+        assert p.transferred_gb == pytest.approx(8.0)
+        assert p.duration_s == pytest.approx(0.8)
+        assert p.downtime_s == pytest.approx(0.0)
+
+    def test_dirty_pages_extend_transfer(self):
+        clean = plan(dirty=0.0)
+        dirty = plan(dirty=5.0)
+        assert dirty.transferred_gb > clean.transferred_gb
+        assert dirty.duration_s > clean.duration_s
+
+    def test_downtime_meets_target_when_converging(self):
+        p = plan(memory=16.0, bw=10.0, dirty=2.0, downtime=0.2)
+        assert p.downtime_s <= 0.2 + 1e-9
+
+    def test_geometric_convergence(self):
+        # dirty/bw = 0.5 → each round halves; duration bounded by 2× round 1.
+        p = plan(memory=10.0, bw=10.0, dirty=5.0, downtime=0.01)
+        assert p.duration_s < 2.5
+        assert p.rounds > 2
+
+    def test_round_cap_respected(self):
+        p = plan(memory=10.0, bw=10.0, dirty=9.0, downtime=1e-6, rounds=5)
+        assert p.rounds == 5
+
+    def test_overhead_ratio_at_least_one(self):
+        assert plan(dirty=3.0).overhead_ratio >= 1.0
+
+    def test_memory_recorded(self):
+        assert plan(memory=12.0).memory_gb == 12.0
+
+
+class TestValidation:
+    def test_rejects_dirty_rate_at_bandwidth(self):
+        with pytest.raises(MigrationError):
+            plan(bw=10.0, dirty=10.0)
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(MigrationError):
+            plan(memory=0.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(MigrationError):
+            plan(bw=0.0)
+
+    def test_rejects_same_source_destination(self):
+        with pytest.raises(MigrationError):
+            plan_migration(
+                vm_memory_gb=8.0,
+                vm_name="vm",
+                source="same",
+                destination="same",
+            )

@@ -1,0 +1,46 @@
+"""Unit tests for resource value types."""
+
+import pytest
+
+from repro.datacenter.resources import ResourceCapacity, ResourceDemand
+from repro.errors import ConfigurationError
+
+
+class TestCapacity:
+    def test_total_ghz(self):
+        capacity = ResourceCapacity(cpu_cores=16, ghz_per_core=2.4, memory_gb=64.0)
+        assert capacity.total_ghz == pytest.approx(38.4)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            ResourceCapacity(cpu_cores=0, ghz_per_core=2.0, memory_gb=8.0)
+
+    def test_rejects_nonpositive_ghz(self):
+        with pytest.raises(ConfigurationError):
+            ResourceCapacity(cpu_cores=4, ghz_per_core=0.0, memory_gb=8.0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ConfigurationError):
+            ResourceCapacity(cpu_cores=4, ghz_per_core=2.0, memory_gb=0.0)
+
+
+class TestDemand:
+    def test_addition(self):
+        a = ResourceDemand(vcpus=2, memory_gb=4.0)
+        b = ResourceDemand(vcpus=3, memory_gb=8.0)
+        total = a + b
+        assert total.vcpus == 5
+        assert total.memory_gb == pytest.approx(12.0)
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand(vcpus=0, memory_gb=1.0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ConfigurationError):
+            ResourceDemand(vcpus=1, memory_gb=0.0)
+
+    def test_immutability(self):
+        demand = ResourceDemand(vcpus=1, memory_gb=1.0)
+        with pytest.raises(AttributeError):
+            demand.vcpus = 2

@@ -1,0 +1,100 @@
+"""Unit tests for placement schedulers."""
+
+import pytest
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.scheduler import (
+    BestFitScheduler,
+    FirstFitScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    WorstFitScheduler,
+)
+from repro.datacenter.server import Server
+from repro.errors import SchedulingError
+from repro.rng import RngStream
+from tests.conftest import make_server_spec, make_vm
+
+
+def cluster_with_memory(frees: list[float]) -> Cluster:
+    """Servers with the given memory capacities, in order."""
+    cluster = Cluster("sched")
+    for i, memory in enumerate(frees):
+        cluster.add_server(Server(make_server_spec(name=f"s{i}", memory_gb=memory)))
+    return cluster
+
+
+class TestFirstFit:
+    def test_picks_first_feasible(self):
+        cluster = cluster_with_memory([4.0, 64.0, 64.0])
+        chosen = FirstFitScheduler().place(make_vm("v", memory_gb=16.0), cluster)
+        assert chosen.name == "s1"
+
+    def test_raises_when_nothing_fits(self):
+        cluster = cluster_with_memory([4.0, 4.0])
+        with pytest.raises(SchedulingError):
+            FirstFitScheduler().place(make_vm("v", memory_gb=16.0), cluster)
+
+
+class TestRoundRobin:
+    def test_cycles_through_servers(self):
+        cluster = cluster_with_memory([64.0, 64.0, 64.0])
+        scheduler = RoundRobinScheduler()
+        chosen = [
+            scheduler.place(make_vm(f"v{i}", memory_gb=1.0), cluster).name
+            for i in range(6)
+        ]
+        assert chosen == ["s0", "s1", "s2", "s0", "s1", "s2"]
+
+    def test_skips_full_servers(self):
+        cluster = cluster_with_memory([64.0, 2.0, 64.0])
+        scheduler = RoundRobinScheduler()
+        chosen = [
+            scheduler.place(make_vm(f"v{i}", memory_gb=8.0), cluster).name
+            for i in range(4)
+        ]
+        assert chosen == ["s0", "s2", "s0", "s2"]
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SchedulingError):
+            RoundRobinScheduler().place(make_vm("v"), Cluster("empty"))
+
+
+class TestBestWorstFit:
+    def test_best_fit_packs_tightest(self):
+        cluster = cluster_with_memory([64.0, 16.0, 32.0])
+        chosen = BestFitScheduler().place(make_vm("v", memory_gb=8.0), cluster)
+        assert chosen.name == "s1"
+
+    def test_worst_fit_spreads(self):
+        cluster = cluster_with_memory([64.0, 16.0, 32.0])
+        chosen = WorstFitScheduler().place(make_vm("v", memory_gb=8.0), cluster)
+        assert chosen.name == "s0"
+
+    def test_best_fit_accounts_for_existing_vms(self):
+        cluster = cluster_with_memory([64.0, 64.0])
+        cluster.server("s0").host_vm(make_vm("existing", memory_gb=56.0))
+        chosen = BestFitScheduler().place(make_vm("v", memory_gb=4.0), cluster)
+        assert chosen.name == "s0"  # 8 GiB free beats 64 GiB free
+
+
+class TestRandom:
+    def test_deterministic_for_stream(self):
+        cluster_a = cluster_with_memory([64.0, 64.0, 64.0])
+        cluster_b = cluster_with_memory([64.0, 64.0, 64.0])
+        seq_a = [
+            RandomScheduler(RngStream(3, "p")).place(make_vm(f"v{i}"), cluster_a).name
+            for i in range(5)
+        ]
+        seq_b = [
+            RandomScheduler(RngStream(3, "p")).place(make_vm(f"v{i}"), cluster_b).name
+            for i in range(5)
+        ]
+        assert seq_a == seq_b
+
+    def test_only_feasible_servers_chosen(self):
+        cluster = cluster_with_memory([2.0, 64.0, 2.0])
+        scheduler = RandomScheduler(RngStream(4, "p"))
+        for i in range(10):
+            chosen = scheduler.place(make_vm(f"v{i}", memory_gb=4.0), cluster)
+            assert chosen.name == "s1"

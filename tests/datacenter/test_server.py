@@ -1,0 +1,113 @@
+"""Unit tests for the server runtime."""
+
+import pytest
+
+from repro.datacenter.server import Server
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from tests.conftest import make_server_spec, make_vm
+
+
+class TestCapacity:
+    def test_memory_is_hard_constraint(self, server):
+        big = make_vm("big", memory_gb=65.0)
+        assert not server.can_host(big)
+        with pytest.raises(CapacityError):
+            server.host_vm(big)
+
+    def test_vcpu_overcommit_allowed_to_ratio(self, server):
+        # 16 cores × 2.0 overcommit = 32 vCPUs allowed.
+        for i in range(4):
+            server.host_vm(make_vm(f"v{i}", vcpus=8, memory_gb=4.0))
+        assert server.used_vcpus == 32
+        assert not server.can_host(make_vm("extra", vcpus=1, memory_gb=1.0))
+
+    def test_free_memory_accounting(self, server):
+        server.host_vm(make_vm("a", memory_gb=10.0))
+        server.host_vm(make_vm("b", memory_gb=6.0))
+        assert server.used_memory_gb == pytest.approx(16.0)
+        assert server.free_memory_gb == pytest.approx(48.0)
+
+    def test_removal_frees_capacity(self, server):
+        server.host_vm(make_vm("a", memory_gb=10.0))
+        server.remove_vm("a")
+        assert server.free_memory_gb == pytest.approx(64.0)
+
+
+class TestLifecycleIntegration:
+    def test_host_vm_starts_it(self, server):
+        vm = make_vm("a")
+        server.host_vm(vm, time_s=5.0)
+        assert vm.host_name == server.name
+        assert vm.started_at_s == 5.0
+
+    def test_duplicate_name_rejected(self, server):
+        server.host_vm(make_vm("a"))
+        with pytest.raises(SimulationError):
+            server.host_vm(make_vm("a"))
+
+    def test_remove_unknown_vm_rejected(self, server):
+        with pytest.raises(SimulationError):
+            server.remove_vm("ghost")
+
+    def test_attach_migrating_vm(self, server):
+        vm = make_vm("a")
+        vm.start("elsewhere", 0.0)
+        vm.begin_migration()
+        server.attach_migrating_vm(vm)
+        assert vm.host_name == server.name
+        assert "a" in server.vms
+
+    def test_running_vms_excludes_terminated(self, server):
+        vm = make_vm("a")
+        server.host_vm(vm)
+        vm.terminate()
+        assert server.running_vms() == []
+
+
+class TestLoadAndThermal:
+    def test_current_load_reflects_vm_demand(self, server):
+        server.host_vm(make_vm("a", vcpus=8, level=1.0, n_tasks=8))
+        load = server.current_load(10.0)
+        assert load.utilization > 0.45  # 8 busy vCPUs on 16 cores + overhead
+
+    def test_step_thermal_heats_under_load(self, server):
+        server.host_vm(make_vm("a", vcpus=8, level=1.0, n_tasks=8))
+        start = server.thermal.cpu_temperature_c
+        for t in range(300):
+            server.step_thermal(1.0, float(t), ambient_c=22.0)
+        assert server.thermal.cpu_temperature_c > start + 5.0
+
+    def test_fan_speed_change_propagates_to_plant(self, server):
+        before = server.thermal.steady_state_cpu_temperature(0.8, 22.0)
+        server.set_fan_speed(1.0)
+        after = server.thermal.steady_state_cpu_temperature(0.8, 22.0)
+        assert after < before
+        assert server.fans.speed == 1.0
+
+    def test_fan_count_change_propagates_to_plant(self, server):
+        before = server.thermal.steady_state_cpu_temperature(0.8, 22.0)
+        server.set_fan_count(8)
+        after = server.thermal.steady_state_cpu_temperature(0.8, 22.0)
+        assert after < before
+
+
+class TestSpecValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            make_server_spec(name="")
+
+    def test_rejects_undercommit_ratio(self):
+        from repro.datacenter.resources import ResourceCapacity
+        from repro.datacenter.server import ServerSpec
+
+        with pytest.raises(ConfigurationError):
+            ServerSpec(
+                name="s",
+                capacity=ResourceCapacity(cpu_cores=4, ghz_per_core=2.0, memory_gb=8.0),
+                cpu_overcommit=0.5,
+            )
+
+    def test_power_model_scaled_to_capacity(self):
+        small = make_server_spec(cores=8, ghz=2.0).build_power_model()
+        large = make_server_spec(cores=32, ghz=3.0).build_power_model()
+        assert large.max_power_w > small.max_power_w

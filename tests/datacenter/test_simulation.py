@@ -1,0 +1,158 @@
+"""Unit tests for the co-simulation loop."""
+
+import pytest
+
+from repro.config import SensorConfig
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.events import FunctionEvent
+from repro.datacenter.migration import migrate_vm
+from repro.datacenter.server import Server
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import MigrationError, SimulationError
+from repro.rng import RngFactory
+from repro.thermal.environment import ConstantEnvironment
+from tests.conftest import make_server_spec, make_vm
+
+
+def make_sim(n_servers: int = 1, noise: float = 0.0) -> DatacenterSimulation:
+    cluster = Cluster("sim-test")
+    for i in range(n_servers):
+        cluster.add_server(Server(make_server_spec(name=f"s{i}")))
+    return DatacenterSimulation(
+        cluster=cluster,
+        environment=ConstantEnvironment(22.0),
+        rng=RngFactory(123),
+        sensor_config=SensorConfig(
+            sampling_period_s=5.0, noise_std_c=noise, quantization_c=0.0
+        ),
+    )
+
+
+class TestRunLoop:
+    def test_time_advances(self):
+        sim = make_sim()
+        sim.run(100.0)
+        assert sim.time_s == pytest.approx(100.0)
+
+    def test_run_accumulates(self):
+        sim = make_sim()
+        sim.run(50.0)
+        sim.run(50.0)
+        assert sim.time_s == pytest.approx(100.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SimulationError):
+            make_sim().run(0.0)
+
+    def test_telemetry_recorded_for_each_server(self):
+        sim = make_sim(n_servers=2)
+        sim.run(60.0)
+        for name in ("s0", "s1"):
+            bundle = sim.telemetry.for_server(name)
+            assert len(bundle.utilization) == 60
+            assert len(bundle.cpu_temperature) > 0
+
+    def test_sensor_sampling_respects_period(self):
+        sim = make_sim()
+        sim.run(100.0)
+        temps = sim.telemetry.for_server("s0").cpu_temperature
+        deltas = [b - a for a, b in zip(temps.times, temps.times[1:])]
+        # The very first sample fires on the first sim step; every
+        # subsequent interval matches the configured 5 s period.
+        assert all(d == pytest.approx(5.0) for d in deltas[1:])
+        assert 0.0 < deltas[0] <= 5.0
+
+    def test_loaded_server_heats_up(self):
+        sim = make_sim()
+        server = sim.cluster.server("s0")
+        server.host_vm(make_vm("hot", vcpus=8, level=1.0, n_tasks=8))
+        sim.equalize_temperatures()
+        start = server.thermal.cpu_temperature_c
+        sim.run(600.0)
+        assert server.thermal.cpu_temperature_c > start + 10.0
+
+    def test_probe_called_every_step(self):
+        sim = make_sim()
+        ticks = []
+        sim.add_probe(lambda _sim, t: ticks.append(t))
+        sim.run(10.0)
+        assert len(ticks) == 10
+
+
+class TestEvents:
+    def test_scheduled_event_fires_at_time(self):
+        sim = make_sim()
+        fired = []
+        sim.schedule(FunctionEvent(5.0, lambda s: fired.append(s.time_s)))
+        sim.run(10.0)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(5.0)
+
+    def test_event_at_time_zero_fires(self):
+        sim = make_sim()
+        fired = []
+        sim.schedule(FunctionEvent(0.0, lambda s: fired.append(True)))
+        sim.run(1.0)
+        assert fired == [True]
+
+    def test_fan_change_event_affects_temperature(self):
+        sim = make_sim()
+        server = sim.cluster.server("s0")
+        server.host_vm(make_vm("load", vcpus=8, level=1.0, n_tasks=8))
+        sim.schedule(FunctionEvent(600.0, lambda s: s.cluster.server("s0").set_fan_speed(1.0)))
+        sim.run(600.0)
+        hot = server.thermal.cpu_temperature_c
+        sim.run(900.0)
+        assert server.thermal.cpu_temperature_c < hot
+
+
+class TestMigrationIntegration:
+    def test_vm_moves_between_servers(self):
+        sim = make_sim(n_servers=2)
+        source = sim.cluster.server("s0")
+        source.host_vm(make_vm("wanderer", memory_gb=4.0))
+        migrate_vm(sim, "wanderer", "s1", start_time_s=10.0)
+        sim.run(300.0)
+        assert "wanderer" in sim.cluster.server("s1").vms
+        assert "wanderer" not in source.vms
+
+    def test_migration_overhead_cleared_after_completion(self):
+        sim = make_sim(n_servers=2)
+        sim.cluster.server("s0").host_vm(make_vm("w", memory_gb=4.0))
+        migrate_vm(sim, "w", "s1", start_time_s=10.0)
+        sim.run(300.0)
+        assert sim.cluster.server("s0").active_migrations == 0
+        assert sim.cluster.server("s1").active_migrations == 0
+
+    def test_migration_logged(self):
+        sim = make_sim(n_servers=2)
+        sim.cluster.server("s0").host_vm(make_vm("w", memory_gb=4.0))
+        migrate_vm(sim, "w", "s1", start_time_s=10.0)
+        sim.run(300.0)
+        messages = [m for _, m in sim.telemetry.event_log]
+        assert any("started" in m for m in messages)
+        assert any("completed" in m for m in messages)
+
+    def test_migration_to_same_host_rejected(self):
+        sim = make_sim(n_servers=2)
+        sim.cluster.server("s0").host_vm(make_vm("w", memory_gb=4.0))
+        with pytest.raises(MigrationError):
+            migrate_vm(sim, "w", "s0", start_time_s=10.0)
+
+    def test_migration_to_full_host_rejected(self):
+        sim = make_sim(n_servers=2)
+        sim.cluster.server("s0").host_vm(make_vm("w", memory_gb=4.0))
+        sim.cluster.server("s1").host_vm(make_vm("filler", memory_gb=62.0))
+        with pytest.raises(MigrationError):
+            migrate_vm(sim, "w", "s1", start_time_s=10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def trace():
+            sim = make_sim(noise=0.3)
+            sim.cluster.server("s0").host_vm(make_vm("v", vcpus=4, level=0.7))
+            sim.run(120.0)
+            return sim.telemetry.for_server("s0").cpu_temperature.values
+
+        assert trace() == trace()

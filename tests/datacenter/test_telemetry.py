@@ -1,0 +1,108 @@
+"""Unit tests for the telemetry pipeline."""
+
+import pytest
+
+from repro.datacenter.telemetry import TelemetryCollector, TimeSeries
+from repro.errors import TelemetryError
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+        assert series.times == [0.0, 1.0]
+        assert series.values == [1.0, 2.0]
+
+    def test_non_monotonic_time_rejected(self):
+        series = TimeSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.append(4.0, 2.0)
+
+    def test_window_is_half_open(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.append(float(t), float(t))
+        window = series.window(2.0, 5.0)
+        assert window.times == [2.0, 3.0, 4.0]
+
+    def test_mean_over_window(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.append(float(t), float(t))
+        assert series.mean(2.0, 5.0) == pytest.approx(3.0)
+
+    def test_mean_of_empty_window_rejected(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.mean(5.0, 6.0)
+
+    def test_value_at_interpolates(self):
+        series = TimeSeries("x")
+        series.append(0.0, 10.0)
+        series.append(10.0, 20.0)
+        assert series.value_at(5.0) == pytest.approx(15.0)
+
+    def test_value_at_clamps_at_ends(self):
+        series = TimeSeries("x")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert series.value_at(0.0) == 10.0
+        assert series.value_at(5.0) == 20.0
+
+    def test_value_at_empty_rejected(self):
+        with pytest.raises(TelemetryError):
+            TimeSeries("x").value_at(0.0)
+
+    def test_last_before(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(10.0, 2.0)
+        assert series.last_before(9.9) == (0.0, 1.0)
+        assert series.last_before(10.0) == (10.0, 2.0)
+
+    def test_last_before_start_rejected(self):
+        series = TimeSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.last_before(4.0)
+
+
+class TestCollector:
+    def test_server_bundles_created_on_demand(self):
+        collector = TelemetryCollector()
+        bundle = collector.for_server("s1")
+        assert bundle.server_name == "s1"
+        assert collector.server_names == ["s1"]
+
+    def test_same_bundle_returned(self):
+        collector = TelemetryCollector()
+        assert collector.for_server("s1") is collector.for_server("s1")
+
+    def test_environment_feed(self):
+        collector = TelemetryCollector()
+        collector.record_environment(0.0, 22.0)
+        collector.record_environment(1.0, 22.5)
+        assert collector.environment.values == [22.0, 22.5]
+
+    def test_event_log(self):
+        collector = TelemetryCollector()
+        collector.log_event(5.0, "migration started")
+        assert collector.event_log == [(5.0, "migration started")]
+
+    def test_stable_cpu_temperature_implements_eq1(self):
+        collector = TelemetryCollector()
+        series = collector.for_server("s1").cpu_temperature
+        # Rising then stable at 60; t_break=5 cuts off the rise.
+        for t, v in [(0, 30.0), (2, 45.0), (4, 55.0), (6, 60.0), (8, 60.5), (10, 59.5)]:
+            series.append(float(t), v)
+        psi = collector.stable_cpu_temperature("s1", t_break_s=5.0, t_exp_s=10.0)
+        assert psi == pytest.approx(60.0)
+
+    def test_stable_cpu_temperature_without_samples_rejected(self):
+        collector = TelemetryCollector()
+        with pytest.raises(TelemetryError):
+            collector.stable_cpu_temperature("s1", 5.0, 10.0)

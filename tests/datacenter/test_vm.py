@@ -1,0 +1,130 @@
+"""Unit tests for VM specs and lifecycle."""
+
+import pytest
+
+from repro.datacenter.vm import Vm, VmSpec, VmState
+from repro.datacenter.workload import ConstantTask
+from repro.errors import ConfigurationError, SimulationError
+
+
+def spec(name="vm-a", vcpus=2, memory=4.0, levels=(0.5,)) -> VmSpec:
+    return VmSpec(
+        name=name,
+        vcpus=vcpus,
+        memory_gb=memory,
+        tasks=tuple(ConstantTask(level=level) for level in levels),
+    )
+
+
+class TestSpec:
+    def test_demand_matches_spec(self):
+        s = spec(vcpus=4, memory=8.0)
+        assert s.demand.vcpus == 4
+        assert s.demand.memory_gb == 8.0
+
+    def test_nominal_utilization_averages_over_vcpus(self):
+        s = spec(vcpus=2, levels=(0.5, 0.3))
+        assert s.nominal_utilization() == pytest.approx(0.4)
+
+    def test_nominal_utilization_capped_at_one(self):
+        s = spec(vcpus=1, levels=(0.9, 0.9, 0.9))
+        assert s.nominal_utilization() == 1.0
+
+    def test_no_tasks_is_idle(self):
+        s = VmSpec(name="idle", vcpus=2, memory_gb=4.0)
+        assert s.nominal_utilization() == 0.0
+
+    def test_task_kind_counts(self):
+        s = spec(levels=(0.5, 0.2))
+        assert s.task_kind_counts() == {"constant": 2}
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            VmSpec(name="", vcpus=1, memory_gb=1.0)
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            VmSpec(name="x", vcpus=0, memory_gb=1.0)
+
+
+class TestLifecycle:
+    def test_initial_state_provisioning(self):
+        vm = Vm(spec())
+        assert vm.state is VmState.PROVISIONING
+        assert vm.host_name is None
+
+    def test_start_sets_running_and_host(self):
+        vm = Vm(spec())
+        vm.start("host-1", time_s=10.0)
+        assert vm.state is VmState.RUNNING
+        assert vm.host_name == "host-1"
+        assert vm.started_at_s == 10.0
+
+    def test_migration_cycle(self):
+        vm = Vm(spec())
+        vm.start("host-1", 0.0)
+        vm.begin_migration()
+        assert vm.state is VmState.MIGRATING
+        vm.complete_migration("host-2")
+        assert vm.state is VmState.RUNNING
+        assert vm.host_name == "host-2"
+
+    def test_migration_preserves_task_clock(self):
+        vm = Vm(spec(levels=(0.5,)))
+        vm.start("host-1", 100.0)
+        vm.begin_migration()
+        vm.complete_migration("host-2")
+        assert vm.started_at_s == 100.0
+
+    def test_terminate_from_running(self):
+        vm = Vm(spec())
+        vm.start("h", 0.0)
+        vm.terminate()
+        assert vm.state is VmState.TERMINATED
+        assert vm.host_name is None
+
+    def test_cannot_migrate_unstarted_vm(self):
+        vm = Vm(spec())
+        with pytest.raises(SimulationError):
+            vm.begin_migration()
+
+    def test_cannot_complete_unstarted_migration(self):
+        vm = Vm(spec())
+        vm.start("h", 0.0)
+        with pytest.raises(SimulationError):
+            vm.complete_migration("h2")
+
+    def test_double_terminate_rejected(self):
+        vm = Vm(spec())
+        vm.start("h", 0.0)
+        vm.terminate()
+        with pytest.raises(SimulationError):
+            vm.terminate()
+
+
+class TestCpuDemand:
+    def test_demand_zero_before_start(self):
+        vm = Vm(spec(levels=(0.5,)))
+        assert vm.cpu_demand(0.0) == 0.0
+
+    def test_demand_sums_tasks(self):
+        vm = Vm(spec(vcpus=4, levels=(0.5, 0.25)))
+        vm.start("h", 0.0)
+        assert vm.cpu_demand(10.0) == pytest.approx(0.75)
+
+    def test_demand_capped_by_vcpus(self):
+        vm = Vm(spec(vcpus=1, levels=(0.9, 0.9)))
+        vm.start("h", 0.0)
+        assert vm.cpu_demand(10.0) == 1.0
+
+    def test_demand_zero_after_terminate(self):
+        vm = Vm(spec(levels=(0.5,)))
+        vm.start("h", 0.0)
+        vm.terminate()
+        assert vm.cpu_demand(10.0) == 0.0
+
+    def test_demand_continues_during_migration(self):
+        vm = Vm(spec(levels=(0.5,)))
+        vm.start("h", 0.0)
+        vm.begin_migration()
+        assert vm.cpu_demand(10.0) == pytest.approx(0.5)

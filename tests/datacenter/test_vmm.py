@@ -1,0 +1,104 @@
+"""Unit tests for the hypervisor CPU scheduler."""
+
+import pytest
+
+from repro.datacenter.vm import Vm, VmSpec
+from repro.datacenter.vmm import Vmm
+from repro.datacenter.workload import ConstantTask
+from repro.errors import ConfigurationError
+
+
+def running_vm(name: str, vcpus: int, level: float) -> Vm:
+    vm = Vm(
+        VmSpec(
+            name=name,
+            vcpus=vcpus,
+            memory_gb=2.0,
+            tasks=tuple(ConstantTask(level=level) for _ in range(vcpus)),
+        )
+    )
+    vm.start("host", 0.0)
+    return vm
+
+
+class TestUncontended:
+    def test_everyone_gets_their_demand(self):
+        vmm = Vmm(physical_cores=16, overhead_cores_per_vm=0.0)
+        vms = [running_vm("a", 2, 0.5), running_vm("b", 4, 0.25)]
+        load = vmm.schedule(vms, 10.0)
+        assert load.allocations["a"] == pytest.approx(1.0)
+        assert load.allocations["b"] == pytest.approx(1.0)
+        assert load.total_steal == 0.0
+
+    def test_utilization_fraction_of_cores(self):
+        vmm = Vmm(physical_cores=16, overhead_cores_per_vm=0.0)
+        load = vmm.schedule([running_vm("a", 8, 1.0)], 0.0)
+        assert load.utilization == pytest.approx(0.5)
+
+    def test_empty_host_idles(self):
+        vmm = Vmm(physical_cores=16)
+        load = vmm.schedule([], 0.0)
+        assert load.utilization == 0.0
+        assert load.allocations == {}
+
+    def test_overhead_charged_per_vm(self):
+        vmm = Vmm(physical_cores=16, overhead_cores_per_vm=0.1)
+        idle_vm = running_vm("z", 1, 0.0)
+        load = vmm.schedule([idle_vm], 0.0)
+        assert load.overhead_cores == pytest.approx(0.1)
+        assert load.utilization == pytest.approx(0.1 / 16)
+
+
+class TestContention:
+    def test_proportional_scaling_when_oversubscribed(self):
+        vmm = Vmm(physical_cores=4, overhead_cores_per_vm=0.0)
+        vms = [running_vm("a", 4, 1.0), running_vm("b", 4, 1.0)]
+        load = vmm.schedule(vms, 0.0)
+        assert load.allocations["a"] == pytest.approx(2.0)
+        assert load.allocations["b"] == pytest.approx(2.0)
+        assert load.utilization == pytest.approx(1.0)
+
+    def test_steal_reported_per_vm(self):
+        vmm = Vmm(physical_cores=4, overhead_cores_per_vm=0.0)
+        vms = [running_vm("a", 4, 1.0), running_vm("b", 4, 1.0)]
+        load = vmm.schedule(vms, 0.0)
+        assert load.steal["a"] == pytest.approx(2.0)
+        assert load.total_steal == pytest.approx(4.0)
+
+    def test_proportionality_preserved_under_scaling(self):
+        vmm = Vmm(physical_cores=4, overhead_cores_per_vm=0.0)
+        vms = [running_vm("small", 2, 1.0), running_vm("big", 6, 1.0)]
+        load = vmm.schedule(vms, 0.0)
+        ratio = load.allocations["big"] / load.allocations["small"]
+        assert ratio == pytest.approx(3.0)
+
+    def test_migration_overhead_consumes_cores(self):
+        vmm = Vmm(
+            physical_cores=4,
+            overhead_cores_per_vm=0.0,
+            migration_overhead_cores=0.5,
+        )
+        vms = [running_vm("a", 4, 1.0)]
+        without = vmm.schedule(vms, 0.0, active_migrations=0)
+        during = vmm.schedule(vms, 0.0, active_migrations=1)
+        assert during.allocations["a"] < without.allocations["a"]
+        assert during.utilization == pytest.approx(1.0)
+
+    def test_overhead_capped_at_core_count(self):
+        vmm = Vmm(physical_cores=2, overhead_cores_per_vm=1.0)
+        vms = [running_vm(f"v{i}", 1, 0.5) for i in range(5)]
+        load = vmm.schedule(vms, 0.0)
+        assert load.overhead_cores == pytest.approx(2.0)
+        assert load.utilization <= 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            Vmm(physical_cores=0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ConfigurationError):
+            Vmm(physical_cores=4, overhead_cores_per_vm=-0.1)
+        with pytest.raises(ConfigurationError):
+            Vmm(physical_cores=4, migration_overhead_cores=-0.1)

@@ -1,0 +1,139 @@
+"""Unit tests for task/workload models."""
+
+import pytest
+
+from repro.datacenter.workload import (
+    TASK_KINDS,
+    BurstyTask,
+    ConstantTask,
+    PeriodicTask,
+    RampTask,
+    random_task,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+
+
+class TestConstant:
+    def test_level_everywhere(self):
+        task = ConstantTask(level=0.4)
+        assert task.utilization(0.0) == 0.4
+        assert task.utilization(1e5) == 0.4
+        assert task.nominal_utilization() == 0.4
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTask(level=1.5)
+
+
+class TestPeriodic:
+    def test_mean_at_phase_zero(self):
+        task = PeriodicTask(mean=0.5, amplitude=0.2, period_s=100.0)
+        assert task.utilization(0.0) == pytest.approx(0.5)
+
+    def test_peak_at_quarter_period(self):
+        task = PeriodicTask(mean=0.5, amplitude=0.2, period_s=100.0)
+        assert task.utilization(25.0) == pytest.approx(0.7)
+
+    def test_clipped_to_unit_interval(self):
+        task = PeriodicTask(mean=0.9, amplitude=0.5, period_s=100.0)
+        for t in range(0, 100, 5):
+            assert 0.0 <= task.utilization(float(t)) <= 1.0
+
+    def test_nominal_is_mean(self):
+        assert PeriodicTask(mean=0.33).nominal_utilization() == 0.33
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicTask(period_s=0.0)
+
+
+class TestBursty:
+    def make(self, seed=3) -> BurstyTask:
+        return BurstyTask(
+            rng=RngStream(seed, "t"),
+            on_level=0.9,
+            off_level=0.1,
+            mean_on_s=20.0,
+            mean_off_s=30.0,
+        )
+
+    def test_only_two_levels(self):
+        task = self.make()
+        seen = {task.utilization(float(t)) for t in range(0, 2000, 3)}
+        assert seen <= {0.9, 0.1}
+        assert len(seen) == 2
+
+    def test_repeatable_queries(self):
+        task = self.make()
+        first = [task.utilization(float(t)) for t in range(0, 500, 7)]
+        second = [task.utilization(float(t)) for t in range(0, 500, 7)]
+        assert first == second
+
+    def test_realized_duty_cycle_near_nominal(self):
+        task = self.make(seed=9)
+        n = 40_000
+        realized = sum(task.utilization(float(t)) for t in range(n)) / n
+        assert realized == pytest.approx(task.nominal_utilization(), abs=0.05)
+
+    def test_nominal_from_duty_cycle(self):
+        task = self.make()
+        duty = 20.0 / 50.0
+        expected = duty * 0.9 + (1 - duty) * 0.1
+        assert task.nominal_utilization() == pytest.approx(expected)
+
+    def test_starts_off(self):
+        task = self.make()
+        assert task.utilization(0.0) == 0.1
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTask(rng=RngStream(1, "t"), mean_on_s=0.0)
+
+
+class TestRamp:
+    def test_endpoints(self):
+        task = RampTask(start_level=0.2, end_level=0.8, ramp_s=100.0)
+        assert task.utilization(0.0) == pytest.approx(0.2)
+        assert task.utilization(100.0) == pytest.approx(0.8)
+        assert task.utilization(500.0) == pytest.approx(0.8)
+
+    def test_midpoint(self):
+        task = RampTask(start_level=0.2, end_level=0.8, ramp_s=100.0)
+        assert task.utilization(50.0) == pytest.approx(0.5)
+
+    def test_nominal_is_end_level(self):
+        assert RampTask(end_level=0.7).nominal_utilization() == 0.7
+
+    def test_downward_ramp_supported(self):
+        task = RampTask(start_level=0.9, end_level=0.3, ramp_s=10.0)
+        assert task.utilization(5.0) == pytest.approx(0.6)
+
+
+class TestRandomTask:
+    def test_all_kinds_generatable(self):
+        rng = RngStream(5, "gen")
+        for kind in TASK_KINDS:
+            task = random_task(rng, kind=kind)
+            assert task.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_task(RngStream(5, "gen"), kind="quantum")
+
+    def test_random_kind_drawn_from_known_set(self):
+        rng = RngStream(6, "gen")
+        kinds = {random_task(rng).kind for _ in range(40)}
+        assert kinds <= set(TASK_KINDS)
+        assert len(kinds) > 1
+
+    def test_nominal_utilizations_in_unit_interval(self):
+        rng = RngStream(7, "gen")
+        for _ in range(60):
+            task = random_task(rng)
+            assert 0.0 <= task.nominal_utilization() <= 1.0
+
+    def test_deterministic_given_stream(self):
+        a = random_task(RngStream(8, "gen"), kind="constant")
+        b = random_task(RngStream(8, "gen"), kind="constant")
+        assert a.level == b.level

@@ -1,0 +1,98 @@
+"""Unit tests for record datasets."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.experiments.dataset import RecordDataset
+from repro.rng import RngStream
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def dataset():
+    return RecordDataset([make_record(psi=50.0 + i, n_vms=2 + i % 5) for i in range(20)])
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, dataset):
+        assert len(dataset) == 20
+        assert dataset[0].require_output() == 50.0
+        assert len(list(dataset)) == 20
+
+    def test_append_extend(self):
+        ds = RecordDataset()
+        ds.append(make_record())
+        ds.extend([make_record(), make_record()])
+        assert len(ds) == 3
+
+    def test_records_returns_copy(self, dataset):
+        records = dataset.records
+        records.clear()
+        assert len(dataset) == 20
+
+
+class TestSplit:
+    def test_split_sizes(self, dataset):
+        train, test = dataset.split(0.8, rng=RngStream(1, "split"))
+        assert len(train) == 16
+        assert len(test) == 4
+
+    def test_split_partitions_all_records(self, dataset):
+        train, test = dataset.split(0.7, rng=RngStream(2, "split"))
+        ids = sorted(r.require_output() for r in list(train) + list(test))
+        assert ids == sorted(r.require_output() for r in dataset)
+
+    def test_split_deterministic_for_stream(self, dataset):
+        a_train, _ = dataset.split(0.8, rng=RngStream(3, "split"))
+        b_train, _ = dataset.split(0.8, rng=RngStream(3, "split"))
+        assert [r.require_output() for r in a_train] == [
+            r.require_output() for r in b_train
+        ]
+
+    def test_unshuffled_split_preserves_order(self, dataset):
+        train, test = dataset.split(0.5)
+        assert [r.require_output() for r in train] == [50.0 + i for i in range(10)]
+
+    def test_rejects_degenerate_fraction(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.split(0.0)
+        with pytest.raises(DatasetError):
+            dataset.split(1.0)
+
+    def test_rejects_tiny_dataset(self):
+        with pytest.raises(DatasetError):
+            RecordDataset([make_record()]).split(0.5)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "records.json"
+        dataset.save_json(path)
+        restored = RecordDataset.load_json(path)
+        assert len(restored) == len(dataset)
+        assert restored[3].to_dict() == dataset[3].to_dict()
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(DatasetError):
+            RecordDataset.load_json(path)
+
+
+class TestSummaryAndFilter:
+    def test_summary_statistics(self, dataset):
+        summary = dataset.summary()
+        assert summary["n"] == 20.0
+        assert summary["n_labelled"] == 20.0
+        assert summary["psi_min"] == 50.0
+        assert summary["psi_max"] == 69.0
+        assert summary["vms_min"] == 2.0
+
+    def test_summary_without_labels(self):
+        ds = RecordDataset([make_record(psi=None)])
+        assert ds.summary() == {"n": 1.0, "n_labelled": 0.0}
+
+    def test_filter(self, dataset):
+        small = dataset.filter(lambda r: r.n_vms == 2)
+        assert len(small) == 4
+        assert all(r.n_vms == 2 for r in small)

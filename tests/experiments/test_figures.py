@@ -1,0 +1,104 @@
+"""Tests for the figure builders (reduced-scale runs).
+
+The full-scale regenerations live in ``benchmarks/``; these tests verify
+the builders' mechanics and result invariants at a small scale so the
+unit suite stays fast.
+"""
+
+import pytest
+
+from repro.config import PredictionConfig
+from repro.experiments.figures import build_fig1a, build_fig1b, build_fig1c
+
+
+@pytest.fixture(scope="module")
+def fig1a_small():
+    return build_fig1a(n_train=25, n_test=5, n_folds=5, seed=11, duration_s=900.0)
+
+
+@pytest.fixture(scope="module")
+def fig1bc_inputs(trained_predictor):
+    return trained_predictor
+
+
+class TestFig1a:
+    def test_case_count(self, fig1a_small):
+        assert len(fig1a_small.cases) == 5
+
+    def test_case_ids_sequential(self, fig1a_small):
+        assert [c.case_id for c in fig1a_small.cases] == [1, 2, 3, 4, 5]
+
+    def test_vm_counts_within_range(self, fig1a_small):
+        assert all(2 <= c.n_vms <= 12 for c in fig1a_small.cases)
+
+    def test_mse_is_mean_of_squared_errors(self, fig1a_small):
+        expected = sum(c.squared_error for c in fig1a_small.cases) / 5
+        assert fig1a_small.mse == pytest.approx(expected)
+
+    def test_predictions_in_physical_band(self, fig1a_small):
+        for case in fig1a_small.cases:
+            assert 20.0 < case.predicted_c < 110.0
+            assert 20.0 < case.actual_c < 110.0
+
+    def test_training_metadata_reported(self, fig1a_small):
+        assert fig1a_small.n_train == 25
+        assert fig1a_small.train_mse > 0.0
+        assert "C=" in fig1a_small.best_params
+
+
+class TestFig1b:
+    @pytest.fixture(scope="class")
+    def result(self, fig1bc_inputs):
+        return build_fig1b(
+            fig1bc_inputs, seed=9, migration_time_s=700.0, duration_s=1800.0
+        )
+
+    def test_calibration_wins(self, result):
+        assert result.calibration_wins
+        assert result.mse_calibrated < result.mse_uncalibrated
+
+    def test_migration_raises_target(self, result):
+        assert result.psi_stable_after > result.psi_stable_before
+
+    def test_trace_and_predictions_populated(self, result):
+        assert len(result.trace_times) > 100
+        assert len(result.predicted_cal) == len(result.target_times_cal)
+        assert len(result.predicted_uncal) == len(result.target_times_uncal)
+
+    def test_migration_lands_after_start(self, result):
+        assert result.migration_lands_s > 700.0
+
+
+class TestFig1c:
+    @pytest.fixture(scope="class")
+    def result(self, fig1bc_inputs):
+        return build_fig1c(
+            fig1bc_inputs,
+            gaps_s=(30.0, 90.0),
+            updates_s=(15.0, 60.0),
+            seed=9,
+            migration_time_s=700.0,
+            duration_s=1800.0,
+        )
+
+    def test_matrix_shape(self, result):
+        assert len(result.mse) == 2
+        assert all(len(row) == 2 for row in result.mse)
+
+    def test_longer_gap_larger_mse(self, result):
+        assert result.cell(90.0, 15.0) > result.cell(30.0, 15.0)
+
+    def test_all_cells_positive(self, result):
+        assert result.min_mse > 0.0
+
+    def test_custom_base_config_respected(self, fig1bc_inputs):
+        result = build_fig1c(
+            fig1bc_inputs,
+            gaps_s=(30.0,),
+            updates_s=(15.0,),
+            seed=9,
+            migration_time_s=700.0,
+            duration_s=1800.0,
+            base_config=PredictionConfig(learning_rate=0.5),
+        )
+        assert result.min_mse > 0.0

@@ -1,0 +1,74 @@
+"""Unit tests for ASCII reporting."""
+
+from repro.experiments.figures import Fig1aCase, Fig1aResult, Fig1bResult, Fig1cResult
+from repro.experiments.reporting import (
+    ascii_table,
+    format_fig1a,
+    format_fig1b,
+    format_fig1c,
+    paper_vs_measured,
+)
+
+
+class TestAsciiTable:
+    def test_columns_aligned(self):
+        table = ascii_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_floats_formatted(self):
+        table = ascii_table(["x"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_header_separator_present(self):
+        table = ascii_table(["a"], [[1]])
+        assert "-" in table.splitlines()[1]
+
+
+class TestFigureFormatters:
+    def make_fig1a(self):
+        cases = [
+            Fig1aCase(case_id=i, n_vms=2 + i, actual_c=60.0 + i, predicted_c=60.5 + i)
+            for i in range(3)
+        ]
+        return Fig1aResult(cases=cases, train_mse=0.5, cv_mse=0.6, n_train=100,
+                           best_params="best C=1")
+
+    def test_fig1a_mentions_average_and_paper(self):
+        text = format_fig1a(self.make_fig1a())
+        assert "average MSE" in text
+        assert "1.10" in text
+        assert "case" in text
+
+    def test_fig1a_mse_value(self):
+        result = self.make_fig1a()
+        assert result.mse == 0.25  # (0.5)^2 everywhere
+
+    def test_fig1b_mentions_both_arms(self):
+        result = Fig1bResult(
+            mse_calibrated=0.9, mse_uncalibrated=1.8,
+            psi_stable_before=50.0, psi_stable_after=60.0, migration_lands_s=900.0,
+        )
+        text = format_fig1b(result)
+        assert "with calibration" in text
+        assert "without calibration" in text
+        assert "True" in text
+
+    def test_fig1c_matrix_rendered(self):
+        result = Fig1cResult(
+            gaps_s=[30.0, 60.0], updates_s=[5.0, 15.0],
+            mse=[[0.4, 0.5], [1.0, 1.1]],
+        )
+        text = format_fig1c(result)
+        assert "30s" in text
+        assert "0.70-1.50" in text
+        assert result.min_mse == 0.4
+        assert result.max_mse == 1.1
+        assert result.cell(60.0, 15.0) == 1.1
+
+    def test_paper_vs_measured_table(self):
+        text = paper_vs_measured([("Fig 1(a)", "<=1.10", "0.86", "yes")])
+        assert "Fig 1(a)" in text
+        assert "shape holds" in text

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    record_inputs_from_scenario,
+    run_experiment,
+)
+from repro.experiments.scenarios import random_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(random_scenario(314, duration_s=1000.0))
+
+
+class TestRecordInputs:
+    def test_inputs_mirror_scenario(self):
+        scenario = random_scenario(777)
+        record = record_inputs_from_scenario(scenario)
+        assert record.theta_cpu_cores == scenario.server.capacity.cpu_cores
+        assert record.theta_cpu_ghz == pytest.approx(scenario.server.capacity.total_ghz)
+        assert record.theta_fan_count == scenario.server.fan_count
+        assert record.n_vms == scenario.n_vms
+        assert record.psi_stable_c is None
+
+    def test_vm_records_capture_tasks(self):
+        scenario = random_scenario(778)
+        record = record_inputs_from_scenario(scenario)
+        for vm_record, spec in zip(record.vms, scenario.vm_specs):
+            assert vm_record.vcpus == spec.vcpus
+            assert vm_record.task_kinds == tuple(t.kind for t in spec.tasks)
+            assert 0.0 <= vm_record.nominal_utilization <= 1.0
+
+    def test_metadata_carries_provenance(self):
+        scenario = random_scenario(779)
+        record = record_inputs_from_scenario(scenario)
+        assert record.metadata["seed"] == 779
+
+
+class TestRunExperiment:
+    def test_produces_labelled_record(self, result):
+        assert result.record.has_output
+        assert 25.0 < result.psi_stable_c < 100.0
+
+    def test_label_close_to_true_steady_state(self, result):
+        # Eq. (1) estimator vs exact physics: within a couple of degrees.
+        assert result.psi_stable_c == pytest.approx(result.true_stable_c, abs=2.5)
+
+    def test_trace_spans_experiment(self, result):
+        assert result.trace.times[0] <= 10.0
+        assert result.trace.times[-1] == pytest.approx(1000.0, abs=5.0)
+
+    def test_phi0_is_preexperiment_temperature(self, result):
+        assert result.phi_0 > 20.0
+        # φ(0) is the idle temperature, below the loaded stable value for
+        # this seed's workload.
+        assert result.phi_0 != result.psi_stable_c
+
+    def test_deterministic(self):
+        scenario = random_scenario(315, duration_s=900.0)
+        a = run_experiment(scenario)
+        b = run_experiment(scenario)
+        assert a.psi_stable_c == b.psi_stable_c
+        assert a.trace.values == b.trace.values

@@ -1,0 +1,99 @@
+"""Unit tests for scenario generation."""
+
+import pytest
+
+from repro.datacenter.server import Server
+from repro.datacenter.vm import Vm
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    build_migration_simulation,
+    build_simulation,
+    migration_scenario,
+    random_scenario,
+    random_scenarios,
+)
+
+
+class TestRandomScenario:
+    def test_deterministic_for_seed(self):
+        a = random_scenario(123)
+        b = random_scenario(123)
+        assert a.server == b.server
+        assert a.n_vms == b.n_vms
+        assert [v.name for v in a.vm_specs] == [v.name for v in b.vm_specs]
+
+    def test_different_seeds_differ(self):
+        variety = {random_scenario(seed).n_vms for seed in range(120, 140)}
+        assert len(variety) > 3
+
+    def test_vm_count_in_requested_range(self):
+        for seed in range(50, 70):
+            scenario = random_scenario(seed, n_vms_range=(2, 12))
+            assert 2 <= scenario.n_vms <= 12
+
+    def test_pinned_fan_count(self):
+        for seed in range(30, 40):
+            assert random_scenario(seed, fan_count=4).server.fan_count == 4
+
+    def test_env_temperature_in_range(self):
+        for seed in range(30, 50):
+            scenario = random_scenario(seed, env_temp_range=(18.0, 28.0))
+            assert 18.0 <= scenario.environment.temperature(0.0) <= 28.0
+
+    def test_generated_vms_always_fit(self):
+        for seed in range(200, 230):
+            scenario = random_scenario(seed)
+            server = Server(scenario.server)
+            for spec in scenario.vm_specs:
+                server.host_vm(Vm(spec))  # raises CapacityError on overflow
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            random_scenario(1, n_vms_range=(5, 2))
+
+    def test_batch_generator_counts(self):
+        scenarios = random_scenarios(7, base_seed=900)
+        assert len(scenarios) == 7
+        assert len({s.seed for s in scenarios}) == 7
+
+
+class TestBuildSimulation:
+    def test_vms_running_at_start(self):
+        scenario = random_scenario(55)
+        sim = build_simulation(scenario)
+        server = sim.cluster.server(scenario.server.name)
+        assert len(server.running_vms()) == scenario.n_vms
+
+    def test_initial_temperature_is_idle_steady_state(self):
+        scenario = random_scenario(55)
+        sim = build_simulation(scenario)
+        server = sim.cluster.server(scenario.server.name)
+        ambient = scenario.environment.temperature(0.0)
+        idle = server.thermal.steady_state_cpu_temperature(0.0, ambient)
+        assert server.thermal.cpu_temperature_c == pytest.approx(idle)
+        assert server.thermal.cpu_temperature_c > ambient
+
+
+class TestMigrationScenario:
+    def test_structure(self):
+        scenario = migration_scenario(42, migration_time_s=900.0)
+        assert scenario.migrating_vm == "vm-migrant"
+        assert scenario.migration_time_s == 900.0
+        assert scenario.base.server.fan_count == 4
+
+    def test_simulation_moves_vm(self):
+        scenario = migration_scenario(42, migration_time_s=100.0, duration_s=700.0)
+        sim, destination, plan = build_migration_simulation(scenario)
+        assert plan.duration_s > 0
+        sim.run(700.0)
+        dest_server = sim.cluster.server(destination)
+        assert "vm-migrant" in dest_server.vms
+
+    def test_migration_heats_destination(self):
+        scenario = migration_scenario(42, migration_time_s=900.0, duration_s=2400.0)
+        sim, destination, _plan = build_migration_simulation(scenario)
+        sim.run(2400.0)
+        trace = sim.telemetry.for_server(destination).cpu_temperature
+        before = trace.mean(700.0, 900.0)
+        after = trace.mean(2100.0, 2400.0)
+        assert after > before + 2.0

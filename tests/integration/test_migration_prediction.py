@@ -1,0 +1,88 @@
+"""Integration: dynamic prediction through a live migration.
+
+This is the scenario the paper argues traditional models cannot handle:
+the VM set changes mid-run. The calibrated, retargeted predictor must
+track the empirical trace; an unretargeted pre-defined curve must not.
+"""
+
+import pytest
+
+from repro.config import PredictionConfig
+from repro.core.curve import PredefinedCurve
+from repro.core.dynamic import replay_dynamic_prediction
+from repro.experiments.scenarios import build_migration_simulation, migration_scenario
+
+
+@pytest.fixture(scope="module")
+def migration_run():
+    scenario = migration_scenario(21, migration_time_s=800.0, duration_s=2000.0)
+    sim, destination, plan = build_migration_simulation(scenario)
+    phi_0 = sim.cluster.server(destination).thermal.cpu_temperature_c
+    sim.run(2000.0)
+    trace = sim.telemetry.for_server(destination).cpu_temperature
+    dest = sim.cluster.server(destination)
+    # True stable temperatures from the plant, as oracle targets.
+    util_before = sim.telemetry.for_server(destination).utilization.mean(600.0, 790.0)
+    util_after = sim.telemetry.for_server(destination).utilization.mean(1600.0, 2000.0)
+    psi_before = dest.thermal.steady_state_cpu_temperature(util_before, 22.0)
+    psi_after = dest.thermal.steady_state_cpu_temperature(util_after, 22.0)
+    lands = 800.0 + plan.duration_s
+    return trace, phi_0, psi_before, psi_after, lands
+
+
+class TestMigrationTracking:
+    def test_temperature_rises_after_migration(self, migration_run):
+        trace, *_ = migration_run
+        assert trace.mean(1700.0, 2000.0) > trace.mean(600.0, 790.0) + 2.0
+
+    def test_retargeted_beats_static_curve(self, migration_run):
+        trace, phi_0, psi_before, psi_after, lands = migration_run
+        config = PredictionConfig()
+        curve = PredefinedCurve(
+            phi_0=phi_0, psi_stable=psi_before,
+            t_break_s=config.t_break_s, delta=config.curve_delta,
+        )
+        static = replay_dynamic_prediction(
+            trace.times, trace.values, curve, config, calibrated=False
+        )
+        retargeted = replay_dynamic_prediction(
+            trace.times, trace.values, curve, config, calibrated=False,
+            retargets=[(lands, psi_after)],
+        )
+        assert retargeted.mse < static.mse
+
+    def test_calibration_tracks_even_without_retarget(self, migration_run):
+        # The paper's headline: runtime calibration absorbs dynamic change.
+        trace, phi_0, psi_before, _psi_after, _lands = migration_run
+        config = PredictionConfig()
+        curve = PredefinedCurve(
+            phi_0=phi_0, psi_stable=psi_before,
+            t_break_s=config.t_break_s, delta=config.curve_delta,
+        )
+        calibrated = replay_dynamic_prediction(
+            trace.times, trace.values, curve, config, calibrated=True
+        )
+        uncalibrated = replay_dynamic_prediction(
+            trace.times, trace.values, curve, config, calibrated=False
+        )
+        assert calibrated.mse < uncalibrated.mse / 2.0
+
+    def test_full_stack_calibrated_retargeted_is_best(self, migration_run):
+        trace, phi_0, psi_before, psi_after, lands = migration_run
+        config = PredictionConfig()
+        curve = PredefinedCurve(
+            phi_0=phi_0, psi_stable=psi_before,
+            t_break_s=config.t_break_s, delta=config.curve_delta,
+        )
+        variants = {}
+        for calibrated in (False, True):
+            for retarget in (False, True):
+                result = replay_dynamic_prediction(
+                    trace.times, trace.values, curve, config,
+                    calibrated=calibrated,
+                    retargets=[(lands, psi_after)] if retarget else None,
+                )
+                variants[(calibrated, retarget)] = result.mse
+        best = min(variants, key=variants.get)
+        assert best[0], "the best variant must use calibration"
+        assert variants[(True, True)] < variants[(False, False)]

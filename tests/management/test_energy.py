@@ -1,0 +1,65 @@
+"""Unit tests for the cooling power model and energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.management.energy import CoolingModel, EnergyAccount
+
+
+class TestCop:
+    def test_hp_curve_reference_point(self):
+        # COP(15) = 0.0068·225 + 0.0008·15 + 0.458 = 2.0.
+        model = CoolingModel()
+        assert model.cop(15.0) == pytest.approx(2.0, abs=1e-9)
+
+    def test_cop_rises_with_supply_temperature(self):
+        model = CoolingModel()
+        assert model.cop(25.0) > model.cop(15.0)
+
+    def test_rejects_negative_supply(self):
+        with pytest.raises(ConfigurationError):
+            CoolingModel().cop(-1.0)
+
+
+class TestCoolingPower:
+    def test_cooling_power_is_heat_over_cop(self):
+        model = CoolingModel()
+        assert model.cooling_power_w(2000.0, 15.0) == pytest.approx(1000.0, rel=1e-9)
+
+    def test_warmer_supply_cheaper_cooling(self):
+        model = CoolingModel()
+        assert model.cooling_power_w(1000.0, 25.0) < model.cooling_power_w(1000.0, 18.0)
+
+    def test_total_power(self):
+        model = CoolingModel()
+        total = model.total_power_w(2000.0, 15.0)
+        assert total == pytest.approx(3000.0, rel=1e-9)
+
+    def test_rejects_negative_heat(self):
+        with pytest.raises(ConfigurationError):
+            CoolingModel().cooling_power_w(-1.0, 20.0)
+
+
+class TestEnergyAccount:
+    def test_accumulates_both_sides(self):
+        account = EnergyAccount()
+        account.add_interval(it_power_w=2000.0, supply_temperature_c=15.0, duration_s=10.0)
+        assert account.it_energy_j == pytest.approx(20_000.0)
+        assert account.cooling_energy_j == pytest.approx(10_000.0, rel=1e-9)
+        assert account.total_energy_j == pytest.approx(30_000.0, rel=1e-9)
+
+    def test_pue_ratio(self):
+        account = EnergyAccount()
+        account.add_interval(2000.0, 15.0, 10.0)
+        assert account.pue == pytest.approx(1.5, rel=1e-9)
+
+    def test_pue_before_accounting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount().pue
+
+    def test_kwh_conversion(self):
+        assert EnergyAccount().to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount().add_interval(100.0, 20.0, -1.0)

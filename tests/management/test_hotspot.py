@@ -1,0 +1,55 @@
+"""Unit tests for hotspot detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.management.hotspot import HotspotDetector
+
+
+class TestDetection:
+    def test_flags_only_exceeding_servers(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        spots = detector.detect({"a": 80.0, "b": 70.0, "c": 76.0})
+        assert [s.server_name for s in spots] == ["a", "c"]
+
+    def test_sorted_hottest_first(self):
+        detector = HotspotDetector(threshold_c=70.0)
+        spots = detector.detect({"a": 75.0, "b": 90.0, "c": 80.0})
+        assert [s.server_name for s in spots] == ["b", "c", "a"]
+
+    def test_severity(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        spot = detector.detect({"a": 82.5})[0]
+        assert spot.severity_c == pytest.approx(7.5)
+
+    def test_no_hotspots(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        assert detector.detect({"a": 60.0}) == []
+
+    def test_exactly_at_threshold_not_flagged(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        assert detector.detect({"a": 75.0}) == []
+
+    def test_ties_break_by_name(self):
+        detector = HotspotDetector(threshold_c=70.0)
+        spots = detector.detect({"zeta": 80.0, "alpha": 80.0})
+        assert [s.server_name for s in spots] == ["alpha", "zeta"]
+
+
+class TestHelpers:
+    def test_headroom_signs(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        headroom = detector.headroom({"cool": 60.0, "hot": 80.0})
+        assert headroom["cool"] == pytest.approx(15.0)
+        assert headroom["hot"] == pytest.approx(-5.0)
+
+    def test_would_overheat(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        assert detector.would_overheat(75.1)
+        assert not detector.would_overheat(74.9)
+
+    def test_rejects_implausible_threshold(self):
+        with pytest.raises(ConfigurationError):
+            HotspotDetector(threshold_c=-5.0)
+        with pytest.raises(ConfigurationError):
+            HotspotDetector(threshold_c=200.0)

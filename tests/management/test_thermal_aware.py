@@ -1,0 +1,120 @@
+"""Unit tests for prediction-driven placement."""
+
+import pytest
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.errors import SchedulingError
+from repro.management.hotspot import HotspotDetector
+from repro.management.thermal_aware import ThermalAwareScheduler, record_for_host
+from tests.conftest import make_server_spec, make_vm
+
+
+class FakePredictor:
+    """Deterministic stand-in scoring hosts by their VM count."""
+
+    def __init__(self, base=50.0, per_vm=5.0):
+        self.base = base
+        self.per_vm = per_vm
+        self.queries = []
+
+    def predict(self, record):
+        self.queries.append(record)
+        return self.base + self.per_vm * record.n_vms
+
+
+def small_cluster(n=3) -> Cluster:
+    cluster = Cluster("ta")
+    for i in range(n):
+        cluster.add_server(Server(make_server_spec(name=f"s{i}")))
+    return cluster
+
+
+class TestRecordForHost:
+    def test_describes_current_vms(self):
+        cluster = small_cluster(1)
+        server = cluster.server("s0")
+        server.host_vm(make_vm("a", vcpus=2))
+        record = record_for_host(server, environment_c=23.0)
+        assert record.n_vms == 1
+        assert record.delta_env_c == 23.0
+        assert record.theta_fan_count == server.fans.count
+
+    def test_hypothetical_vm_included(self):
+        cluster = small_cluster(1)
+        server = cluster.server("s0")
+        server.host_vm(make_vm("a"))
+        record = record_for_host(server, 22.0, extra_vm=make_vm("incoming"))
+        assert record.n_vms == 2
+        assert record.metadata["hypothetical"] is True
+
+
+class TestPlacement:
+    def test_picks_coolest_predicted_host(self):
+        cluster = small_cluster()
+        cluster.server("s0").host_vm(make_vm("x"))
+        cluster.server("s0").host_vm(make_vm("y"))
+        cluster.server("s1").host_vm(make_vm("z"))
+        scheduler = ThermalAwareScheduler(FakePredictor())
+        chosen = scheduler.place(make_vm("new"), cluster)
+        assert chosen.name == "s2"  # empty host → lowest predicted ψ
+
+    def test_decision_logged(self):
+        cluster = small_cluster()
+        scheduler = ThermalAwareScheduler(FakePredictor())
+        scheduler.place(make_vm("new"), cluster)
+        assert len(scheduler.decision_log) == 1
+        vm_name, host, temp = scheduler.decision_log[0]
+        assert vm_name == "new"
+        assert temp == pytest.approx(55.0)
+
+    def test_predictions_are_post_placement(self):
+        cluster = small_cluster(1)
+        predictor = FakePredictor()
+        ThermalAwareScheduler(predictor).place(make_vm("new"), cluster)
+        # The hypothetical record includes the incoming VM.
+        assert predictor.queries[0].n_vms == 1
+
+    def test_skips_hosts_predicted_to_overheat(self):
+        cluster = small_cluster(2)
+        cluster.server("s0").host_vm(make_vm("a"))  # cooler... but:
+        predictor = FakePredictor(base=74.0, per_vm=2.0)
+        # s0 with new VM: 74+4=78 (overheats); s1 with new VM: 76 (overheats).
+        # With threshold 77: only s1 is acceptable.
+        scheduler = ThermalAwareScheduler(
+            predictor, detector=HotspotDetector(threshold_c=77.0)
+        )
+        chosen = scheduler.place(make_vm("new"), cluster)
+        assert chosen.name == "s1"
+
+    def test_degrades_gracefully_when_all_overheat(self):
+        cluster = small_cluster(2)
+        predictor = FakePredictor(base=90.0)
+        scheduler = ThermalAwareScheduler(
+            predictor, detector=HotspotDetector(threshold_c=75.0)
+        )
+        chosen = scheduler.place(make_vm("new"), cluster)
+        assert chosen.name in {"s0", "s1"}
+
+    def test_respects_capacity(self):
+        cluster = small_cluster(2)
+        cluster.server("s0").host_vm(make_vm("big", memory_gb=62.0))
+        scheduler = ThermalAwareScheduler(FakePredictor())
+        chosen = scheduler.place(make_vm("new", memory_gb=8.0), cluster)
+        assert chosen.name == "s1"
+
+    def test_no_feasible_host_rejected(self):
+        cluster = small_cluster(1)
+        cluster.server("s0").host_vm(make_vm("big", memory_gb=62.0))
+        scheduler = ThermalAwareScheduler(FakePredictor())
+        with pytest.raises(SchedulingError):
+            scheduler.place(make_vm("new", memory_gb=8.0), cluster)
+
+    def test_works_with_trained_predictor(self, trained_predictor):
+        cluster = small_cluster()
+        cluster.server("s0").host_vm(make_vm("w1", vcpus=8, level=0.9, n_tasks=8))
+        cluster.server("s0").host_vm(make_vm("w2", vcpus=8, level=0.9, n_tasks=8))
+        scheduler = ThermalAwareScheduler(trained_predictor, environment_c=22.0)
+        chosen = scheduler.place(make_vm("new"), cluster)
+        # The loaded host must not be chosen.
+        assert chosen.name != "s0"

@@ -1,0 +1,87 @@
+"""Property-based tests for the pre-defined curve and calibration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import RuntimeCalibrator
+from repro.core.curve import PredefinedCurve
+
+temps = st.floats(min_value=10.0, max_value=100.0, allow_nan=False)
+curve_params = st.tuples(
+    temps,  # phi_0
+    temps,  # psi_stable
+    st.floats(min_value=60.0, max_value=1200.0),  # t_break
+    st.floats(min_value=0.001, max_value=1.0),  # delta
+)
+
+
+@given(curve_params, st.floats(min_value=0.0, max_value=2000.0))
+@settings(max_examples=80, deadline=None)
+def test_curve_bounded_by_endpoints(params, t):
+    phi0, psi, t_break, delta = params
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=psi, t_break_s=t_break, delta=delta)
+    value = curve.value(t)
+    lo, hi = min(phi0, psi), max(phi0, psi)
+    assert lo - 1e-9 <= value <= hi + 1e-9
+
+
+@given(curve_params)
+@settings(max_examples=60, deadline=None)
+def test_curve_hits_exact_endpoints(params):
+    phi0, psi, t_break, delta = params
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=psi, t_break_s=t_break, delta=delta)
+    assert curve.value(0.0) == phi0
+    assert abs(curve.value(t_break) - psi) < 1e-9
+    assert curve.value(t_break * 3.0) == psi
+
+
+@given(curve_params, st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_curve_monotone_between_endpoints(params, fractions):
+    phi0, psi, t_break, delta = params
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=psi, t_break_s=t_break, delta=delta)
+    times = sorted(f * t_break for f in fractions)
+    values = [curve.value(t) for t in times]
+    if psi >= phi0:
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+    else:
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+@given(curve_params, temps, st.floats(min_value=0.0, max_value=5000.0))
+@settings(max_examples=60, deadline=None)
+def test_retarget_preserves_anchor(params, new_phi, origin):
+    phi0, psi, t_break, delta = params
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=psi, t_break_s=t_break, delta=delta)
+    fresh = curve.retargeted(origin_s=origin, phi_0=new_phi, psi_stable=psi)
+    assert fresh.value(origin) == new_phi
+    assert abs(fresh.value(origin + t_break) - psi) < 1e-9
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),  # λ
+    st.lists(st.tuples(temps, temps), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_calibration_gamma_bounded_by_observed_offsets(lam, observations):
+    """γ is a convex-combination tracker: it can never exceed the largest
+    measured offset in magnitude."""
+    calibrator = RuntimeCalibrator(learning_rate=lam)
+    max_offset = 0.0
+    for step, (measured, curve_value) in enumerate(observations):
+        calibrator.update(float(step), measured, curve_value)
+        max_offset = max(max_offset, abs(measured - curve_value))
+    assert abs(calibrator.gamma) <= max_offset + 1e-9
+
+
+@given(st.floats(min_value=0.01, max_value=1.0), temps, temps)
+@settings(max_examples=60, deadline=None)
+def test_calibration_fixed_point_is_exact_offset(lam, measured, curve_value):
+    """Feeding the same (measured, curve) pair repeatedly converges γ to
+    the exact offset for any λ > 0."""
+    calibrator = RuntimeCalibrator(learning_rate=lam)
+    for step in range(2000):
+        calibrator.update(float(step), measured, curve_value)
+        if abs(calibrator.gamma - (measured - curve_value)) < 1e-9:
+            break
+    assert abs(calibrator.gamma - (measured - curve_value)) < 1e-6

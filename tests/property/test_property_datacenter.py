@@ -1,0 +1,127 @@
+"""Property-based tests for datacenter invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter.migration import plan_migration
+from repro.datacenter.vm import Vm, VmSpec
+from repro.datacenter.vmm import Vmm
+from repro.datacenter.workload import ConstantTask
+
+
+def busy_vm(name: str, vcpus: int, level: float) -> Vm:
+    vm = Vm(
+        VmSpec(
+            name=name,
+            vcpus=vcpus,
+            memory_gb=1.0,
+            tasks=tuple(ConstantTask(level=level) for _ in range(vcpus)),
+        )
+    )
+    vm.start("host", 0.0)
+    return vm
+
+
+vm_lists = st.lists(
+    st.tuples(st.integers(1, 8), st.floats(min_value=0.0, max_value=1.0)),
+    min_size=0,
+    max_size=10,
+)
+
+
+@given(vm_lists, st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_vmm_never_over_allocates(vm_params, cores):
+    vmm = Vmm(physical_cores=cores)
+    vms = [busy_vm(f"v{i}", vcpus, level) for i, (vcpus, level) in enumerate(vm_params)]
+    load = vmm.schedule(vms, time_s=5.0)
+    total = sum(load.allocations.values()) + load.overhead_cores
+    assert total <= cores + 1e-9
+    assert 0.0 <= load.utilization <= 1.0
+
+
+@given(vm_lists, st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_vmm_conserves_demand(vm_params, cores):
+    """allocation + steal = demand, per VM."""
+    vmm = Vmm(physical_cores=cores)
+    vms = [busy_vm(f"v{i}", vcpus, level) for i, (vcpus, level) in enumerate(vm_params)]
+    load = vmm.schedule(vms, time_s=5.0)
+    for vm in vms:
+        demand = vm.cpu_demand(5.0)
+        granted = load.allocations[vm.name] + load.steal[vm.name]
+        assert abs(granted - demand) < 1e-9
+
+
+@given(vm_lists, st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_vmm_allocation_never_exceeds_demand(vm_params, cores):
+    vmm = Vmm(physical_cores=cores)
+    vms = [busy_vm(f"v{i}", vcpus, level) for i, (vcpus, level) in enumerate(vm_params)]
+    load = vmm.schedule(vms, time_s=5.0)
+    for vm in vms:
+        assert load.allocations[vm.name] <= vm.cpu_demand(5.0) + 1e-9
+
+
+migration_params = st.tuples(
+    st.floats(min_value=0.5, max_value=256.0),  # memory
+    st.floats(min_value=1.0, max_value=40.0),  # bandwidth
+    st.floats(min_value=0.0, max_value=0.9),  # dirty fraction of bandwidth
+    st.floats(min_value=0.05, max_value=2.0),  # downtime target
+)
+
+
+@given(migration_params)
+@settings(max_examples=60, deadline=None)
+def test_migration_transfers_at_least_image(params):
+    memory, bandwidth, dirty_fraction, downtime = params
+    plan = plan_migration(
+        vm_memory_gb=memory,
+        vm_name="vm",
+        source="a",
+        destination="b",
+        bandwidth_gbps=bandwidth,
+        dirty_rate_gbps=dirty_fraction * bandwidth,
+        downtime_target_s=downtime,
+    )
+    assert plan.transferred_gb >= memory - 1e-9
+    assert plan.duration_s >= memory / bandwidth - 1e-9
+    assert plan.downtime_s <= plan.duration_s + 1e-9
+    assert plan.rounds >= 1
+
+
+@given(migration_params)
+@settings(max_examples=60, deadline=None)
+def test_migration_downtime_meets_target_or_round_cap(params):
+    memory, bandwidth, dirty_fraction, downtime = params
+    plan = plan_migration(
+        vm_memory_gb=memory,
+        vm_name="vm",
+        source="a",
+        destination="b",
+        bandwidth_gbps=bandwidth,
+        dirty_rate_gbps=dirty_fraction * bandwidth,
+        downtime_target_s=downtime,
+        max_rounds=40,
+    )
+    assert plan.downtime_s <= downtime + 1e-9 or plan.rounds == 40
+
+
+@given(
+    st.floats(min_value=0.5, max_value=64.0),
+    st.floats(min_value=1.0, max_value=40.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_clean_migration_single_round(memory, bandwidth):
+    """Zero dirty rate: exactly the image size, no downtime."""
+    plan = plan_migration(
+        vm_memory_gb=memory,
+        vm_name="vm",
+        source="a",
+        destination="b",
+        bandwidth_gbps=bandwidth,
+        dirty_rate_gbps=0.0,
+    )
+    assert plan.rounds == 1
+    assert abs(plan.transferred_gb - memory) < 1e-9
+    assert plan.downtime_s == 0.0

@@ -1,0 +1,71 @@
+"""Property-based tests for the dynamic prediction loop."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PredictionConfig
+from repro.core.curve import PredefinedCurve
+from repro.core.dynamic import replay_dynamic_prediction
+
+temps = st.floats(min_value=20.0, max_value=90.0)
+
+
+def first_order_trace(phi0, target, tau, duration=1500.0, dt=5.0):
+    times, values = [], []
+    t = 0.0
+    while t <= duration:
+        times.append(t)
+        values.append(target + (phi0 - target) * math.exp(-t / tau))
+        t += dt
+    return times, values
+
+
+@given(
+    temps,
+    temps,
+    st.floats(min_value=50.0, max_value=400.0),
+    st.floats(min_value=20.0, max_value=120.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_calibrated_never_much_worse_than_uncalibrated(phi0, target, tau, gap):
+    """On first-order plants the calibrated arm beats (or matches within
+    noise) the uncalibrated arm for any gap — the paper's Fig 1(b)
+    property, universally quantified over plants."""
+    times, values = first_order_trace(phi0, target, tau)
+    config = PredictionConfig(prediction_gap_s=gap, update_interval_s=15.0)
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=target, t_break_s=600.0)
+    calibrated = replay_dynamic_prediction(times, values, curve, config)
+    uncalibrated = replay_dynamic_prediction(
+        times, values, curve, config, calibrated=False
+    )
+    assert calibrated.mse <= uncalibrated.mse + 1e-6
+
+
+@given(temps, temps, st.floats(min_value=50.0, max_value=400.0))
+@settings(max_examples=40, deadline=None)
+def test_predictions_bounded_by_trace_envelope(phi0, target, tau):
+    """Forecasts stay within the [min, max] envelope of curve+trace — the
+    calibrator cannot overshoot what it has seen on monotone traces."""
+    times, values = first_order_trace(phi0, target, tau)
+    config = PredictionConfig()
+    curve = PredefinedCurve(phi_0=phi0, psi_stable=target, t_break_s=600.0)
+    result = replay_dynamic_prediction(times, values, curve, config)
+    lo = min(min(values), min(phi0, target)) - 1.0
+    hi = max(max(values), max(phi0, target)) + 1.0
+    span = hi - lo
+    for predicted in result.predicted_values:
+        assert lo - 0.5 * span <= predicted <= hi + 0.5 * span
+
+
+@given(temps, st.floats(min_value=50.0, max_value=400.0))
+@settings(max_examples=30, deadline=None)
+def test_perfect_knowledge_gives_near_zero_mse_at_saturation(target, tau):
+    """Once both trace and curve are saturated at the same value, the
+    calibrated predictions become exact."""
+    times, values = first_order_trace(target, target, tau)  # flat trace
+    config = PredictionConfig()
+    curve = PredefinedCurve(phi_0=target, psi_stable=target, t_break_s=600.0)
+    result = replay_dynamic_prediction(times, values, curve, config)
+    assert result.mse < 1e-12

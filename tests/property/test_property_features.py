@@ -1,0 +1,83 @@
+"""Property-based tests for feature extraction and record round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.datacenter.workload import TASK_KINDS
+from repro.svm.scaling import MinMaxScaler
+
+vm_records = st.builds(
+    VmRecord,
+    vcpus=st.integers(1, 16),
+    memory_gb=st.floats(min_value=0.5, max_value=64.0),
+    task_kinds=st.lists(st.sampled_from(TASK_KINDS), max_size=4).map(tuple),
+    nominal_utilization=st.floats(min_value=0.0, max_value=1.0),
+)
+
+experiment_records = st.builds(
+    ExperimentRecord,
+    theta_cpu_cores=st.integers(1, 64),
+    theta_cpu_ghz=st.floats(min_value=1.0, max_value=200.0),
+    theta_memory_gb=st.floats(min_value=4.0, max_value=1024.0),
+    theta_fan_count=st.integers(1, 12),
+    theta_fan_speed=st.floats(min_value=0.05, max_value=1.0),
+    delta_env_c=st.floats(min_value=5.0, max_value=45.0),
+    vms=st.lists(vm_records, max_size=12).map(tuple),
+    psi_stable_c=st.one_of(st.none(), st.floats(min_value=20.0, max_value=110.0)),
+)
+
+
+@given(experiment_records)
+@settings(max_examples=80, deadline=None)
+def test_feature_vector_finite_and_fixed_length(record):
+    extractor = FeatureExtractor()
+    vector = extractor.extract(record)
+    assert vector.shape == (extractor.n_features,)
+    assert np.all(np.isfinite(vector))
+
+
+@given(experiment_records)
+@settings(max_examples=60, deadline=None)
+def test_util_estimate_in_unit_interval(record):
+    extractor = FeatureExtractor()
+    vector = extractor.extract(record)
+    util = vector[extractor.feature_names.index("util_estimate")]
+    assert 0.0 <= util <= 1.0
+
+
+@given(experiment_records)
+@settings(max_examples=60, deadline=None)
+def test_vm_order_invariance(record):
+    extractor = FeatureExtractor()
+    permuted = ExperimentRecord(
+        theta_cpu_cores=record.theta_cpu_cores,
+        theta_cpu_ghz=record.theta_cpu_ghz,
+        theta_memory_gb=record.theta_memory_gb,
+        theta_fan_count=record.theta_fan_count,
+        theta_fan_speed=record.theta_fan_speed,
+        delta_env_c=record.delta_env_c,
+        vms=record.vms[::-1],
+        psi_stable_c=record.psi_stable_c,
+    )
+    assert np.allclose(extractor.extract(record), extractor.extract(permuted))
+
+
+@given(experiment_records)
+@settings(max_examples=80, deadline=None)
+def test_record_json_round_trip(record):
+    restored = ExperimentRecord.from_dict(record.to_dict())
+    assert restored == record
+
+
+@given(st.lists(experiment_records, min_size=2, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_scaled_feature_matrix_bounded_on_training_data(records):
+    extractor = FeatureExtractor()
+    matrix = extractor.matrix(records)
+    scaled = MinMaxScaler().fit_transform(matrix)
+    assert scaled.min() >= -1.0 - 1e-9
+    assert scaled.max() <= 1.0 + 1e-9

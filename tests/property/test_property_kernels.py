@@ -1,0 +1,76 @@
+"""Property-based tests for kernels (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.svm.kernels import LinearKernel, RbfKernel, squared_distances
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+def matrices(max_rows=8, cols=3):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_rows), st.just(cols)),
+        elements=finite_floats,
+    )
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_rbf_gram_symmetric(x):
+    gram = RbfKernel(gamma=0.3).gram(x, x)
+    assert np.allclose(gram, gram.T, atol=1e-12)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_rbf_diag_one_and_bounded(x):
+    gram = RbfKernel(gamma=0.3).gram(x, x)
+    assert np.allclose(np.diag(gram), 1.0)
+    assert np.all(gram <= 1.0 + 1e-12)
+    # exp() underflows to exactly 0.0 for very distant pairs — that is
+    # still a valid kernel value.
+    assert np.all(gram >= 0.0)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_rbf_gram_positive_semidefinite(x):
+    gram = RbfKernel(gamma=0.5).gram(x, x)
+    eigenvalues = np.linalg.eigvalsh(gram)
+    assert np.all(eigenvalues > -1e-8)
+
+
+@given(matrices(), matrices())
+@settings(max_examples=30, deadline=None)
+def test_squared_distances_nonnegative_and_consistent(a, b):
+    d2 = squared_distances(a, b)
+    assert d2.shape == (a.shape[0], b.shape[0])
+    assert np.all(d2 >= 0.0)
+    # Spot-check one entry against the definition.
+    expected = float(np.sum((a[0] - b[0]) ** 2))
+    assert np.isclose(d2[0, 0], expected, atol=1e-6 * max(1.0, expected))
+
+
+@given(matrices())
+@settings(max_examples=30, deadline=None)
+def test_linear_gram_matches_matmul(x):
+    gram = LinearKernel().gram(x, x)
+    assert np.allclose(gram, x @ x.T, atol=1e-9)
+
+
+@given(
+    matrices(),
+    st.floats(min_value=0.01, max_value=5.0),
+    st.floats(min_value=0.01, max_value=5.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_rbf_monotone_in_gamma(x, g_small, g_big):
+    lo, hi = sorted((g_small, g_big))
+    wide = RbfKernel(gamma=lo).gram(x, x)
+    narrow = RbfKernel(gamma=hi).gram(x, x)
+    # Off-diagonal similarities can only shrink as gamma grows.
+    assert np.all(narrow <= wide + 1e-12)

@@ -1,0 +1,93 @@
+"""Property-based tests for the SMO solver: feasibility and KKT.
+
+Whatever data the solver sees, its output must satisfy the dual
+constraints exactly and the ε-insensitive KKT conditions approximately.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.svm.kernels import RbfKernel
+from repro.svm.smo import solve_svr_dual
+
+problem = st.tuples(
+    st.integers(min_value=2, max_value=25),  # samples
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.floats(min_value=0.5, max_value=100.0),  # C
+    st.floats(min_value=0.01, max_value=1.0),  # epsilon
+)
+
+
+def make_problem(n, seed, gamma=0.5):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 2))
+    y = np.sin(x[:, 0]) * 3.0 + x[:, 1] + rng.normal(0, 0.1, n)
+    return RbfKernel(gamma=gamma).gram(x, x), y
+
+
+@given(problem)
+@settings(max_examples=40, deadline=None)
+def test_dual_feasibility(params):
+    n, seed, c, epsilon = params
+    k, y = make_problem(n, seed)
+    result = solve_svr_dual(k, y, c=c, epsilon=epsilon)
+    assert np.sum(result.beta) == np.float64(0.0) or abs(np.sum(result.beta)) < 1e-8
+    assert np.all(result.beta <= c + 1e-9)
+    assert np.all(result.beta >= -c - 1e-9)
+
+
+@given(problem)
+@settings(max_examples=25, deadline=None)
+def test_kkt_gap_reported_honestly(params):
+    n, seed, c, epsilon = params
+    k, y = make_problem(n, seed)
+    result = solve_svr_dual(k, y, c=c, epsilon=epsilon, tol=1e-3)
+    if result.converged:
+        assert result.kkt_gap <= 1e-3 + 1e-9
+
+
+@given(problem)
+@settings(max_examples=25, deadline=None)
+def test_interior_points_inactive(params):
+    """Complementary slackness: points strictly inside the ε-tube carry
+    no bound-level dual weight.
+
+    The solver stops at KKT gap ≤ tol, so a bound variable may sit within
+    ~tol of the tube boundary; "strictly inside" must leave that margin.
+    """
+    n, seed, c, epsilon = params
+    tol = 1e-3
+    k, y = make_problem(n, seed)
+    result = solve_svr_dual(k, y, c=c, epsilon=epsilon, tol=tol)
+    predictions = k @ result.beta + result.bias
+    residuals = np.abs(y - predictions)
+    interior = residuals < epsilon - 10.0 * tol
+    assert np.all(np.abs(result.beta[interior]) < c - 1e-12)
+
+
+@given(problem)
+@settings(max_examples=25, deadline=None)
+def test_objective_no_worse_than_zero_vector(params):
+    """The dual objective at the solution must not exceed the value at
+    β=0 (the solver starts there and only descends)."""
+    n, seed, c, epsilon = params
+    k, y = make_problem(n, seed)
+    result = solve_svr_dual(k, y, c=c, epsilon=epsilon)
+    beta = result.beta
+    objective = 0.5 * beta @ k @ beta - y @ beta + epsilon * np.sum(np.abs(beta))
+    assert objective <= 1e-8
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_prediction_error_bounded_by_tube_for_separable(seed):
+    """With a huge C and wide tube, training residuals must fall within
+    ε (+ solver tolerance) for a smooth target."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(15, 1))
+    y = 2.0 * x[:, 0]
+    k = RbfKernel(gamma=1.0).gram(x, x)
+    result = solve_svr_dual(k, y, c=1e4, epsilon=0.5)
+    predictions = k @ result.beta + result.bias
+    assert np.max(np.abs(predictions - y)) <= 0.5 + 0.05

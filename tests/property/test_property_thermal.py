@@ -1,0 +1,83 @@
+"""Property-based tests for the thermal substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.fan import FanBank
+from repro.thermal.power import CpuPowerModel
+from repro.thermal.rc import RcNetwork, ThermalNode
+
+utilizations = st.floats(min_value=0.0, max_value=1.0)
+ambients = st.floats(min_value=10.0, max_value=40.0)
+
+
+@given(utilizations, utilizations)
+@settings(max_examples=60, deadline=None)
+def test_power_monotone(u1, u2):
+    model = CpuPowerModel()
+    lo, hi = sorted((u1, u2))
+    assert model.power(lo) <= model.power(hi) + 1e-12
+
+
+@given(utilizations)
+@settings(max_examples=60, deadline=None)
+def test_power_within_declared_bounds(u):
+    model = CpuPowerModel(memory_gb=0.0)
+    assert model.idle_power_w - 1e-9 <= model.power(u) <= model.max_power_w + 1e-9
+
+
+@given(st.integers(1, 12), st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_fan_resistance_scale_positive_and_finite(count, speed):
+    bank = FanBank(count=count, speed=speed)
+    scale = bank.resistance_scale()
+    assert 0.0 < scale < 10.0
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 8),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_fan_resistance_monotone_in_count(count_a, count_b, speed):
+    lo, hi = sorted((count_a, count_b))
+    weak = FanBank(count=lo, speed=speed)
+    strong = FanBank(count=hi, speed=speed)
+    assert strong.resistance_scale() <= weak.resistance_scale() + 1e-12
+
+
+@given(
+    st.floats(min_value=10.0, max_value=500.0),  # power
+    ambients,
+    st.floats(min_value=50.0, max_value=500.0),  # capacity
+    st.floats(min_value=0.01, max_value=1.0),  # resistance
+)
+@settings(max_examples=60, deadline=None)
+def test_single_lump_steady_state_formula(power, ambient, capacity, resistance):
+    net = RcNetwork(
+        nodes=[ThermalNode("l", capacity, ambient_resistance_k_per_w=resistance)]
+    )
+    steady = net.steady_state({"l": power}, ambient)["l"]
+    assert abs(steady - (ambient + power * resistance)) < 1e-6
+
+
+@given(
+    st.floats(min_value=0.0, max_value=300.0),
+    ambients,
+    st.integers(10, 300),
+)
+@settings(max_examples=40, deadline=None)
+def test_integration_never_overshoots_steady_state_from_below(power, ambient, steps):
+    """A single lump heated from ambient approaches steady state
+    monotonically (explicit Euler is stable at dt ≪ τ)."""
+    net = RcNetwork(nodes=[ThermalNode("l", 150.0, ambient_resistance_k_per_w=0.2)])
+    net.set_all_temperatures(ambient)
+    steady = net.steady_state({"l": power}, ambient)["l"]
+    previous = ambient
+    for _ in range(steps):
+        net.step(1.0, {"l": power}, ambient)
+        current = net.temperature("l")
+        assert current >= previous - 1e-9
+        assert current <= steady + 1e-6
+        previous = current

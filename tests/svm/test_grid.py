@@ -1,0 +1,70 @@
+"""Unit tests for the easygrid-style grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import RngStream
+from repro.svm.grid import grid_search_svr
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-1, 1, size=(50, 3))
+    y = 2.0 * x[:, 0] + np.sin(3.0 * x[:, 1]) + 0.05 * rng.normal(size=50)
+    return x, y
+
+
+class TestGridSearch:
+    def test_evaluates_every_grid_point(self, data):
+        x, y = data
+        result = grid_search_svr(
+            x, y, c_grid=(1.0, 10.0), gamma_grid=(0.1, 1.0), epsilon_grid=(0.1,),
+            n_splits=5,
+        )
+        assert len(result.trials) == 4
+
+    def test_best_point_minimizes_cv_mse(self, data):
+        x, y = data
+        result = grid_search_svr(
+            x, y, c_grid=(1.0, 10.0), gamma_grid=(0.1, 1.0), epsilon_grid=(0.1,),
+            n_splits=5,
+        )
+        best_trial = min(result.trials, key=lambda t: t[3])
+        assert result.best_cv_mse == pytest.approx(best_trial[3])
+        assert (result.best_c, result.best_gamma, result.best_epsilon) == best_trial[:3]
+
+    def test_best_model_uses_winning_parameters(self, data):
+        x, y = data
+        result = grid_search_svr(
+            x, y, c_grid=(5.0,), gamma_grid=(0.5,), epsilon_grid=(0.2,), n_splits=5
+        )
+        model = result.best_model()
+        assert model.c == 5.0
+        assert model.epsilon == 0.2
+        assert model.kernel.gamma == 0.5
+
+    def test_deterministic_given_stream(self, data):
+        x, y = data
+        kwargs = dict(
+            c_grid=(1.0, 10.0), gamma_grid=(0.1, 1.0), epsilon_grid=(0.1,), n_splits=5
+        )
+        a = grid_search_svr(x, y, rng=RngStream(9, "cv"), **kwargs)
+        b = grid_search_svr(x, y, rng=RngStream(9, "cv"), **kwargs)
+        assert a.best_cv_mse == b.best_cv_mse
+        assert (a.best_c, a.best_gamma) == (b.best_c, b.best_gamma)
+
+    def test_summary_mentions_parameters(self, data):
+        x, y = data
+        result = grid_search_svr(
+            x, y, c_grid=(5.0,), gamma_grid=(0.5,), epsilon_grid=(0.2,), n_splits=5
+        )
+        summary = result.summary()
+        assert "C=5" in summary
+        assert "gamma=0.5" in summary
+
+    def test_rejects_empty_grid(self, data):
+        x, y = data
+        with pytest.raises(ConfigurationError):
+            grid_search_svr(x, y, c_grid=())

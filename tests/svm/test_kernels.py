@@ -1,0 +1,100 @@
+"""Unit tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.svm.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RbfKernel,
+    squared_distances,
+)
+
+
+@pytest.fixture
+def points():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(12, 4))
+
+
+class TestSquaredDistances:
+    def test_matches_bruteforce(self, points):
+        d2 = squared_distances(points, points)
+        for i in range(len(points)):
+            for j in range(len(points)):
+                expected = float(np.sum((points[i] - points[j]) ** 2))
+                assert d2[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_never_negative(self):
+        # Catastrophic cancellation would produce tiny negatives.
+        x = np.full((5, 3), 1e8)
+        assert np.all(squared_distances(x, x) >= 0.0)
+
+
+class TestRbf:
+    def test_diagonal_is_one(self, points):
+        gram = RbfKernel(gamma=0.7).gram(points, points)
+        assert np.allclose(np.diag(gram), 1.0)
+
+    def test_symmetric(self, points):
+        gram = RbfKernel(gamma=0.7).gram(points, points)
+        assert np.allclose(gram, gram.T)
+
+    def test_values_in_unit_interval(self, points):
+        gram = RbfKernel(gamma=0.3).gram(points, points)
+        assert np.all(gram > 0.0)
+        assert np.all(gram <= 1.0)
+
+    def test_gamma_controls_locality(self, points):
+        wide = RbfKernel(gamma=0.01).gram(points, points)
+        narrow = RbfKernel(gamma=10.0).gram(points, points)
+        off = ~np.eye(len(points), dtype=bool)
+        assert wide[off].mean() > narrow[off].mean()
+
+    def test_positive_semidefinite(self, points):
+        gram = RbfKernel(gamma=0.5).gram(points, points)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert np.all(eigenvalues > -1e-10)
+
+    def test_single_vector_input(self, points):
+        row = RbfKernel(gamma=0.5).gram(points[0], points)
+        assert row.shape == (1, len(points))
+
+    def test_rejects_nonpositive_gamma(self):
+        with pytest.raises(ConfigurationError):
+            RbfKernel(gamma=0.0)
+
+
+class TestLinear:
+    def test_matches_inner_product(self, points):
+        gram = LinearKernel().gram(points, points)
+        assert np.allclose(gram, points @ points.T)
+
+    def test_rectangular_shapes(self, points):
+        gram = LinearKernel().gram(points[:5], points[5:])
+        assert gram.shape == (5, 7)
+
+
+class TestPolynomial:
+    def test_degree_one_is_affine_linear(self, points):
+        poly = PolynomialKernel(degree=1, gamma=1.0, coef0=0.0).gram(points, points)
+        assert np.allclose(poly, points @ points.T)
+
+    def test_libsvm_convention(self, points):
+        k = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)
+        gram = k.gram(points, points)
+        expected = (0.5 * (points @ points.T) + 1.0) ** 2
+        assert np.allclose(gram, expected)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialKernel(degree=0)
+
+    def test_names_distinct(self):
+        names = {
+            RbfKernel(gamma=0.1).name,
+            LinearKernel().name,
+            PolynomialKernel().name,
+        }
+        assert len(names) == 3

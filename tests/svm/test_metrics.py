@@ -1,0 +1,63 @@
+"""Unit tests for regression metrics."""
+
+import math
+
+import pytest
+
+from repro.svm.metrics import (
+    bias,
+    max_error,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    rmse,
+)
+
+
+class TestMse:
+    def test_perfect_prediction_is_zero(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt(self):
+        y_true, y_pred = [0.0, 0.0], [1.0, 3.0]
+        assert rmse(y_true, y_pred) == pytest.approx(math.sqrt(5.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestOtherMetrics:
+    def test_mae_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_max_error(self):
+        assert max_error([0.0, 0.0, 0.0], [1.0, -3.0, 2.0]) == 3.0
+
+    def test_bias_signed(self):
+        assert bias([0.0, 0.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert bias([0.0, 0.0], [-1.0, -1.0]) == pytest.approx(-1.0)
+        assert bias([0.0, 0.0], [1.0, -1.0]) == pytest.approx(0.0)
+
+
+class TestR2:
+    def test_perfect_prediction_is_one(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0.0
+
+    def test_constant_target_conventions(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0

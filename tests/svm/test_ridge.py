@@ -1,0 +1,60 @@
+"""Unit tests for kernel ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.svm.kernels import RbfKernel
+from repro.svm.ridge import KernelRidge
+
+
+def smooth_data(n=60, seed=4):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 2))
+    y = np.cos(x[:, 0]) + 0.3 * x[:, 1]
+    return x, y
+
+
+class TestFitPredict:
+    def test_interpolates_smooth_function(self):
+        x, y = smooth_data()
+        model = KernelRidge(kernel=RbfKernel(gamma=0.5), alpha=1e-4)
+        model.fit(x[:45], y[:45])
+        predictions = model.predict(x[45:])
+        assert np.mean((predictions - y[45:]) ** 2) < 0.01
+
+    def test_heavy_regularization_shrinks_to_mean(self):
+        x, y = smooth_data()
+        model = KernelRidge(alpha=1e9).fit(x, y)
+        predictions = model.predict(x)
+        assert np.allclose(predictions, y.mean(), atol=0.05)
+
+    def test_single_row_prediction(self):
+        x, y = smooth_data()
+        model = KernelRidge().fit(x, y)
+        assert np.ndim(model.predict(x[0])) == 0
+
+    def test_clone_unfitted(self):
+        model = KernelRidge(alpha=0.5)
+        clone = model.clone()
+        assert clone.alpha == 0.5
+        with pytest.raises(NotFittedError):
+            clone.predict(np.zeros((1, 2)))
+
+
+class TestValidation:
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            KernelRidge().predict(np.zeros((1, 2)))
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            KernelRidge(alpha=0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            KernelRidge().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            KernelRidge().fit(np.zeros(5), np.zeros(5))

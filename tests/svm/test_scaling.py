@@ -1,0 +1,84 @@
+"""Unit tests for feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.svm.scaling import MinMaxScaler, StandardScaler
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(1)
+    return rng.normal(loc=5.0, scale=3.0, size=(30, 4))
+
+
+class TestMinMax:
+    def test_training_data_lands_in_bounds(self, matrix):
+        scaled = MinMaxScaler().fit_transform(matrix)
+        assert scaled.min() >= -1.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_extremes_map_to_bounds(self, matrix):
+        scaler = MinMaxScaler()
+        scaled = scaler.fit_transform(matrix)
+        assert np.allclose(scaled.min(axis=0), -1.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_out_of_range_extrapolates(self, matrix):
+        scaler = MinMaxScaler().fit(matrix)
+        beyond = matrix.max(axis=0, keepdims=True) + 10.0
+        assert np.all(scaler.transform(beyond) > 1.0)
+
+    def test_constant_feature_maps_to_midpoint(self):
+        x = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        scaled = MinMaxScaler().fit_transform(x)
+        assert np.allclose(scaled[:, 1], 0.0)
+
+    def test_custom_interval(self, matrix):
+        scaled = MinMaxScaler(lower=0.0, upper=1.0).fit_transform(matrix)
+        assert scaled.min() >= -1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_inverse_round_trip(self, matrix):
+        scaler = MinMaxScaler().fit(matrix)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(matrix)), matrix)
+
+    def test_transform_before_fit_rejected(self, matrix):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(matrix)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(lower=1.0, upper=1.0)
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.empty((0, 3)))
+
+
+class TestStandard:
+    def test_zero_mean_unit_variance(self, matrix):
+        scaled = StandardScaler().fit_transform(matrix)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_safe(self):
+        x = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled[:, 1], 0.0)
+
+    def test_inverse_round_trip(self, matrix):
+        scaler = StandardScaler().fit(matrix)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(matrix)), matrix)
+
+    def test_transform_before_fit_rejected(self, matrix):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(matrix)
+
+    def test_same_map_applied_to_new_data(self, matrix):
+        scaler = StandardScaler().fit(matrix)
+        single = matrix[:1] + 100.0
+        transformed = scaler.transform(single)
+        expected = (single - matrix.mean(axis=0)) / matrix.std(axis=0)
+        assert np.allclose(transformed, expected)

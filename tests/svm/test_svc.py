@@ -1,0 +1,104 @@
+"""Unit tests for the C-SVC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.svm.kernels import LinearKernel, RbfKernel
+from repro.svm.svc import SupportVectorClassifier
+
+
+def blobs(n=60, gap=2.0, seed=0):
+    """Two Gaussian blobs separated along x₀."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    a = rng.normal(loc=(-gap, 0.0), scale=0.5, size=(half, 2))
+    b = rng.normal(loc=(gap, 0.0), scale=0.5, size=(half, 2))
+    x = np.vstack([a, b])
+    y = np.concatenate([-np.ones(half), np.ones(half)])
+    return x, y
+
+
+def rings(n=80, seed=1):
+    """Concentric rings — not linearly separable."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    angles = rng.uniform(0, 2 * np.pi, size=n)
+    radii = np.concatenate(
+        [rng.normal(1.0, 0.1, half), rng.normal(3.0, 0.1, half)]
+    )
+    x = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    y = np.concatenate([-np.ones(half), np.ones(half)])
+    return x, y
+
+
+class TestSeparable:
+    def test_separable_blobs_perfect_accuracy(self):
+        x, y = blobs()
+        model = SupportVectorClassifier(kernel=LinearKernel(), c=10.0).fit(x, y)
+        assert model.accuracy(x, y) == 1.0
+
+    def test_generalizes_to_fresh_samples(self):
+        x, y = blobs(n=80, seed=2)
+        model = SupportVectorClassifier(kernel=RbfKernel(gamma=0.5), c=10.0)
+        model.fit(x[:60], y[:60])
+        assert model.accuracy(x[60:], y[60:]) >= 0.9
+
+    def test_decision_sign_matches_labels(self):
+        x, y = blobs()
+        model = SupportVectorClassifier(kernel=LinearKernel(), c=10.0).fit(x, y)
+        scores = model.decision_function(x)
+        assert np.all(np.sign(scores) == y)
+
+    def test_margin_support_vectors_subset(self):
+        x, y = blobs()
+        model = SupportVectorClassifier(kernel=LinearKernel(), c=10.0).fit(x, y)
+        assert 0 < model.n_support < len(x)
+
+
+class TestNonlinear:
+    def test_rings_need_rbf(self):
+        x, y = rings()
+        linear = SupportVectorClassifier(kernel=LinearKernel(), c=10.0).fit(x, y)
+        rbf = SupportVectorClassifier(kernel=RbfKernel(gamma=1.0), c=10.0).fit(x, y)
+        assert rbf.accuracy(x, y) > 0.95
+        assert rbf.accuracy(x, y) > linear.accuracy(x, y)
+
+
+class TestEdgeCases:
+    def test_single_class_predicts_constant(self):
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.ones(10)
+        model = SupportVectorClassifier().fit(x, y)
+        assert np.all(model.predict(x) == 1.0)
+
+    def test_single_row_prediction(self):
+        x, y = blobs()
+        model = SupportVectorClassifier(kernel=LinearKernel(), c=10.0).fit(x, y)
+        assert model.predict(x[0]) in (-1.0, 1.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            SupportVectorClassifier().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_labels(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            SupportVectorClassifier().fit(x, np.array([0.0, 1.0, 2.0, 1.0]))
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ConfigurationError):
+            SupportVectorClassifier(c=0.0)
+
+    def test_clone_unfitted(self):
+        model = SupportVectorClassifier(c=3.0)
+        clone = model.clone()
+        assert clone.c == 3.0
+        with pytest.raises(NotFittedError):
+            clone.predict(np.zeros((1, 2)))
+
+    def test_dual_constraint_satisfied(self):
+        x, y = blobs(n=40)
+        model = SupportVectorClassifier(kernel=RbfKernel(gamma=0.3), c=5.0).fit(x, y)
+        # Σ y_i α_i = Σ coef over support vectors must vanish.
+        assert abs(float(np.sum(model._support_coef))) < 1e-8

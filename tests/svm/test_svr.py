@@ -1,0 +1,88 @@
+"""Unit tests for the EpsilonSVR estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.svm.kernels import LinearKernel, RbfKernel
+from repro.svm.svr import EpsilonSVR
+
+
+def wave_data(n=80, seed=2):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-3, 3, size=(n, 2))
+    y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+    return x, y
+
+
+class TestFitPredict:
+    def test_learns_smooth_function(self):
+        x, y = wave_data()
+        model = EpsilonSVR(kernel=RbfKernel(gamma=0.5), c=50.0, epsilon=0.05)
+        model.fit(x[:60], y[:60])
+        predictions = model.predict(x[60:])
+        assert np.mean((predictions - y[60:]) ** 2) < 0.05
+
+    def test_single_row_prediction_returns_scalar_like(self):
+        x, y = wave_data()
+        model = EpsilonSVR().fit(x, y)
+        single = model.predict(x[0])
+        assert np.ndim(single) == 0
+
+    def test_batch_prediction_shape(self):
+        x, y = wave_data()
+        model = EpsilonSVR().fit(x, y)
+        assert model.predict(x[:7]).shape == (7,)
+
+    def test_training_points_within_tube_plus_slack(self):
+        x, y = wave_data(n=50)
+        model = EpsilonSVR(kernel=RbfKernel(gamma=1.0), c=1000.0, epsilon=0.2)
+        model.fit(x, y)
+        residuals = np.abs(model.predict(x) - y)
+        # With a huge C almost everything should sit within ε (+tolerance).
+        assert np.quantile(residuals, 0.9) < 0.25
+
+    def test_constant_target_predicts_constant(self):
+        x = np.linspace(0, 1, 12).reshape(-1, 1)
+        y = np.full(12, 42.0)
+        model = EpsilonSVR(epsilon=0.5).fit(x, y)
+        assert model.predict(x[3]) == pytest.approx(42.0, abs=0.6)
+        assert model.n_support == 0
+
+
+class TestStatefulness:
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            EpsilonSVR().predict(np.zeros((1, 2)))
+
+    def test_n_support_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            EpsilonSVR().n_support
+
+    def test_clone_is_unfitted_with_same_params(self):
+        model = EpsilonSVR(kernel=LinearKernel(), c=7.0, epsilon=0.3)
+        clone = model.clone()
+        assert clone.c == 7.0
+        assert clone.epsilon == 0.3
+        assert clone.kernel is model.kernel
+        with pytest.raises(NotFittedError):
+            clone.predict(np.zeros((1, 2)))
+
+    def test_refit_replaces_model(self):
+        x, y = wave_data()
+        model = EpsilonSVR()
+        model.fit(x, y)
+        first = model.predict(x[:3]).tolist()
+        model.fit(x, -y)
+        second = model.predict(x[:3]).tolist()
+        assert first != second
+
+
+class TestValidation:
+    def test_rejects_1d_x(self):
+        with pytest.raises(ValueError):
+            EpsilonSVR().fit(np.zeros(5), np.zeros(5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EpsilonSVR().fit(np.zeros((5, 2)), np.zeros(4))

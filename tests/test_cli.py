@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_commands_exist(self):
+        parser = build_parser()
+        for command in ("fig1a", "fig1b", "fig1c", "dataset"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.handler)
+
+    def test_quick_and_seed_flags(self):
+        args = build_parser().parse_args(["fig1a", "--quick", "--seed", "3"])
+        assert args.quick is True
+        assert args.seed == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9z"])
+
+
+class TestDatasetCommand:
+    def test_writes_json_records(self, tmp_path, capsys):
+        out = tmp_path / "records.json"
+        code = main(["dataset", "--n", "3", "--out", str(out), "--seed", "5"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload) == 3
+        assert all("psi_stable_c" in record for record in payload)
+        assert "wrote 3 records" in capsys.readouterr().out
+
+
+class TestFigureCommandsSmoke:
+    """Quick-mode smoke runs of the figure commands (still real runs,
+    so these take ~1 minute combined)."""
+
+    @pytest.mark.slow
+    def test_fig1a_quick(self, capsys):
+        assert main(["fig1a", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "average MSE" in out
+        assert "paper" in out

@@ -1,0 +1,86 @@
+"""Unit tests for configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    PredictionConfig,
+    SensorConfig,
+    ThermalConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPredictionConfig:
+    def test_paper_defaults(self):
+        config = PredictionConfig()
+        assert config.t_break_s == 600.0
+        assert config.learning_rate == 0.8
+        assert config.prediction_gap_s == 60.0
+        assert config.update_interval_s == 15.0
+
+    def test_with_replaces_fields(self):
+        config = PredictionConfig().with_(prediction_gap_s=90.0)
+        assert config.prediction_gap_s == 90.0
+        assert config.t_break_s == 600.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PredictionConfig().t_break_s = 1.0
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            PredictionConfig(learning_rate=1.5)
+
+    def test_rejects_nonpositive_t_break(self):
+        with pytest.raises(ConfigurationError):
+            PredictionConfig(t_break_s=0.0)
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ConfigurationError):
+            PredictionConfig(prediction_gap_s=-1.0)
+
+
+class TestThermalConfig:
+    def test_defaults_positive(self):
+        config = ThermalConfig()
+        assert config.cpu_heat_capacity_j_per_k > 0
+        assert config.time_step_s > 0
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(cpu_heat_capacity_j_per_k=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalConfig(time_step_s=-1.0)
+
+    def test_with_replaces_fields(self):
+        config = ThermalConfig().with_(time_step_s=0.5)
+        assert config.time_step_s == 0.5
+
+
+class TestSensorConfig:
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            SensorConfig(noise_std_c=-0.1)
+
+    def test_zero_quantization_allowed(self):
+        assert SensorConfig(quantization_c=0.0).quantization_c == 0.0
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            SensorConfig(sampling_period_s=0.0)
+
+
+class TestExperimentConfig:
+    def test_duration_must_exceed_t_break(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(duration_s=500.0, t_break_s=600.0)
+
+    def test_valid_configuration(self):
+        config = ExperimentConfig(duration_s=1800.0)
+        assert config.duration_s > config.t_break_s
+
+    def test_nested_configs_present(self):
+        config = ExperimentConfig()
+        assert isinstance(config.thermal, ThermalConfig)
+        assert isinstance(config.sensor, SensorConfig)

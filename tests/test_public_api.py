@@ -1,0 +1,71 @@
+"""Public API surface tests.
+
+Guards the contract README documents: everything in ``repro.__all__``
+must be importable from the top level, and the error hierarchy must be
+catchable via the shared base class.
+"""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_key_classes_exported(self):
+        for name in (
+            "StableTemperaturePredictor",
+            "DynamicTemperaturePredictor",
+            "PredefinedCurve",
+            "RuntimeCalibrator",
+            "EpsilonSVR",
+            "ExperimentRecord",
+            "PredictionConfig",
+        ):
+            assert name in repro.__all__
+
+    def test_workflow_functions_exported(self):
+        for name in (
+            "run_experiment",
+            "train_stable_predictor",
+            "replay_dynamic_prediction",
+            "build_fig1a",
+            "build_fig1b",
+            "build_fig1c",
+        ):
+            assert name in repro.__all__
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_classes = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+            and name != "ReproError"
+        ]
+        assert len(error_classes) >= 8
+        for cls in error_classes:
+            assert issubclass(cls, errors.ReproError), cls
+
+    def test_catching_the_base_class_works(self):
+        from repro.config import PredictionConfig
+
+        with pytest.raises(errors.ReproError):
+            PredictionConfig(learning_rate=7.0)
+
+    def test_errors_carry_informative_messages(self):
+        from repro.config import PredictionConfig
+
+        with pytest.raises(errors.ReproError, match="learning_rate"):
+            PredictionConfig(learning_rate=7.0)

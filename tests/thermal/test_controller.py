@@ -1,0 +1,103 @@
+"""Unit tests for the closed-loop fan controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.controller import FanController, FanControllerConfig
+from tests.conftest import make_server_spec, make_vm
+from repro.datacenter.server import Server
+
+
+def loaded_server(level=1.0) -> Server:
+    server = Server(make_server_spec(fan_speed=0.4))
+    server.host_vm(make_vm("hot", vcpus=8, level=level, n_tasks=8))
+    return server
+
+
+class TestControlLaw:
+    def test_hot_reading_raises_speed(self):
+        server = loaded_server()
+        controller = FanController(server, FanControllerConfig(setpoint_c=65.0))
+        before = server.fans.speed
+        controller.update(0.0, measured_c=80.0)
+        assert server.fans.speed > before
+
+    def test_cool_reading_keeps_speed_low(self):
+        server = loaded_server()
+        controller = FanController(server, FanControllerConfig(setpoint_c=65.0))
+        controller.update(0.0, measured_c=40.0)
+        assert server.fans.speed == pytest.approx(
+            controller.config.min_speed
+        )
+
+    def test_speed_saturates_at_max(self):
+        server = loaded_server()
+        controller = FanController(server, FanControllerConfig(setpoint_c=65.0))
+        controller.update(0.0, measured_c=200.0)
+        assert server.fans.speed == controller.config.max_speed
+
+    def test_respects_control_period(self):
+        server = loaded_server()
+        controller = FanController(
+            server, FanControllerConfig(setpoint_c=65.0, period_s=10.0)
+        )
+        assert controller.update(0.0, 80.0) is not None
+        assert controller.update(5.0, 80.0) is None
+        assert controller.update(10.0, 80.0) is not None
+
+    def test_actions_logged(self):
+        server = loaded_server()
+        controller = FanController(server)
+        controller.update(0.0, 80.0)
+        controller.update(20.0, 80.0)
+        assert len(controller.actions) == 2
+
+    def test_reset_clears_state(self):
+        server = loaded_server()
+        controller = FanController(server)
+        controller.update(0.0, 90.0)
+        controller.reset()
+        assert controller.actions == []
+        assert controller.update(0.0, 90.0) is not None
+
+
+class TestClosedLoopRegulation:
+    def test_holds_setpoint_under_load(self):
+        """Run the plant under full load with the controller in the loop:
+        the steady temperature must settle near the set-point, which a
+        fixed low fan speed cannot achieve."""
+        server = loaded_server(level=1.0)
+        config = FanControllerConfig(setpoint_c=70.0, period_s=5.0)
+        controller = FanController(server, config)
+        for t in range(4000):
+            server.step_thermal(1.0, float(t), ambient_c=22.0)
+            controller.update(float(t), server.thermal.cpu_temperature_c)
+        settled = server.thermal.cpu_temperature_c
+        assert settled == pytest.approx(70.0, abs=4.0)
+
+    def test_integral_term_removes_offset(self):
+        """With ki > 0 the residual error shrinks versus pure-P control."""
+        def run(ki):
+            server = loaded_server(level=0.9)
+            config = FanControllerConfig(setpoint_c=70.0, kp=0.02, ki=ki, period_s=5.0)
+            controller = FanController(server, config)
+            for t in range(6000):
+                server.step_thermal(1.0, float(t), ambient_c=22.0)
+                controller.update(float(t), server.thermal.cpu_temperature_c)
+            return abs(server.thermal.cpu_temperature_c - 70.0)
+
+        assert run(ki=0.0005) < run(ki=0.0) + 1e-9
+
+
+class TestValidation:
+    def test_rejects_bad_speed_band(self):
+        with pytest.raises(ConfigurationError):
+            FanControllerConfig(min_speed=0.9, max_speed=0.5)
+
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ConfigurationError):
+            FanControllerConfig(kp=-0.1)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            FanControllerConfig(period_s=0.0)

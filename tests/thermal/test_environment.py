@@ -1,0 +1,68 @@
+"""Unit tests for environment temperature profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.environment import (
+    ConstantEnvironment,
+    SinusoidalEnvironment,
+    SteppedEnvironment,
+)
+
+
+class TestConstant:
+    def test_constant_everywhere(self):
+        env = ConstantEnvironment(23.5)
+        assert env.temperature(0.0) == 23.5
+        assert env.temperature(1e6) == 23.5
+
+    def test_mean_over_equals_value(self):
+        env = ConstantEnvironment(21.0)
+        assert env.mean_over(0.0, 3600.0) == pytest.approx(21.0)
+
+
+class TestSinusoidal:
+    def test_oscillates_around_mean(self):
+        env = SinusoidalEnvironment(mean_c=22.0, amplitude_c=2.0, period_s=100.0)
+        quarter = env.temperature(25.0)
+        three_quarter = env.temperature(75.0)
+        assert quarter == pytest.approx(24.0)
+        assert three_quarter == pytest.approx(20.0)
+
+    def test_period_repeats(self):
+        env = SinusoidalEnvironment(period_s=100.0)
+        assert env.temperature(13.0) == pytest.approx(env.temperature(113.0))
+
+    def test_mean_over_full_period_is_mean(self):
+        env = SinusoidalEnvironment(mean_c=22.0, amplitude_c=3.0, period_s=128.0)
+        assert env.mean_over(0.0, 128.0, samples=128) == pytest.approx(22.0, abs=1e-6)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalEnvironment(period_s=0.0)
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalEnvironment(amplitude_c=-1.0)
+
+
+class TestStepped:
+    def test_initial_value_before_first_step(self):
+        env = SteppedEnvironment(initial_c=20.0, steps=((100.0, 25.0),))
+        assert env.temperature(50.0) == 20.0
+
+    def test_steps_apply_at_their_time(self):
+        env = SteppedEnvironment(initial_c=20.0, steps=((100.0, 25.0), (200.0, 18.0)))
+        assert env.temperature(100.0) == 25.0
+        assert env.temperature(150.0) == 25.0
+        assert env.temperature(200.0) == 18.0
+        assert env.temperature(1e9) == 18.0
+
+    def test_rejects_unsorted_steps(self):
+        with pytest.raises(ConfigurationError):
+            SteppedEnvironment(steps=((200.0, 25.0), (100.0, 18.0)))
+
+    def test_mean_over_spans_steps(self):
+        env = SteppedEnvironment(initial_c=20.0, steps=((50.0, 30.0),))
+        # Half the window at 20, half at 30.
+        assert env.mean_over(0.0, 100.0, samples=1000) == pytest.approx(25.0, abs=0.1)

@@ -1,0 +1,85 @@
+"""Unit tests for the fan bank model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.fan import (
+    CONVECTION_EXPONENT,
+    REFERENCE_FAN_COUNT,
+    REFERENCE_FAN_SPEED,
+    FanBank,
+)
+
+
+class TestAirflowAndResistance:
+    def test_reference_point_has_unit_scale(self):
+        bank = FanBank(count=REFERENCE_FAN_COUNT, speed=REFERENCE_FAN_SPEED)
+        assert bank.resistance_scale() == pytest.approx(1.0)
+
+    def test_more_fans_lower_resistance(self):
+        few = FanBank(count=2, speed=0.7)
+        many = FanBank(count=8, speed=0.7)
+        assert many.resistance_scale() < few.resistance_scale()
+
+    def test_faster_fans_lower_resistance(self):
+        slow = FanBank(count=4, speed=0.4)
+        fast = FanBank(count=4, speed=1.0)
+        assert fast.resistance_scale() < slow.resistance_scale()
+
+    def test_power_law_exponent(self):
+        bank = FanBank(count=8, speed=0.7)
+        ratio = bank.airflow / bank.reference_airflow
+        assert bank.resistance_scale() == pytest.approx(ratio**-CONVECTION_EXPONENT)
+
+    def test_airflow_floor_bounds_resistance(self):
+        # A single fan at minimum speed must yield a finite scale.
+        crawling = FanBank(count=1, speed=0.01)
+        assert crawling.resistance_scale() == pytest.approx(
+            (1.0 / 0.2) ** CONVECTION_EXPONENT
+        )
+
+
+class TestFanPower:
+    def test_cubic_affinity_law(self):
+        half = FanBank(count=4, speed=0.5, max_power_w_per_fan=10.0)
+        full = FanBank(count=4, speed=1.0, max_power_w_per_fan=10.0)
+        assert full.power_w() == pytest.approx(40.0)
+        assert half.power_w() == pytest.approx(40.0 * 0.125)
+
+    def test_power_scales_with_count(self):
+        assert FanBank(count=8, speed=0.5).power_w() == pytest.approx(
+            2.0 * FanBank(count=4, speed=0.5).power_w()
+        )
+
+
+class TestCopies:
+    def test_with_speed_returns_new_bank(self):
+        bank = FanBank(count=4, speed=0.5)
+        faster = bank.with_speed(0.9)
+        assert faster.speed == 0.9
+        assert faster.count == 4
+        assert bank.speed == 0.5
+
+    def test_with_count_returns_new_bank(self):
+        bank = FanBank(count=4, speed=0.5)
+        bigger = bank.with_count(6)
+        assert bigger.count == 6
+        assert bigger.speed == 0.5
+
+
+class TestValidation:
+    def test_rejects_zero_fans(self):
+        with pytest.raises(ConfigurationError):
+            FanBank(count=0)
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ConfigurationError):
+            FanBank(speed=0.0)
+
+    def test_rejects_speed_above_one(self):
+        with pytest.raises(ConfigurationError):
+            FanBank(speed=1.1)
+
+    def test_rejects_negative_fan_power(self):
+        with pytest.raises(ConfigurationError):
+            FanBank(max_power_w_per_fan=-1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the CPU power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.power import CpuPowerModel
+
+
+class TestPowerCurve:
+    def test_idle_power_at_zero_utilization(self):
+        model = CpuPowerModel(idle_power_w=60.0, max_power_w=240.0, memory_gb=0.0)
+        assert model.power(0.0) == pytest.approx(60.0)
+
+    def test_max_power_at_full_utilization(self):
+        model = CpuPowerModel(idle_power_w=60.0, max_power_w=240.0, memory_gb=0.0)
+        assert model.power(1.0) == pytest.approx(240.0)
+
+    def test_memory_power_adds_static_term(self):
+        bare = CpuPowerModel(memory_gb=0.0)
+        loaded = CpuPowerModel(memory_gb=64.0, memory_power_w_per_gb=0.35)
+        assert loaded.power(0.0) - bare.power(0.0) == pytest.approx(64.0 * 0.35)
+
+    def test_power_is_monotone_in_utilization(self):
+        model = CpuPowerModel()
+        powers = [model.power(u / 10.0) for u in range(11)]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_superlinearity_below_midpoint(self):
+        # u^1.25 at u=0.5 is below linear: the dynamic part at half load
+        # must be less than half of the dynamic span.
+        model = CpuPowerModel(idle_power_w=0.0, max_power_w=100.0, memory_gb=0.0)
+        assert model.power(0.5) < 50.0
+
+    def test_utilization_clamped_above_one(self):
+        model = CpuPowerModel()
+        assert model.power(1.5) == pytest.approx(model.power(1.0))
+
+    def test_utilization_clamped_below_zero(self):
+        model = CpuPowerModel()
+        assert model.power(-0.5) == pytest.approx(model.power(0.0))
+
+
+class TestInverse:
+    def test_round_trip_inside_range(self):
+        model = CpuPowerModel(memory_gb=32.0)
+        for u in (0.1, 0.35, 0.6, 0.95):
+            assert model.utilization_for_power(model.power(u)) == pytest.approx(u, abs=1e-9)
+
+    def test_below_base_power_maps_to_zero(self):
+        model = CpuPowerModel()
+        assert model.utilization_for_power(0.0) == 0.0
+
+    def test_above_max_power_clamps_to_one(self):
+        model = CpuPowerModel()
+        assert model.utilization_for_power(10_000.0) == 1.0
+
+
+class TestForCapacity:
+    def test_scales_with_ghz(self):
+        small = CpuPowerModel.for_capacity(total_ghz=16.0, memory_gb=32.0)
+        big = CpuPowerModel.for_capacity(total_ghz=96.0, memory_gb=32.0)
+        assert big.idle_power_w > small.idle_power_w
+        assert big.max_power_w > small.max_power_w
+
+    def test_commodity_box_lands_in_plausible_band(self):
+        model = CpuPowerModel.for_capacity(total_ghz=38.4, memory_gb=64.0)
+        assert 50.0 < model.power(0.0) < 150.0
+        assert 200.0 < model.power(1.0) < 350.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CpuPowerModel.for_capacity(total_ghz=0.0, memory_gb=16.0)
+
+
+class TestValidation:
+    def test_rejects_max_below_idle(self):
+        with pytest.raises(ConfigurationError):
+            CpuPowerModel(idle_power_w=100.0, max_power_w=50.0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ConfigurationError):
+            CpuPowerModel(idle_power_w=-1.0)
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ConfigurationError):
+            CpuPowerModel(exponent=0.0)
+
+    def test_rejects_negative_memory_rate(self):
+        with pytest.raises(ConfigurationError):
+            CpuPowerModel(memory_power_w_per_gb=-0.1)

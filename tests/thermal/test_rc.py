@@ -1,0 +1,133 @@
+"""Unit tests for the RC thermal network."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.thermal.rc import RcNetwork, ThermalNode
+
+
+def single_lump(c: float = 100.0, r: float = 0.5) -> RcNetwork:
+    net = RcNetwork(nodes=[ThermalNode("lump", c, ambient_resistance_k_per_w=r)])
+    net.set_all_temperatures(20.0)
+    return net
+
+
+def two_lump_chain() -> RcNetwork:
+    net = RcNetwork(
+        nodes=[
+            ThermalNode("cpu", 150.0),
+            ThermalNode("case", 2000.0, ambient_resistance_k_per_w=0.06),
+        ]
+    )
+    net.connect("cpu", "case", 0.18)
+    net.set_all_temperatures(22.0)
+    return net
+
+
+class TestSingleLump:
+    def test_steady_state_matches_analytic(self):
+        net = single_lump(c=100.0, r=0.5)
+        # T_ss = T_amb + P·R
+        ss = net.steady_state({"lump": 100.0}, ambient_c=20.0)
+        assert ss["lump"] == pytest.approx(20.0 + 100.0 * 0.5)
+
+    def test_transient_matches_exponential(self):
+        c, r, p, amb = 100.0, 0.5, 100.0, 20.0
+        net = single_lump(c=c, r=r)
+        dt, t_end = 0.05, 100.0
+        steps = int(t_end / dt)
+        for _ in range(steps):
+            net.step(dt, {"lump": p}, amb)
+        tau = r * c
+        expected = amb + p * r * (1.0 - math.exp(-t_end / tau))
+        assert net.temperature("lump") == pytest.approx(expected, abs=0.05)
+
+    def test_no_power_relaxes_to_ambient(self):
+        net = single_lump()
+        net.set_temperature("lump", 80.0)
+        for _ in range(100_000):
+            net.step(0.1, {}, 20.0)
+        assert net.temperature("lump") == pytest.approx(20.0, abs=1e-3)
+
+
+class TestTwoLumpChain:
+    def test_steady_state_series_resistance(self):
+        net = two_lump_chain()
+        p = 150.0
+        ss = net.steady_state({"cpu": p}, ambient_c=22.0)
+        assert ss["case"] == pytest.approx(22.0 + p * 0.06)
+        assert ss["cpu"] == pytest.approx(22.0 + p * (0.06 + 0.18))
+
+    def test_power_into_case_heats_case_only_path(self):
+        net = two_lump_chain()
+        ss = net.steady_state({"case": 50.0}, ambient_c=22.0)
+        # Heat injected at the case does not flow through the die
+        # resistance, so the cpu equals the case in steady state.
+        assert ss["cpu"] == pytest.approx(ss["case"])
+        assert ss["case"] == pytest.approx(22.0 + 50.0 * 0.06)
+
+    def test_integration_converges_to_steady_state(self):
+        net = two_lump_chain()
+        target = net.steady_state({"cpu": 150.0}, ambient_c=22.0)
+        for _ in range(6000):
+            net.step(1.0, {"cpu": 150.0}, 22.0)
+        assert net.temperature("cpu") == pytest.approx(target["cpu"], abs=0.01)
+        assert net.temperature("case") == pytest.approx(target["case"], abs=0.01)
+
+    def test_cpu_hotter_than_case_under_cpu_load(self):
+        net = two_lump_chain()
+        for _ in range(2000):
+            net.step(1.0, {"cpu": 100.0}, 22.0)
+        assert net.temperature("cpu") > net.temperature("case") > 22.0
+
+    def test_retuning_edge_changes_steady_state(self):
+        net = two_lump_chain()
+        before = net.steady_state({"cpu": 100.0}, 22.0)["cpu"]
+        net.set_edge_resistance("cpu", "case", 0.36)
+        after = net.steady_state({"cpu": 100.0}, 22.0)["cpu"]
+        assert after > before
+
+    def test_retuning_ambient_resistance_changes_steady_state(self):
+        net = two_lump_chain()
+        before = net.steady_state({"cpu": 100.0}, 22.0)["cpu"]
+        net.set_ambient_resistance("case", 0.12)
+        after = net.steady_state({"cpu": 100.0}, 22.0)["cpu"]
+        assert after == pytest.approx(before + 100.0 * 0.06)
+
+
+class TestValidation:
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RcNetwork(nodes=[ThermalNode("a", 1.0), ThermalNode("a", 2.0)])
+
+    def test_self_edge_rejected(self):
+        net = RcNetwork(nodes=[ThermalNode("a", 1.0, ambient_resistance_k_per_w=1.0)])
+        with pytest.raises(ConfigurationError):
+            net.connect("a", "a", 1.0)
+
+    def test_unknown_node_rejected(self):
+        net = single_lump()
+        with pytest.raises(SimulationError):
+            net.temperature("nope")
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalNode("a", 0.0)
+
+    def test_nonpositive_step_rejected(self):
+        net = single_lump()
+        with pytest.raises(SimulationError):
+            net.step(0.0, {}, 20.0)
+
+    def test_steady_state_without_ambient_path_rejected(self):
+        net = RcNetwork(nodes=[ThermalNode("a", 1.0)])
+        with pytest.raises(SimulationError):
+            net.steady_state({"a": 1.0}, 20.0)
+
+    def test_retune_missing_edge_rejected(self):
+        net = two_lump_chain()
+        net.add_node(ThermalNode("extra", 10.0))
+        with pytest.raises(SimulationError):
+            net.set_edge_resistance("cpu", "extra", 0.5)

@@ -1,0 +1,84 @@
+"""Unit tests for the temperature sensor model."""
+
+import pytest
+
+from repro.config import SensorConfig
+from repro.rng import RngStream
+from repro.thermal.sensors import TemperatureSensor
+
+
+def make_sensor(noise=0.0, quant=0.0, period=5.0, seed=1) -> TemperatureSensor:
+    return TemperatureSensor(
+        SensorConfig(sampling_period_s=period, noise_std_c=noise, quantization_c=quant),
+        RngStream(seed, "sensor"),
+    )
+
+
+class TestRead:
+    def test_noiseless_unquantized_reads_truth(self):
+        sensor = make_sensor()
+        assert sensor.read(0.0, 55.3).temperature_c == pytest.approx(55.3)
+
+    def test_quantization_snaps_to_grid(self):
+        sensor = make_sensor(quant=0.5)
+        value = sensor.read(0.0, 55.30).temperature_c
+        assert value == pytest.approx(55.5)
+        assert (value / 0.5) == pytest.approx(round(value / 0.5))
+
+    def test_noise_has_roughly_configured_spread(self):
+        sensor = make_sensor(noise=1.0)
+        readings = [sensor.read(float(i), 50.0).temperature_c for i in range(4000)]
+        mean = sum(readings) / len(readings)
+        var = sum((r - mean) ** 2 for r in readings) / len(readings)
+        assert mean == pytest.approx(50.0, abs=0.1)
+        assert var == pytest.approx(1.0, rel=0.15)
+
+    def test_readings_accumulate(self):
+        sensor = make_sensor()
+        sensor.read(0.0, 50.0)
+        sensor.read(1.0, 51.0)
+        assert len(sensor.readings) == 2
+
+
+class TestSamplingSchedule:
+    def test_samples_on_period(self):
+        sensor = make_sensor(period=5.0)
+        sampled = [
+            t for t in range(0, 21) if sensor.maybe_sample(float(t), 50.0) is not None
+        ]
+        assert sampled == [0, 5, 10, 15, 20]
+
+    def test_skips_between_periods(self):
+        sensor = make_sensor(period=10.0)
+        assert sensor.maybe_sample(0.0, 50.0) is not None
+        assert sensor.maybe_sample(3.0, 50.0) is None
+        assert sensor.maybe_sample(9.9, 50.0) is None
+
+    def test_reanchors_after_time_jump(self):
+        sensor = make_sensor(period=5.0)
+        sensor.maybe_sample(0.0, 50.0)
+        # Jump far past several periods: one sample, then regular schedule.
+        assert sensor.maybe_sample(32.0, 50.0) is not None
+        assert sensor.maybe_sample(33.0, 50.0) is None
+        assert sensor.maybe_sample(37.0, 50.0) is not None
+
+
+class TestWindows:
+    def test_mean_between_uses_half_open_window(self):
+        sensor = make_sensor(period=1.0)
+        for t in range(10):
+            sensor.maybe_sample(float(t), float(t))
+        # [2, 5) → samples at 2, 3, 4
+        assert sensor.mean_between(2.0, 5.0) == pytest.approx(3.0)
+
+    def test_mean_between_empty_window_raises(self):
+        sensor = make_sensor()
+        with pytest.raises(ValueError):
+            sensor.mean_between(0.0, 1.0)
+
+    def test_reset_clears_history_and_schedule(self):
+        sensor = make_sensor(period=5.0)
+        sensor.maybe_sample(0.0, 50.0)
+        sensor.reset()
+        assert sensor.readings == []
+        assert sensor.maybe_sample(0.0, 50.0) is not None

@@ -1,0 +1,108 @@
+"""Unit tests for the assembled server thermal plant."""
+
+import pytest
+
+from repro.config import ThermalConfig
+from repro.errors import SimulationError
+from repro.thermal.fan import FanBank
+from repro.thermal.power import CpuPowerModel
+from repro.thermal.server_thermal import ServerThermalModel
+
+
+def make_plant(fans: FanBank | None = None, initial: float = 22.0) -> ServerThermalModel:
+    return ServerThermalModel(
+        power_model=CpuPowerModel.for_capacity(total_ghz=38.4, memory_gb=64.0),
+        fans=fans or FanBank(count=4, speed=0.7),
+        initial_temperature_c=initial,
+    )
+
+
+class TestSteadyState:
+    def test_loaded_hotter_than_idle(self):
+        plant = make_plant()
+        idle = plant.steady_state_cpu_temperature(0.0, 22.0)
+        loaded = plant.steady_state_cpu_temperature(1.0, 22.0)
+        assert loaded > idle > 22.0
+
+    def test_plausible_commodity_temperatures(self):
+        plant = make_plant()
+        idle = plant.steady_state_cpu_temperature(0.0, 22.0)
+        loaded = plant.steady_state_cpu_temperature(1.0, 22.0)
+        assert 30.0 < idle < 55.0
+        assert 60.0 < loaded < 95.0
+
+    def test_ambient_shifts_steady_state_linearly(self):
+        plant = make_plant()
+        t20 = plant.steady_state_cpu_temperature(0.5, 20.0)
+        t26 = plant.steady_state_cpu_temperature(0.5, 26.0)
+        assert t26 - t20 == pytest.approx(6.0, abs=1e-9)
+
+    def test_more_fans_cooler(self):
+        weak = make_plant(FanBank(count=2, speed=0.7))
+        strong = make_plant(FanBank(count=8, speed=0.7))
+        assert strong.steady_state_cpu_temperature(
+            0.8, 22.0
+        ) < weak.steady_state_cpu_temperature(0.8, 22.0)
+
+
+class TestDynamics:
+    def test_converges_to_steady_state(self):
+        plant = make_plant()
+        target = plant.steady_state_cpu_temperature(0.7, 22.0)
+        plant.advance(4000.0, utilization=0.7, ambient_c=22.0)
+        assert plant.cpu_temperature_c == pytest.approx(target, abs=0.05)
+
+    def test_mostly_settled_within_t_break(self):
+        # The paper's t_break=600 s premise: the transient is mostly done.
+        plant = make_plant()
+        start = plant.cpu_temperature_c
+        target = plant.steady_state_cpu_temperature(0.9, 22.0)
+        plant.advance(600.0, utilization=0.9, ambient_c=22.0)
+        progress = (plant.cpu_temperature_c - start) / (target - start)
+        assert progress > 0.9
+
+    def test_monotone_rise_under_constant_load(self):
+        plant = make_plant()
+        temps = []
+        for _ in range(60):
+            plant.advance(10.0, utilization=0.8, ambient_c=22.0)
+            temps.append(plant.cpu_temperature_c)
+        assert temps == sorted(temps)
+
+    def test_fan_change_mid_run_cools_plant(self):
+        plant = make_plant(FanBank(count=2, speed=0.5))
+        plant.advance(2000.0, utilization=0.8, ambient_c=22.0)
+        hot = plant.cpu_temperature_c
+        plant.set_fans(FanBank(count=8, speed=1.0))
+        plant.advance(2000.0, utilization=0.8, ambient_c=22.0)
+        assert plant.cpu_temperature_c < hot - 2.0
+
+    def test_rejects_nonpositive_step(self):
+        plant = make_plant()
+        with pytest.raises(SimulationError):
+            plant.step(0.0, 0.5, 22.0)
+
+
+class TestConfigCoupling:
+    def test_time_constant_estimate_positive_and_bounded(self):
+        plant = make_plant()
+        tau = plant.dominant_time_constant_s()
+        assert 0.0 < tau < 3600.0
+
+    def test_custom_config_respected(self):
+        config = ThermalConfig(cpu_to_case_resistance_k_per_w=0.36)
+        plant = ServerThermalModel(
+            power_model=CpuPowerModel(),
+            fans=FanBank(),
+            config=config,
+        )
+        default = make_plant()
+        assert plant.steady_state_cpu_temperature(
+            1.0, 22.0
+        ) > default.steady_state_cpu_temperature(1.0, 22.0)
+
+    def test_set_temperatures_forces_state(self):
+        plant = make_plant()
+        plant.set_temperatures(70.0, 40.0)
+        assert plant.cpu_temperature_c == 70.0
+        assert plant.case_temperature_c == 40.0

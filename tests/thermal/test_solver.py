@@ -1,0 +1,72 @@
+"""Unit tests for the fixed-step ODE integrators."""
+
+import math
+
+import pytest
+
+from repro.thermal.solver import euler_step, integrate, rk4_step
+
+
+def decay(_t, y):
+    """y' = -y, analytic solution y0·exp(-t)."""
+    return [-yi for yi in y]
+
+
+class TestSteppers:
+    def test_euler_single_step(self):
+        y = euler_step(decay, 0.0, [1.0], 0.1)
+        assert y[0] == pytest.approx(0.9)
+
+    def test_rk4_single_step_close_to_exact(self):
+        y = rk4_step(decay, 0.0, [1.0], 0.1)
+        assert y[0] == pytest.approx(math.exp(-0.1), abs=1e-7)
+
+    def test_rk4_more_accurate_than_euler(self):
+        exact = math.exp(-0.5)
+        e = euler_step(decay, 0.0, [1.0], 0.5)[0]
+        r = rk4_step(decay, 0.0, [1.0], 0.5)[0]
+        assert abs(r - exact) < abs(e - exact)
+
+    def test_multidimensional_state(self):
+        y = rk4_step(lambda t, y: [y[1], -y[0]], 0.0, [1.0, 0.0], 0.01)
+        assert y[0] == pytest.approx(math.cos(0.01), abs=1e-8)
+        assert y[1] == pytest.approx(-math.sin(0.01), abs=1e-8)
+
+
+class TestIntegrate:
+    def test_endpoints_included(self):
+        times, states = integrate(decay, [1.0], 0.0, 1.0, 0.25)
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(1.0)
+        assert len(times) == len(states)
+
+    def test_final_partial_step_lands_exactly(self):
+        times, _ = integrate(decay, [1.0], 0.0, 1.0, 0.3)
+        assert times[-1] == pytest.approx(1.0)
+
+    def test_euler_converges_with_step_refinement(self):
+        exact = math.exp(-1.0)
+        _, coarse = integrate(decay, [1.0], 0.0, 1.0, 0.1)
+        _, fine = integrate(decay, [1.0], 0.0, 1.0, 0.01)
+        assert abs(fine[-1][0] - exact) < abs(coarse[-1][0] - exact)
+
+    def test_rk4_method_selectable(self):
+        _, states = integrate(decay, [1.0], 0.0, 1.0, 0.1, method="rk4")
+        assert states[-1][0] == pytest.approx(math.exp(-1.0), abs=1e-6)
+
+    def test_zero_span_returns_initial(self):
+        times, states = integrate(decay, [2.0], 5.0, 5.0, 0.1)
+        assert times == [5.0]
+        assert states == [[2.0]]
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError):
+            integrate(decay, [1.0], 0.0, 1.0, 0.1, method="heun")
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            integrate(decay, [1.0], 0.0, 1.0, 0.0)
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValueError):
+            integrate(decay, [1.0], 1.0, 0.0, 0.1)
