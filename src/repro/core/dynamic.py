@@ -97,7 +97,12 @@ class DynamicTemperaturePredictor:
         if time_s + 1e-9 < self._next_update_s:
             return False
         self.calibrator.update(time_s, measured_c, self.curve.value(time_s))
-        self._next_update_s = time_s + self.config.update_interval_s
+        # Advance the deadline on the fixed Δ_update grid (anchored at the
+        # curve origin) rather than re-anchoring at the measurement time:
+        # jittered sensor timestamps must not drift the update schedule.
+        interval = self.config.update_interval_s
+        while self._next_update_s <= time_s + 1e-9:
+            self._next_update_s += interval
         return True
 
     def predict_at(self, target_time_s: float) -> float:

@@ -1,0 +1,168 @@
+"""Vectorized CPU-load arbitration for a fleet of servers.
+
+The scalar path asks every server's VMM to ``schedule()`` per step —
+dict-building Python that dominates co-simulation cost at fleet scale
+(half the step budget at 128 servers). This module packs the whole
+cluster's workload into flat NumPy arrays and reproduces the
+proportional-share arbitration of :class:`~repro.datacenter.vmm.Vmm` in
+a handful of vectorized operations per step.
+
+Task families with closed-form utilization (constant, periodic, ramp)
+are evaluated entirely in NumPy; stateful or user-defined tasks (e.g.
+:class:`~repro.datacenter.workload.BurstyTask`) fall back to one Python
+call per task per step, so a single exotic task never forces a whole
+server — let alone the fleet — off the fast path.
+
+The model is a snapshot of VM placement and lifecycle state: the caller
+must rebuild it whenever events (migrations, arrivals, terminations, fan
+or overhead changes) may have mutated the cluster, exactly like the
+engine-repack protocol of :mod:`repro.thermal.fleet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datacenter.workload import ConstantTask, PeriodicTask, RampTask
+
+_TWO_PI = 2.0 * np.pi
+
+
+class FleetLoadModel:
+    """Batched utilization evaluation for a list of servers.
+
+    Parameters
+    ----------
+    servers:
+        Servers whose load should be arbitrated; the arrays returned by
+        :meth:`utilizations` are indexed like this list.
+    """
+
+    def __init__(self, servers: list) -> None:
+        self.servers = list(servers)
+        n_servers = len(self.servers)
+
+        cores: list[float] = []
+        overhead: list[float] = []
+        vm_counts: list[int] = []
+        vm_server: list[int] = []
+        vm_cap: list[float] = []
+        vm_start: list[float] = []
+
+        const_vm: list[int] = []
+        const_level: list[float] = []
+        per_vm: list[int] = []
+        per_mean: list[float] = []
+        per_amp: list[float] = []
+        per_period: list[float] = []
+        per_phase: list[float] = []
+        ramp_vm: list[int] = []
+        ramp_start: list[float] = []
+        ramp_end: list[float] = []
+        ramp_s: list[float] = []
+        generic: list[tuple[int, object]] = []
+
+        for s_idx, server in enumerate(self.servers):
+            vmm = server.vmm
+            running = server.running_vms()
+            vm_counts.append(len(running))
+            cores.append(float(vmm.physical_cores))
+            raw_overhead = (
+                vmm.overhead_cores_per_vm * len(running)
+                + vmm.migration_overhead_cores * server.active_migrations
+            )
+            overhead.append(min(raw_overhead, float(vmm.physical_cores)))
+            for vm in running:
+                v_idx = len(vm_server)
+                vm_server.append(s_idx)
+                vm_cap.append(float(vm.spec.vcpus))
+                vm_start.append(vm.started_at_s)
+                for task in vm.spec.tasks:
+                    if type(task) is ConstantTask:
+                        const_vm.append(v_idx)
+                        const_level.append(task.level)
+                    elif type(task) is PeriodicTask:
+                        per_vm.append(v_idx)
+                        per_mean.append(task.mean)
+                        per_amp.append(task.amplitude)
+                        per_period.append(task.period_s)
+                        per_phase.append(task.phase_s)
+                    elif type(task) is RampTask:
+                        ramp_vm.append(v_idx)
+                        ramp_start.append(task.start_level)
+                        ramp_end.append(task.end_level)
+                        ramp_s.append(task.ramp_s)
+                    else:
+                        generic.append((v_idx, task))
+
+        self.n_servers = n_servers
+        self.n_vms = len(vm_server)
+        self.vm_counts = np.array(vm_counts, dtype=float)
+        self._cores = np.array(cores, dtype=float)
+        self._overhead = np.array(overhead, dtype=float)
+        self._available = self._cores - self._overhead
+        self._vm_server = np.array(vm_server, dtype=np.intp)
+        self._vm_cap = np.array(vm_cap, dtype=float)
+        self._vm_start = np.array(vm_start, dtype=float)
+
+        self._const_vm = np.array(const_vm, dtype=np.intp)
+        self._const_level = np.array(const_level, dtype=float)
+        self._per_vm = np.array(per_vm, dtype=np.intp)
+        self._per_mean = np.array(per_mean, dtype=float)
+        self._per_amp = np.array(per_amp, dtype=float)
+        self._per_period = np.array(per_period, dtype=float)
+        self._per_phase = np.array(per_phase, dtype=float)
+        self._ramp_vm = np.array(ramp_vm, dtype=np.intp)
+        self._ramp_start = np.array(ramp_start, dtype=float)
+        self._ramp_end = np.array(ramp_end, dtype=float)
+        self._ramp_span = self._ramp_end - self._ramp_start
+        self._ramp_s = np.array(ramp_s, dtype=float)
+        self._generic = generic
+
+    def utilizations(self, time_s: float) -> np.ndarray:
+        """Host CPU utilization per server at ``time_s``.
+
+        Mirrors :meth:`repro.datacenter.vmm.Vmm.schedule`: per-VM demand
+        is the sum of its tasks' utilizations capped at the vCPU count;
+        demand above the post-overhead core budget is scaled down
+        proportionally; host utilization is allocated-plus-overhead over
+        physical cores, clamped at 1.
+        """
+        if self.n_vms == 0:
+            return np.minimum(1.0, self._overhead / self._cores)
+        local_t = np.maximum(0.0, time_s - self._vm_start)
+
+        demand = np.zeros(self.n_vms, dtype=float)
+        if self._const_vm.size:
+            np.add.at(demand, self._const_vm, self._const_level)
+        if self._per_vm.size:
+            angle = _TWO_PI * (local_t[self._per_vm] + self._per_phase) / self._per_period
+            u = self._per_mean + self._per_amp * np.sin(angle)
+            np.add.at(demand, self._per_vm, np.minimum(1.0, np.maximum(0.0, u)))
+        if self._ramp_vm.size:
+            t = local_t[self._ramp_vm]
+            frac = np.maximum(0.0, t / self._ramp_s)
+            u = np.where(
+                t >= self._ramp_s,
+                self._ramp_end,
+                self._ramp_start + self._ramp_span * frac,
+            )
+            np.add.at(demand, self._ramp_vm, u)
+        for v_idx, task in self._generic:
+            demand[v_idx] += task.utilization(local_t[v_idx])
+        demand = np.minimum(self._vm_cap, demand)
+
+        total = np.bincount(self._vm_server, weights=demand, minlength=self.n_servers)
+        contended = total > self._available
+        if contended.any():
+            scale = np.where(
+                contended, self._available / np.where(contended, total, 1.0), 1.0
+            )
+            allocations = demand * scale[self._vm_server]
+            used = (
+                np.bincount(self._vm_server, weights=allocations, minlength=self.n_servers)
+                + self._overhead
+            )
+        else:
+            used = total + self._overhead
+        return np.minimum(1.0, used / self._cores)

@@ -5,30 +5,108 @@ step it:
 
 1. fires every event due at or before the new time (migrations, workload
    changes, fan actions, scenario callbacks);
-2. asks each server's VMM for the current CPU arbitration and advances
-   that server's thermal plant by one step;
-3. lets each server's temperature sensor sample on its own period and
+2. arbitrates each server's CPU and advances its thermal plant by one
+   step;
+3. samples each server's temperature sensor on its own period and
    records everything into the telemetry pipeline.
 
 The step size bounds event-timing error at dt/2, far below the thermal
 time constants (minutes), so events landing mid-step are indistinguishable
 from reality at sensor resolution.
+
+Two execution paths implement step 2–3:
+
+* the **fleet path** (default) packs every standard server into a
+  :class:`~repro.thermal.fleet.FleetThermalEngine` plus a
+  :class:`~repro.datacenter.fleet_load.FleetLoadModel` and advances the
+  whole cluster with a few vectorized array operations per step. Array
+  state is written back to the per-server plants before events fire,
+  before probes run, and at the end of each ``run`` — and repacked after
+  events, and after probes that actually mutated a server — so events,
+  probes, and post-run consumers always observe (and may mutate)
+  truthful per-server objects. Probe mutations must go through the
+  public server APIs (``set_fan_speed``/``set_fan_count``, VM placement,
+  ``set_temperatures``) or scheduled events to be picked up;
+* the **per-server path** (``use_fleet_engine=False``, and automatically
+  for any server carrying a custom thermal plant) iterates servers in
+  Python exactly as the original implementation did.
+
+Both paths produce the same trajectories to floating-point round-off and
+identical sensor readings.
+
+Warm-up semantics: :meth:`DatacenterSimulation.warm_up` advances the
+physics (events and probes included) *without recording telemetry* — no
+environment samples, no per-server series, and no sensor readings are
+produced, and sensor sampling schedules are left untouched. Use it to
+reach a thermal operating point before the measured part of a scenario.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.config import SensorConfig
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.events import Event, EventQueue
+from repro.datacenter.fleet_load import FleetLoadModel
 from repro.errors import SimulationError
 from repro.rng import RngFactory
 from repro.thermal.environment import ConstantEnvironment, EnvironmentProfile
-from repro.thermal.sensors import TemperatureSensor
+from repro.thermal.fleet import FleetThermalEngine
+from repro.thermal.sensors import SensorBank, TemperatureSensor
 
 #: Probe signature: (sim, time_s) -> None, called after every step.
 Probe = Callable[["DatacenterSimulation", float], None]
+
+
+@dataclass
+class _FleetState:
+    """Vectorized view of the cluster, valid until the next mutation."""
+
+    engine: FleetThermalEngine
+    load: FleetLoadModel
+    sensor_bank: SensorBank
+    names: list[str]
+    slow_servers: list
+    n_cluster_servers: int
+
+    def __post_init__(self) -> None:
+        # Fingerprint of the mutable per-server state probes may touch;
+        # used to skip the O(cluster) repack after read-only probes.
+        self._fans = [server.fans for server in self.engine.servers]
+        self._migrations = [server.active_migrations for server in self.engine.servers]
+        self._vm_counts = [len(server.vms) for server in self.engine.servers]
+
+    def sync(self) -> None:
+        """Write array state back into the per-server objects."""
+        self.engine.writeback()
+        self.sensor_bank.writeback()
+
+    def dirty(self, cluster: Cluster) -> bool:
+        """Did anything a probe can legitimately mutate change?
+
+        Covers the documented mutation surface: fan retuning (replaces the
+        ``FanBank`` value object), VM placement/removal, migration
+        bookkeeping, forced plant temperatures, and cluster membership.
+        Probes mutating state outside these APIs must go through scheduled
+        events instead. Assumes :meth:`sync` ran just before the probes,
+        so surviving plant temperatures equal the engine arrays.
+        """
+        if len(cluster.servers) != self.n_cluster_servers:
+            return True
+        t_cpu = self.engine.cpu_temperatures_view()
+        t_case = self.engine.case_temperatures_view()
+        for i, server in enumerate(self.engine.servers):
+            if (
+                server.fans is not self._fans[i]
+                or server.active_migrations != self._migrations[i]
+                or len(server.vms) != self._vm_counts[i]
+                or server.thermal.cpu_temperature_c != t_cpu[i]
+                or server.thermal.case_temperature_c != t_case[i]
+            ):
+                return True
+        return False
 
 
 class DatacenterSimulation:
@@ -41,6 +119,7 @@ class DatacenterSimulation:
         rng: RngFactory | None = None,
         sensor_config: SensorConfig | None = None,
         time_step_s: float = 1.0,
+        use_fleet_engine: bool = True,
     ) -> None:
         if time_step_s <= 0:
             raise SimulationError(f"time_step_s must be > 0, got {time_step_s}")
@@ -49,11 +128,14 @@ class DatacenterSimulation:
         self.rng = rng or RngFactory(0)
         self.sensor_config = sensor_config or SensorConfig()
         self.time_step_s = time_step_s
+        self.use_fleet_engine = use_fleet_engine
         self.events = EventQueue()
         self.time_s = 0.0
         self._probes: list[Probe] = []
         self._telemetry = None  # lazily built so cluster can be mutated first
         self._sensors: dict[str, TemperatureSensor] = {}
+        self._fleet: _FleetState | None = None
+        self._recording = True
 
     # -- wiring -----------------------------------------------------------
 
@@ -96,18 +178,35 @@ class DatacenterSimulation:
         end_time = self.time_s + duration_s
         # Fire anything scheduled exactly at the start time.
         self._fire_due_events()
-        while self.time_s < end_time - 1e-9:
-            dt = min(self.time_step_s, end_time - self.time_s)
-            self._step(dt)
+        if self.use_fleet_engine:
+            self._fleet_rebuild()
+        try:
+            while self.time_s < end_time - 1e-9:
+                dt = min(self.time_step_s, end_time - self.time_s)
+                if self._fleet is not None:
+                    self._fleet_step(dt)
+                else:
+                    self._step(dt)
+        finally:
+            if self._fleet is not None:
+                self._fleet.sync()
+                self.telemetry.flush()
+                self._fleet = None
+
+    # -- per-server (reference) path -----------------------------------------
 
     def _step(self, dt: float) -> None:
         new_time = self.time_s + dt
         self.time_s = new_time
         self._fire_due_events()
         ambient = self.environment.temperature(new_time)
-        self.telemetry.record_environment(new_time, ambient)
+        recording = self._recording
+        if recording:
+            self.telemetry.record_environment(new_time, ambient)
         for server in self.cluster.servers:
             load = server.step_thermal(dt, new_time, ambient)
+            if not recording:
+                continue
             bundle = self.telemetry.for_server(server.name)
             bundle.utilization.append(new_time, load.utilization)
             bundle.vm_count.append(new_time, len(server.running_vms()))
@@ -119,6 +218,83 @@ class DatacenterSimulation:
                 bundle.cpu_temperature.append(reading.time_s, reading.temperature_c)
         for probe in self._probes:
             probe(self, new_time)
+
+    # -- vectorized fleet path ------------------------------------------------
+
+    def _fleet_rebuild(self) -> None:
+        """(Re)pack the cluster into vectorized fleet state."""
+        fast, slow = FleetThermalEngine.partition(self.cluster.servers)
+        names = [server.name for server in fast]
+        self._fleet = _FleetState(
+            engine=FleetThermalEngine(fast),
+            load=FleetLoadModel(fast),
+            sensor_bank=SensorBank([self.sensor_for(name) for name in names]),
+            names=names,
+            slow_servers=slow,
+            n_cluster_servers=len(self.cluster.servers),
+        )
+
+    def _fleet_step(self, dt: float) -> None:
+        new_time = self.time_s + dt
+        self.time_s = new_time
+        fleet = self._fleet
+        next_event = self.events.peek_time()
+        if next_event is not None and next_event <= new_time + 1e-9:
+            fleet.sync()
+            self._fire_due_events()
+            self._fleet_rebuild()
+            fleet = self._fleet
+        ambient = self.environment.temperature(new_time)
+        recording = self._recording
+        telemetry = self.telemetry
+        if recording:
+            telemetry.record_environment(new_time, ambient)
+
+        utilization = fleet.load.utilizations(new_time)
+        fleet.engine.step(dt, utilization, ambient)
+        if recording:
+            telemetry.record_fleet_step(
+                new_time,
+                fleet.names,
+                utilization,
+                fleet.load.vm_counts,
+                fleet.engine.fan_counts,
+                fleet.engine.fan_speeds,
+            )
+            due, values = fleet.sensor_bank.sample_due(
+                new_time, fleet.engine.cpu_temperatures_view()
+            )
+            if due.size == len(fleet.names):
+                telemetry.record_fleet_cpu_samples(new_time, fleet.names, values)
+            else:
+                for idx, value in zip(due.tolist(), values.tolist()):
+                    telemetry.append_cpu_sample(fleet.names[idx], new_time, value)
+
+        for server in fleet.slow_servers:
+            load = server.step_thermal(dt, new_time, ambient)
+            if not recording:
+                continue
+            bundle = telemetry.for_server(server.name)
+            bundle.utilization.append(new_time, load.utilization)
+            bundle.vm_count.append(new_time, len(server.running_vms()))
+            bundle.fan_count.append(new_time, server.fans.count)
+            bundle.fan_speed.append(new_time, server.fans.speed)
+            sensor = self.sensor_for(server.name)
+            reading = sensor.maybe_sample(new_time, server.thermal.cpu_temperature_c)
+            if reading is not None:
+                bundle.cpu_temperature.append(reading.time_s, reading.temperature_c)
+
+        if self._probes:
+            # Probes may read or mutate any server (fan controllers do), so
+            # hand them truthful plants — and repack only if one actually
+            # mutated something, keeping read-only monitors on the fast
+            # path. Pending telemetry columns flush lazily when a probe
+            # reads through any collector entrypoint (e.g. for_server).
+            fleet.sync()
+            for probe in self._probes:
+                probe(self, new_time)
+            if fleet.dirty(self.cluster):
+                self._fleet_rebuild()
 
     def _fire_due_events(self) -> None:
         for event in self.events.pop_due(self.time_s):
@@ -133,6 +309,15 @@ class DatacenterSimulation:
             server.thermal.set_temperatures(ambient, ambient)
 
     def warm_up(self, duration_s: float) -> None:
-        """Run the plant without recording telemetry resets — alias of
-        :meth:`run`, kept for scenario readability."""
-        self.run(duration_s)
+        """Advance the plant ``duration_s`` seconds without recording
+        telemetry.
+
+        Events and probes still fire, but no environment samples, server
+        series, or sensor readings are produced (see the module docstring
+        for the full warm-up semantics).
+        """
+        self._recording = False
+        try:
+            self.run(duration_s)
+        finally:
+            self._recording = True

@@ -3,53 +3,139 @@
 The predictor only ever consumes telemetry — never the simulator's
 internal state — mirroring the data sources the paper lists: VMM
 statistics, temperature sensors, and the environment temperature feed.
+
+Storage is array-backed: every :class:`TimeSeries` keeps its samples in
+amortized-doubling NumPy buffers (an append-only ring of contiguous
+memory), so fleet-scale runs with hundreds of servers do not pay Python
+list overhead per sample. The fleet co-simulation path goes one step
+further and records one *column per step* for the whole fleet via
+:meth:`TelemetryCollector.record_fleet_step`; pending columns are
+transposed into the per-server series lazily, the first time any reader
+asks for them.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import TelemetryError
+
+#: Initial capacity of a series' backing buffers.
+_INITIAL_CAPACITY = 32
+
+#: Pending fleet columns are flushed after this many buffered steps so
+#: very long runs keep bounded transpose batches.
+_FLEET_FLUSH_EVERY = 4096
 
 
 class TimeSeries:
     """Append-only time series with window statistics and interpolation."""
 
+    __slots__ = ("name", "_times", "_values", "_size")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._times: list[float] = []
-        self._values: list[float] = []
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=float)
+        self._values = np.empty(_INITIAL_CAPACITY, dtype=float)
+        self._size = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._times.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        times = np.empty(capacity, dtype=float)
+        values = np.empty(capacity, dtype=float)
+        times[: self._size] = self._times[: self._size]
+        values[: self._size] = self._values[: self._size]
+        self._times = times
+        self._values = values
 
     def append(self, time_s: float, value: float) -> None:
         """Append a sample; times must be non-decreasing."""
-        if self._times and time_s < self._times[-1] - 1e-9:
+        size = self._size
+        if size and time_s < self._times[size - 1] - 1e-9:
             raise TelemetryError(
-                f"series {self.name!r}: non-monotonic time {time_s} after {self._times[-1]}"
+                f"series {self.name!r}: non-monotonic time {time_s} "
+                f"after {self._times[size - 1]}"
             )
-        self._times.append(time_s)
-        self._values.append(value)
+        self._reserve(1)
+        self._times[size] = time_s
+        self._values[size] = value
+        self._size = size + 1
+
+    def extend(self, times_s: np.ndarray, values: np.ndarray) -> None:
+        """Append a batch of samples (times non-decreasing, aligned arrays)."""
+        times_s = np.asarray(times_s, dtype=float)
+        values = np.asarray(values, dtype=float)
+        n = times_s.shape[0]
+        if values.shape[0] != n:
+            raise TelemetryError(
+                f"series {self.name!r}: {n} times vs {values.shape[0]} values"
+            )
+        if n and np.any(np.diff(times_s) < -1e-9):
+            raise TelemetryError(f"series {self.name!r}: non-monotonic batch")
+        self._extend_trusted(times_s, values)
+
+    def _extend_trusted(self, times_s: np.ndarray, values: np.ndarray) -> None:
+        """Batch append for callers that guarantee intra-batch monotonicity
+        (the fleet flush validates its shared time column once)."""
+        n = times_s.shape[0]
+        if n == 0:
+            return
+        size = self._size
+        if size and times_s[0] < self._times[size - 1] - 1e-9:
+            raise TelemetryError(
+                f"series {self.name!r}: non-monotonic time {times_s[0]} "
+                f"after {self._times[size - 1]}"
+            )
+        self._reserve(n)
+        self._times[size : size + n] = times_s
+        self._values[size : size + n] = values
+        self._size = size + n
+
+    # -- reading -----------------------------------------------------------
 
     @property
     def times(self) -> list[float]:
         """Sample times (view copy)."""
-        return list(self._times)
+        return self._times[: self._size].tolist()
 
     @property
     def values(self) -> list[float]:
         """Sample values (view copy)."""
-        return list(self._values)
+        return self._values[: self._size].tolist()
+
+    def times_array(self) -> np.ndarray:
+        """Sample times as a NumPy array (copy)."""
+        return self._times[: self._size].copy()
+
+    def values_array(self) -> np.ndarray:
+        """Sample values as a NumPy array (copy)."""
+        return self._values[: self._size].copy()
+
+    def last(self) -> tuple[float, float]:
+        """Most recent (time, value) sample."""
+        if not self._size:
+            raise TelemetryError(f"series {self.name!r} is empty")
+        return float(self._times[self._size - 1]), float(self._values[self._size - 1])
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._size
 
     def window(self, t0: float, t1: float) -> "TimeSeries":
         """Sub-series with ``t0 <= t < t1``."""
-        lo = bisect_left(self._times, t0)
-        hi = bisect_left(self._times, t1)
+        times = self._times[: self._size]
+        lo = int(np.searchsorted(times, t0, side="left"))
+        hi = int(np.searchsorted(times, t1, side="left"))
         out = TimeSeries(self.name)
-        out._times = self._times[lo:hi]
-        out._values = self._values[lo:hi]
+        out.extend(times[lo:hi], self._values[lo:hi])
         return out
 
     def mean(self, t0: float | None = None, t1: float | None = None) -> float:
@@ -60,37 +146,41 @@ class TimeSeries:
                 t0 if t0 is not None else float("-inf"),
                 t1 if t1 is not None else float("inf"),
             )
-        if not series._values:
+        if not series._size:
             raise TelemetryError(f"series {self.name!r}: empty window")
-        return sum(series._values) / len(series._values)
+        values = series._values[: series._size]
+        return float(values.sum() / series._size)
 
     def last_before(self, time_s: float) -> tuple[float, float]:
         """Latest (time, value) with time <= time_s."""
-        idx = bisect_right(self._times, time_s) - 1
+        times = self._times[: self._size]
+        idx = int(np.searchsorted(times, time_s, side="right")) - 1
         if idx < 0:
             raise TelemetryError(f"series {self.name!r}: no sample at or before {time_s}")
-        return self._times[idx], self._values[idx]
+        return float(times[idx]), float(self._values[idx])
 
     def value_at(self, time_s: float) -> float:
         """Linear interpolation at ``time_s`` (clamped at the ends)."""
-        if not self._times:
+        if not self._size:
             raise TelemetryError(f"series {self.name!r} is empty")
-        if time_s <= self._times[0]:
-            return self._values[0]
-        if time_s >= self._times[-1]:
-            return self._values[-1]
-        hi = bisect_left(self._times, time_s)
+        times = self._times[: self._size]
+        values = self._values[: self._size]
+        if time_s <= times[0]:
+            return float(values[0])
+        if time_s >= times[-1]:
+            return float(values[-1])
+        hi = int(np.searchsorted(times, time_s, side="left"))
         lo = hi - 1
-        t0, t1 = self._times[lo], self._times[hi]
-        v0, v1 = self._values[lo], self._values[hi]
+        t0, t1 = times[lo], times[hi]
+        v0, v1 = values[lo], values[hi]
         if t1 <= t0:
-            return v1
+            return float(v1)
         frac = (time_s - t0) / (t1 - t0)
-        return v0 + frac * (v1 - v0)
+        return float(v0 + frac * (v1 - v0))
 
     def iter_samples(self):
         """Iterate (time, value) pairs."""
-        return zip(self._times, self._values)
+        return zip(self.times, self.values)
 
 
 @dataclass
@@ -105,6 +195,38 @@ class ServerTelemetry:
     fan_speed: TimeSeries = field(default_factory=lambda: TimeSeries("fan_speed"))
 
 
+class _PendingFleetColumns:
+    """Per-step fleet columns awaiting transposition into per-server series.
+
+    The per-step arrays are *referenced*, not copied: the fleet loop hands
+    over freshly built (or rebuild-replaced, never mutated-in-place)
+    arrays, so a reference per step is sufficient and O(1). CPU sensor
+    samples arrive on their own (sparser) schedule and carry their own
+    time column.
+    """
+
+    __slots__ = (
+        "names",
+        "times",
+        "utilization",
+        "vm_counts",
+        "fan_counts",
+        "fan_speeds",
+        "cpu_times",
+        "cpu_values",
+    )
+
+    def __init__(self, names: list[str]) -> None:
+        self.names = names
+        self.times: list[float] = []
+        self.utilization: list[np.ndarray] = []
+        self.vm_counts: list[np.ndarray] = []
+        self.fan_counts: list[np.ndarray] = []
+        self.fan_speeds: list[np.ndarray] = []
+        self.cpu_times: list[float] = []
+        self.cpu_values: list[np.ndarray] = []
+
+
 class TelemetryCollector:
     """Collects per-server series plus the shared environment feed."""
 
@@ -112,16 +234,22 @@ class TelemetryCollector:
         self._servers: dict[str, ServerTelemetry] = {}
         self.environment = TimeSeries("environment")
         self._log: list[tuple[float, str]] = []
+        self._pending: _PendingFleetColumns | None = None
 
-    def for_server(self, server_name: str) -> ServerTelemetry:
-        """Telemetry bundle for one server (created on first use)."""
+    def _bundle(self, server_name: str) -> ServerTelemetry:
         if server_name not in self._servers:
             self._servers[server_name] = ServerTelemetry(server_name)
         return self._servers[server_name]
 
+    def for_server(self, server_name: str) -> ServerTelemetry:
+        """Telemetry bundle for one server (created on first use)."""
+        self.flush()
+        return self._bundle(server_name)
+
     @property
     def server_names(self) -> list[str]:
         """Servers with any telemetry."""
+        self.flush()
         return sorted(self._servers)
 
     def record_environment(self, time_s: float, temperature_c: float) -> None:
@@ -136,6 +264,105 @@ class TelemetryCollector:
     def event_log(self) -> list[tuple[float, str]]:
         """All (time, message) log lines."""
         return list(self._log)
+
+    # -- fleet fast path ---------------------------------------------------
+
+    def _pending_for(self, server_names: list[str]) -> _PendingFleetColumns:
+        """The pending column buffer for this fleet membership.
+
+        Reuses the current buffer when the names are the same (identity
+        fast path, content-equality slow path after a fleet rebuild);
+        a real membership change flushes and starts a fresh buffer.
+        """
+        pending = self._pending
+        if pending is not None and pending.names is not server_names:
+            if pending.names != server_names:
+                self.flush()
+                pending = None
+            else:
+                pending.names = server_names
+        if pending is None:
+            self._pending = pending = _PendingFleetColumns(server_names)
+        return pending
+
+    def record_fleet_step(
+        self,
+        time_s: float,
+        server_names: list[str],
+        utilization: np.ndarray,
+        vm_counts: np.ndarray,
+        fan_counts: np.ndarray,
+        fan_speeds: np.ndarray,
+    ) -> None:
+        """Record one co-simulation step for a whole fleet at once.
+
+        All arrays are indexed like ``server_names``. The caller must not
+        mutate them in place afterwards (replace, don't mutate); they are
+        buffered by reference and transposed into the per-server series on
+        the next :meth:`flush` (triggered automatically by any reader).
+        """
+        pending = self._pending_for(server_names)
+        pending.times.append(time_s)
+        pending.utilization.append(utilization)
+        pending.vm_counts.append(vm_counts)
+        pending.fan_counts.append(fan_counts)
+        pending.fan_speeds.append(fan_speeds)
+        if len(pending.times) >= _FLEET_FLUSH_EVERY:
+            self.flush()
+
+    def record_fleet_cpu_samples(
+        self, time_s: float, server_names: list[str], values: np.ndarray
+    ) -> None:
+        """Record one simultaneous sensor sample for every fleet server.
+
+        Must be called with the same ``server_names`` as the surrounding
+        :meth:`record_fleet_step` stream (it shares the pending buffer).
+        """
+        pending = self._pending_for(server_names)
+        pending.cpu_times.append(time_s)
+        pending.cpu_values.append(values)
+
+    def append_cpu_sample(self, server_name: str, time_s: float, temperature_c: float) -> None:
+        """Append one sensor reading immediately.
+
+        Flushes pending fleet columns first so buffered
+        :meth:`record_fleet_cpu_samples` columns cannot be reordered
+        behind this sample within the same series.
+        """
+        self.flush()
+        self._bundle(server_name).cpu_temperature.append(time_s, temperature_c)
+
+    def flush(self) -> None:
+        """Transpose any pending fleet columns into the per-server series."""
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        if pending.times:
+            times = np.asarray(pending.times, dtype=float)
+            if times.shape[0] > 1 and np.any(np.diff(times) < -1e-9):
+                raise TelemetryError("fleet telemetry columns are non-monotonic")
+            utilization = np.vstack(pending.utilization)
+            vm_counts = np.vstack(pending.vm_counts)
+            fan_counts = np.vstack(pending.fan_counts)
+            fan_speeds = np.vstack(pending.fan_speeds)
+            for col, name in enumerate(pending.names):
+                bundle = self._bundle(name)
+                bundle.utilization._extend_trusted(times, utilization[:, col])
+                bundle.vm_count._extend_trusted(times, vm_counts[:, col])
+                bundle.fan_count._extend_trusted(times, fan_counts[:, col])
+                bundle.fan_speed._extend_trusted(times, fan_speeds[:, col])
+        if pending.cpu_times:
+            cpu_times = np.asarray(pending.cpu_times, dtype=float)
+            if cpu_times.shape[0] > 1 and np.any(np.diff(cpu_times) < -1e-9):
+                raise TelemetryError("fleet CPU sample columns are non-monotonic")
+            cpu_values = np.vstack(pending.cpu_values)
+            for col, name in enumerate(pending.names):
+                self._bundle(name).cpu_temperature._extend_trusted(
+                    cpu_times, cpu_values[:, col]
+                )
+
+    # -- derived quantities ------------------------------------------------
 
     def stable_cpu_temperature(
         self, server_name: str, t_break_s: float, t_exp_s: float

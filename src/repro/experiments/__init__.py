@@ -20,9 +20,13 @@ from repro.experiments.reporting import ascii_table, format_fig1a, format_fig1b,
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.scenarios import (
     ExperimentScenario,
+    FleetScenario,
     MigrationScenario,
+    build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
+    diurnal_fleet_scenario,
+    migration_storm_scenario,
     random_scenario,
     random_scenarios,
 )
@@ -33,17 +37,21 @@ __all__ = [
     "Fig1aResult",
     "Fig1bResult",
     "Fig1cResult",
+    "FleetScenario",
     "MigrationScenario",
     "RecordDataset",
     "ascii_table",
     "build_fig1a",
     "build_fig1b",
     "build_fig1c",
+    "build_fleet_simulation",
     "build_migration_simulation",
     "build_simulation",
+    "diurnal_fleet_scenario",
     "format_fig1a",
     "format_fig1b",
     "format_fig1c",
+    "migration_storm_scenario",
     "random_scenario",
     "random_scenarios",
     "run_experiment",

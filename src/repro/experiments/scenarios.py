@@ -5,6 +5,12 @@ VMs (with their tasks), the environment, fan state, and duration. The
 randomized generator spans the space the paper evaluates — "20 randomized
 experiment cases with 2-12 VMs" — and a dedicated builder produces the
 two-server migration scenario behind the dynamic case study of Fig. 1(b).
+
+Beyond the paper's single-server cases, :class:`FleetScenario` describes
+cluster-scale workloads for the vectorized fleet engine: a 128-server
+diurnal fleet (:func:`diurnal_fleet_scenario`) and a migration-storm
+stress case (:func:`migration_storm_scenario`), both materialized by
+:func:`build_fleet_simulation`.
 """
 
 from __future__ import annotations
@@ -17,10 +23,20 @@ from repro.datacenter.resources import ResourceCapacity
 from repro.datacenter.server import Server, ServerSpec
 from repro.datacenter.simulation import DatacenterSimulation
 from repro.datacenter.vm import Vm, VmSpec
-from repro.datacenter.workload import TASK_KINDS, ConstantTask, random_task
+from repro.datacenter.workload import (
+    TASK_KINDS,
+    ConstantTask,
+    PeriodicTask,
+    RampTask,
+    random_task,
+)
 from repro.errors import ConfigurationError
 from repro.rng import RngFactory
-from repro.thermal.environment import ConstantEnvironment, EnvironmentProfile
+from repro.thermal.environment import (
+    ConstantEnvironment,
+    EnvironmentProfile,
+    SinusoidalEnvironment,
+)
 
 #: Discrete option sets for randomized server hardware; commodity boxes.
 CORE_OPTIONS = (8, 16, 24, 32)
@@ -229,7 +245,224 @@ def _with_migration_headroom(
     )
 
 
+# -- fleet-scale scenarios ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A cluster-scale workload for the vectorized fleet engine.
+
+    ``vm_specs[i]`` are the VMs initially placed on ``server_specs[i]``;
+    ``migrations`` schedules (start_time_s, vm_name, destination) live
+    migrations on the materialized simulation.
+    """
+
+    name: str
+    server_specs: tuple[ServerSpec, ...]
+    vm_specs: tuple[tuple[VmSpec, ...], ...]
+    environment: EnvironmentProfile
+    duration_s: float
+    seed: int = 0
+    migrations: tuple[tuple[float, str, str], ...] = ()
+    servers_per_rack: int = 16
+
+    def __post_init__(self) -> None:
+        if len(self.server_specs) != len(self.vm_specs):
+            raise ConfigurationError(
+                f"{len(self.server_specs)} servers but "
+                f"{len(self.vm_specs)} VM placement groups"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.servers_per_rack < 1:
+            raise ConfigurationError(
+                f"servers_per_rack must be >= 1, got {self.servers_per_rack}"
+            )
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the fleet."""
+        return len(self.server_specs)
+
+    @property
+    def n_vms(self) -> int:
+        """Total number of VMs initially placed."""
+        return sum(len(group) for group in self.vm_specs)
+
+
+def _fleet_server_spec(hw, index: int) -> ServerSpec:
+    """One randomized commodity server for a fleet scenario."""
+    return ServerSpec(
+        name=f"server-{index:03d}",
+        capacity=ResourceCapacity(
+            cpu_cores=hw.choice(list(CORE_OPTIONS)),
+            ghz_per_core=hw.choice(list(GHZ_OPTIONS)),
+            memory_gb=hw.choice(list(MEMORY_OPTIONS)),
+        ),
+        fan_count=hw.choice(list(FAN_COUNT_OPTIONS)),
+        fan_speed=hw.uniform(0.5, 0.9),
+    )
+
+
+def diurnal_fleet_scenario(
+    n_servers: int = 128,
+    seed: int = 90_000,
+    vms_per_server: tuple[int, int] = (2, 5),
+    duration_s: float = 7200.0,
+) -> FleetScenario:
+    """A large fleet riding a diurnal load and cooling cycle.
+
+    Every server hosts a mix of request-serving (periodic, day-scale
+    period), batch (constant), and cache-warming (ramp) VMs; the room
+    temperature follows a sinusoidal daily drift, so both load and
+    cooling move the way a real datacenter's do over a day.
+    """
+    if n_servers < 1:
+        raise ConfigurationError(f"n_servers must be >= 1, got {n_servers}")
+    lo, hi = vms_per_server
+    if not 1 <= lo <= hi:
+        raise ConfigurationError(f"invalid vms_per_server {vms_per_server}")
+    factory = RngFactory(seed)
+    hw = factory.stream("hardware")
+    specs = []
+    placements = []
+    for i in range(n_servers):
+        server = _fleet_server_spec(hw, i)
+        vm_rng = factory.stream(f"vms/{i}")
+        n_vms = vm_rng.randint(lo, hi)
+        vms = []
+        for j in range(n_vms):
+            kind = vm_rng.choice(["periodic", "constant", "ramp"])
+            if kind == "periodic":
+                mean = vm_rng.uniform(0.25, 0.65)
+                task = PeriodicTask(
+                    mean=mean,
+                    amplitude=vm_rng.uniform(0.1, min(0.3, mean, 1.0 - mean)),
+                    period_s=86400.0,
+                    phase_s=vm_rng.uniform(0.0, 86400.0),
+                )
+            elif kind == "constant":
+                task = ConstantTask(level=vm_rng.uniform(0.2, 0.8))
+            else:
+                task = RampTask(
+                    start_level=vm_rng.uniform(0.05, 0.3),
+                    end_level=vm_rng.uniform(0.4, 0.9),
+                    ramp_s=vm_rng.uniform(600.0, 3600.0),
+                )
+            vms.append(
+                VmSpec(
+                    name=f"vm-{i:03d}-{j}",
+                    vcpus=vm_rng.randint(1, 4),
+                    memory_gb=vm_rng.uniform(2.0, 8.0),
+                    tasks=(task,),
+                )
+            )
+        specs.append(server)
+        placements.append(tuple(vms))
+    return FleetScenario(
+        name=f"diurnal-fleet-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=SinusoidalEnvironment(
+            mean_c=22.0, amplitude_c=2.0, period_s=86400.0
+        ),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def migration_storm_scenario(
+    n_servers: int = 64,
+    seed: int = 91_000,
+    storm_start_s: float = 600.0,
+    storm_window_s: float = 300.0,
+    duration_s: float = 1800.0,
+) -> FleetScenario:
+    """A consolidation wave: half the fleet evacuates one hot VM each.
+
+    The first half of the fleet runs loaded (each with one dedicated
+    migrant VM plus background load); the second half idles. During
+    ``[storm_start, storm_start + storm_window]`` every loaded server
+    live-migrates its migrant to its idle partner — a burst of
+    simultaneous migrations stressing event handling, VMM overhead
+    accounting, and fleet-state rebuilds.
+    """
+    if n_servers < 2 or n_servers % 2:
+        raise ConfigurationError(
+            f"n_servers must be an even number >= 2, got {n_servers}"
+        )
+    if storm_window_s <= 0:
+        raise ConfigurationError(f"storm_window_s must be > 0, got {storm_window_s}")
+    half = n_servers // 2
+    factory = RngFactory(seed)
+    hw = factory.stream("hardware")
+    specs = []
+    placements = []
+    migrations = []
+    for i in range(n_servers):
+        server = _fleet_server_spec(hw, i)
+        specs.append(server)
+        if i >= half:
+            placements.append(())
+            continue
+        vm_rng = factory.stream(f"vms/{i}")
+        migrant = VmSpec(
+            name=f"migrant-{i:03d}",
+            vcpus=2,
+            memory_gb=vm_rng.uniform(4.0, 8.0),
+            tasks=(ConstantTask(level=vm_rng.uniform(0.7, 0.95)),),
+        )
+        background = VmSpec(
+            name=f"base-{i:03d}",
+            vcpus=2,
+            memory_gb=vm_rng.uniform(4.0, 12.0),
+            tasks=(ConstantTask(level=vm_rng.uniform(0.3, 0.6)),),
+        )
+        placements.append((migrant, background))
+        start = storm_start_s + storm_window_s * (i / max(half - 1, 1))
+        migrations.append((start, migrant.name, f"server-{i + half:03d}"))
+    return FleetScenario(
+        name=f"migration-storm-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=ConstantEnvironment(22.0),
+        duration_s=duration_s,
+        seed=seed,
+        migrations=tuple(migrations),
+    )
+
+
 # -- simulation builders ------------------------------------------------------
+
+
+def build_fleet_simulation(
+    scenario: FleetScenario, use_fleet_engine: bool = True
+) -> DatacenterSimulation:
+    """Materialize a fleet scenario: servers racked, VMs placed at t=0,
+    lumps initialized to the per-server idle steady state, migrations
+    scheduled."""
+    from repro.datacenter.migration import migrate_vm
+
+    cluster = Cluster(name=f"{scenario.name}-cluster")
+    ambient = scenario.environment.temperature(0.0)
+    for index, (spec, vms) in enumerate(
+        zip(scenario.server_specs, scenario.vm_specs)
+    ):
+        server = Server(spec)
+        idle = server.thermal.steady_state_cpu_temperature(0.0, ambient)
+        server.thermal.set_temperatures(idle, (idle + ambient) / 2.0)
+        cluster.add_server(server, rack=f"rack-{index // scenario.servers_per_rack}")
+        for vm_spec in vms:
+            server.host_vm(Vm(vm_spec), time_s=0.0)
+    sim = DatacenterSimulation(
+        cluster=cluster,
+        environment=scenario.environment,
+        rng=RngFactory(scenario.seed).fork("sim"),
+        use_fleet_engine=use_fleet_engine,
+    )
+    for start_time_s, vm_name, destination in scenario.migrations:
+        migrate_vm(sim, vm_name=vm_name, destination=destination, start_time_s=start_time_s)
+    return sim
 
 
 def build_simulation(scenario: ExperimentScenario) -> DatacenterSimulation:

@@ -14,6 +14,27 @@ import numpy as np
 from repro.errors import NotFittedError
 
 
+def _as_rows(x: np.ndarray, n_features: int, where: str) -> tuple[np.ndarray, bool]:
+    """Coerce ``x`` to a 2-D float matrix with ``n_features`` columns.
+
+    Accepts a single 1-D row (like ``EpsilonSVR.predict``); returns the
+    matrix and whether the input was a single row.
+    """
+    arr = np.asarray(x, dtype=float)
+    single = arr.ndim == 1
+    if single:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{where}: expected a 1-D row or 2-D matrix, got shape {arr.shape}"
+        )
+    if arr.shape[1] != n_features:
+        raise ValueError(
+            f"{where}: expected {n_features} features, got {arr.shape[1]}"
+        )
+    return arr, single
+
+
 class MinMaxScaler:
     """Affine map of each feature to ``[lower, upper]`` (default [-1, 1]).
 
@@ -39,19 +60,22 @@ class MinMaxScaler:
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
-        """Apply the learned map; out-of-range values extrapolate linearly."""
+        """Apply the learned map; out-of-range values extrapolate linearly.
+
+        Accepts a (n, d) matrix or a single 1-D row of d features (a 1-D
+        input returns a 1-D output, like ``EpsilonSVR.predict``).
+        """
         if self._min is None or self._max is None:
             raise NotFittedError("MinMaxScaler.transform called before fit")
-        arr = np.asarray(x, dtype=float)
+        arr, single = _as_rows(x, self._min.shape[0], "MinMaxScaler.transform")
         span = self._max - self._min
-        out = np.empty_like(arr, dtype=float)
         constant = span <= 0
         safe_span = np.where(constant, 1.0, span)
         frac = (arr - self._min) / safe_span
         out = self.lower + frac * (self.upper - self.lower)
         midpoint = 0.5 * (self.lower + self.upper)
         out[:, constant] = midpoint
-        return out
+        return out[0] if single else out
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit then transform in one call."""
@@ -61,10 +85,11 @@ class MinMaxScaler:
         """Map scaled values back to original units."""
         if self._min is None or self._max is None:
             raise NotFittedError("MinMaxScaler.inverse_transform called before fit")
-        arr = np.asarray(x, dtype=float)
+        arr, single = _as_rows(x, self._min.shape[0], "MinMaxScaler.inverse_transform")
         span = self._max - self._min
         frac = (arr - self.lower) / (self.upper - self.lower)
-        return self._min + frac * span
+        out = self._min + frac * span
+        return out[0] if single else out
 
 
 class StandardScaler:
@@ -85,10 +110,12 @@ class StandardScaler:
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
-        """Apply the learned standardization."""
+        """Apply the learned standardization (matrix or single 1-D row)."""
         if self._mean is None or self._std is None:
             raise NotFittedError("StandardScaler.transform called before fit")
-        return (np.asarray(x, dtype=float) - self._mean) / self._std
+        arr, single = _as_rows(x, self._mean.shape[0], "StandardScaler.transform")
+        out = (arr - self._mean) / self._std
+        return out[0] if single else out
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         """Fit then transform in one call."""
@@ -98,4 +125,6 @@ class StandardScaler:
         """Map standardized values back to original units."""
         if self._mean is None or self._std is None:
             raise NotFittedError("StandardScaler.inverse_transform called before fit")
-        return np.asarray(x, dtype=float) * self._std + self._mean
+        arr, single = _as_rows(x, self._mean.shape[0], "StandardScaler.inverse_transform")
+        out = arr * self._std + self._mean
+        return out[0] if single else out

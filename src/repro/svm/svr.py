@@ -84,20 +84,43 @@ class EpsilonSVR:
 
     # -- inference ------------------------------------------------------------
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict targets for a feature matrix (or a single row)."""
+    #: Rows per kernel block in :meth:`predict`; bounds the transient
+    #: (rows × n_support) Gram allocation when scoring huge batches.
+    predict_chunk_rows: int = 4096
+
+    def predict(self, x: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Predict targets for a feature matrix (or a single row).
+
+        Large batches are scored in blocks of ``chunk_size`` rows
+        (default :attr:`predict_chunk_rows`), so monitor-driven scenarios
+        can push thousands of VM feature rows through one call without
+        materializing a full (n, n_support) Gram matrix. Results are
+        identical to unchunked evaluation: kernel rows are independent.
+        """
         if self._support_x is None or self._support_beta is None:
             raise NotFittedError("EpsilonSVR.predict called before fit")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
         if single:
             x = x.reshape(1, -1)
+        n = x.shape[0]
         if self._support_x.shape[0] == 0:
             # All-zero dual (e.g. targets within ε of the bias): constant.
-            out = np.full(x.shape[0], self._bias)
+            out = np.full(n, self._bias)
         else:
-            gram = self.kernel.gram(x, self._support_x)
-            out = gram @ self._support_beta + self._bias
+            chunk = chunk_size or self.predict_chunk_rows
+            if n <= chunk:
+                out = self.kernel.gram(x, self._support_x) @ self._support_beta + self._bias
+            else:
+                out = np.empty(n, dtype=float)
+                for start in range(0, n, chunk):
+                    block = x[start : start + chunk]
+                    out[start : start + chunk] = (
+                        self.kernel.gram(block, self._support_x) @ self._support_beta
+                        + self._bias
+                    )
         return out[0] if single else out
 
     # -- introspection ----------------------------------------------------------

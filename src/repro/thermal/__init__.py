@@ -20,9 +20,10 @@ from repro.thermal.environment import (
     SteppedEnvironment,
 )
 from repro.thermal.fan import FanBank
+from repro.thermal.fleet import FleetThermalEngine
 from repro.thermal.power import CpuPowerModel
 from repro.thermal.rc import RcNetwork, ThermalNode
-from repro.thermal.sensors import SensorReading, TemperatureSensor
+from repro.thermal.sensors import SensorBank, SensorReading, TemperatureSensor
 from repro.thermal.server_thermal import ServerThermalModel
 from repro.thermal.solver import euler_step, integrate, rk4_step
 
@@ -33,7 +34,9 @@ __all__ = [
     "FanBank",
     "FanController",
     "FanControllerConfig",
+    "FleetThermalEngine",
     "RcNetwork",
+    "SensorBank",
     "SensorReading",
     "ServerThermalModel",
     "SinusoidalEnvironment",

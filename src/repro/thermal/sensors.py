@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import SensorConfig
 from repro.rng import RngStream
 
@@ -90,3 +92,75 @@ class TemperatureSensor:
         """Drop history and restart the sampling schedule."""
         self._readings.clear()
         self._next_sample_time = 0.0
+
+
+class SensorBank:
+    """Vectorized sampling schedule over many sensors.
+
+    The fleet co-simulation loop calls :meth:`sample_due` every step; the
+    due check is a single array comparison, and only sensors whose period
+    actually elapsed pay the per-sensor Python cost of a noise draw.
+    Noise addition and quantization are applied vectorized, and each
+    sensor's reading history stays populated, so a bank produces exactly
+    the readings — same random draws, same values — as per-sensor
+    :meth:`TemperatureSensor.maybe_sample` polling, including the burst
+    re-anchor after a time jump.
+
+    The bank owns the schedule while live; :meth:`writeback` pushes the
+    per-sensor deadlines back into the sensor objects so direct
+    ``maybe_sample`` use stays consistent afterwards.
+    """
+
+    def __init__(self, sensors: list[TemperatureSensor]) -> None:
+        self.sensors = list(sensors)
+        self._gauss = [s._rng.gauss for s in self.sensors]
+        self._noise_std = np.array(
+            [s.config.noise_std_c for s in self.sensors], dtype=float
+        )
+        self._quant = np.array(
+            [s.config.quantization_c for s in self.sensors], dtype=float
+        )
+        self._next = np.array([s._next_sample_time for s in self.sensors], dtype=float)
+        self._period = np.array(
+            [s.config.sampling_period_s for s in self.sensors], dtype=float
+        )
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def sample_due(
+        self, time_s: float, true_temperatures_c: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample every sensor whose period elapsed.
+
+        ``true_temperatures_c`` is indexed like the ``sensors`` list.
+        Returns ``(due_indices, values)``: the indices of sensors that
+        sampled this step and their recorded temperatures.
+        """
+        due = np.nonzero(time_s + 1e-9 >= self._next)[0]
+        if due.size == 0:
+            return due, np.empty(0, dtype=float)
+        # Noise draws are per-sensor streams (determinism contract), the
+        # rest of the read pipeline is vectorized.
+        gauss = self._gauss
+        std = self._noise_std
+        noise = np.array([gauss[i](0.0, std[i]) for i in due.tolist()])
+        values = true_temperatures_c[due] + noise
+        q = self._quant[due]
+        quantize = q > 0
+        if quantize.any():
+            values = np.where(quantize, np.round(values / np.where(quantize, q, 1.0)) * q, values)
+        for i, value in zip(due.tolist(), values.tolist()):
+            self.sensors[i]._readings.append(SensorReading(time_s, value))
+        self._next[due] += self._period[due]
+        # Re-anchor sensors the simulation jumped past (burst suppression),
+        # mirroring TemperatureSensor.maybe_sample.
+        lagging = due[self._next[due] <= time_s]
+        if lagging.size:
+            self._next[lagging] = time_s + self._period[lagging]
+        return due, values
+
+    def writeback(self) -> None:
+        """Push the bank's schedule back into the sensor objects."""
+        for sensor, next_time in zip(self.sensors, self._next):
+            sensor._next_sample_time = float(next_time)

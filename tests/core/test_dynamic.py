@@ -127,3 +127,48 @@ class TestReplay:
     def test_rejects_tiny_trace(self):
         with pytest.raises(ConfigurationError):
             replay_dynamic_prediction([0.0], [50.0], flat_curve(), config())
+
+
+class TestUpdateScheduleGrid:
+    """Regression: ``observe`` used to re-anchor the next deadline at the
+    (jittered) measurement time, so noisy sensor timestamps drifted the
+    Δ_update schedule off its grid and starved the calibrator."""
+
+    def _jittered_times(self, duration=1500.0, dt=5.0, jitter=2.0, seed=3):
+        import random
+
+        rng = random.Random(seed)
+        return [i * dt + rng.uniform(0.0, jitter) for i in range(int(duration / dt) + 1)]
+
+    def test_jittered_trace_keeps_update_count(self):
+        times = self._jittered_times()
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(update=15.0))
+        update_times = [t for t in times if predictor.observe(t, 50.0)]
+        # One update per 15 s grid point covered by the trace — drift would
+        # progressively push deadlines later and lose updates.
+        expected = int(max(times) // 15.0) + 1
+        assert len(update_times) == expected
+
+    def test_updates_land_near_grid_points(self):
+        times = self._jittered_times(jitter=1.5)
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(update=15.0))
+        update_times = [t for t in times if predictor.observe(t, 50.0)]
+        for k, t in enumerate(update_times):
+            # Each update is the first sample at/after its grid deadline:
+            # within one sample period + jitter of k·Δ_update.
+            assert k * 15.0 - 1e-9 <= t <= k * 15.0 + 5.0 + 1.5
+
+    def test_exact_grid_unchanged(self):
+        times = [float(t) for t in range(0, 300, 5)]
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(update=15.0))
+        update_times = [t for t in times if predictor.observe(t, 50.0)]
+        assert update_times == [float(t) for t in range(0, 300, 15)]
+
+    def test_gap_in_trace_advances_on_grid(self):
+        predictor = DynamicTemperaturePredictor(flat_curve(), config(update=15.0))
+        assert predictor.observe(0.0, 50.0)
+        # A long observation gap: the next deadline lands on the grid point
+        # following the gap, not at (gap end + interval).
+        assert predictor.observe(100.0, 50.0)
+        assert not predictor.observe(101.0, 50.0)
+        assert predictor.observe(105.0, 50.0)

@@ -156,3 +156,81 @@ class TestDeterminism:
             return sim.telemetry.for_server("s0").cpu_temperature.values
 
         assert trace() == trace()
+
+
+class TestWarmUp:
+    def test_warm_up_records_no_telemetry(self):
+        sim = make_sim()
+        sim.cluster.server("s0").host_vm(make_vm("v", vcpus=4, level=0.8))
+        sim.warm_up(120.0)
+        assert len(sim.telemetry.environment) == 0
+        bundle = sim.telemetry.for_server("s0")
+        assert len(bundle.utilization) == 0
+        assert len(bundle.cpu_temperature) == 0
+        assert sim.sensor_for("s0").readings == []
+
+    def test_warm_up_advances_physics(self):
+        sim = make_sim()
+        server = sim.cluster.server("s0")
+        server.host_vm(make_vm("v", vcpus=8, level=1.0, n_tasks=8))
+        sim.equalize_temperatures()
+        start = server.thermal.cpu_temperature_c
+        sim.warm_up(300.0)
+        assert sim.time_s == pytest.approx(300.0)
+        assert server.thermal.cpu_temperature_c > start + 5.0
+
+    def test_warm_up_then_run_records_only_run(self):
+        sim = make_sim()
+        sim.cluster.server("s0").host_vm(make_vm("v", vcpus=4, level=0.6))
+        sim.warm_up(60.0)
+        sim.run(60.0)
+        utilization = sim.telemetry.for_server("s0").utilization
+        assert len(utilization) == 60
+        assert utilization.times[0] == pytest.approx(61.0)
+
+    def test_warm_up_still_fires_events(self):
+        sim = make_sim()
+        fired = []
+        sim.schedule(FunctionEvent(5.0, lambda s: fired.append(s.time_s)))
+        sim.warm_up(10.0)
+        assert len(fired) == 1
+
+    def test_recording_restored_after_error(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.warm_up(0.0)
+        assert sim._recording is True
+
+
+class TestFleetEngineToggle:
+    def test_both_modes_available(self):
+        for use_fleet in (True, False):
+            sim = DatacenterSimulation(
+                cluster=Cluster("toggle"), use_fleet_engine=use_fleet
+            )
+            assert sim.use_fleet_engine is use_fleet
+
+    def test_modes_agree_on_trace(self):
+        def trace(use_fleet):
+            cluster = Cluster("sim-test")
+            cluster.add_server(Server(make_server_spec(name="s0")))
+            sim = DatacenterSimulation(
+                cluster=cluster,
+                environment=ConstantEnvironment(22.0),
+                rng=RngFactory(123),
+                use_fleet_engine=use_fleet,
+            )
+            sim.cluster.server("s0").host_vm(make_vm("v", vcpus=4, level=0.7))
+            sim.run(120.0)
+            return sim.telemetry.for_server("s0").cpu_temperature.values
+
+        assert trace(True) == trace(False)
+
+    def test_fleet_state_dropped_between_runs(self):
+        sim = make_sim()
+        sim.run(30.0)
+        assert sim._fleet is None
+        # Mutations between runs must be honored by the next run.
+        sim.cluster.server("s0").set_fan_speed(1.0)
+        sim.run(30.0)
+        assert sim.telemetry.for_server("s0").fan_speed.values[-1] == 1.0

@@ -106,3 +106,116 @@ class TestCollector:
         collector = TelemetryCollector()
         with pytest.raises(TelemetryError):
             collector.stable_cpu_temperature("s1", 5.0, 10.0)
+
+
+class TestBatchAndArrayApi:
+    def test_extend_appends_batch(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.extend([1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+        assert series.times == [0.0, 1.0, 2.0, 3.0]
+        assert series.values == [1.0, 10.0, 20.0, 30.0]
+
+    def test_extend_rejects_nonmonotonic_batch(self):
+        series = TimeSeries("x")
+        with pytest.raises(TelemetryError):
+            series.extend([0.0, 2.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_extend_rejects_batch_before_existing_tail(self):
+        series = TimeSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(TelemetryError):
+            series.extend([1.0, 2.0], [1.0, 2.0])
+
+    def test_extend_rejects_length_mismatch(self):
+        with pytest.raises(TelemetryError):
+            TimeSeries("x").extend([1.0, 2.0], [1.0])
+
+    def test_arrays_are_copies(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        arr = series.values_array()
+        arr[0] = 99.0
+        assert series.values == [1.0]
+
+    def test_last(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(2.0, 3.0)
+        assert series.last() == (2.0, 3.0)
+        with pytest.raises(TelemetryError):
+            TimeSeries("y").last()
+
+    def test_growth_beyond_initial_capacity(self):
+        series = TimeSeries("x")
+        for i in range(1000):
+            series.append(float(i), float(i) * 2.0)
+        assert len(series) == 1000
+        assert series.values[-1] == 1998.0
+        assert series.value_at(500.5) == pytest.approx(1001.0)
+
+
+class TestFleetColumns:
+    def _record(self, collector, times, names):
+        import numpy as np
+
+        for k, t in enumerate(times):
+            collector.record_fleet_step(
+                t,
+                names,
+                np.full(len(names), 0.1 * (k + 1)),
+                np.full(len(names), 2.0),
+                np.full(len(names), 4.0),
+                np.full(len(names), 0.7),
+            )
+
+    def test_columns_flushed_on_read(self):
+        collector = TelemetryCollector()
+        names = ["a", "b"]
+        self._record(collector, [1.0, 2.0, 3.0], names)
+        bundle = collector.for_server("a")
+        assert bundle.utilization.times == [1.0, 2.0, 3.0]
+        assert bundle.utilization.values == pytest.approx([0.1, 0.2, 0.3])
+        assert collector.for_server("b").vm_count.values == [2.0, 2.0, 2.0]
+
+    def test_server_names_flushes(self):
+        collector = TelemetryCollector()
+        self._record(collector, [1.0], ["a", "b"])
+        assert collector.server_names == ["a", "b"]
+
+    def test_cpu_columns_interleave_with_steps(self):
+        import numpy as np
+
+        collector = TelemetryCollector()
+        names = ["a", "b"]
+        self._record(collector, [1.0], names)
+        collector.record_fleet_cpu_samples(1.0, names, np.array([55.0, 60.0]))
+        self._record(collector, [2.0], names)
+        collector.record_fleet_cpu_samples(2.0, names, np.array([56.0, 61.0]))
+        cpu = collector.for_server("b").cpu_temperature
+        assert cpu.times == [1.0, 2.0]
+        assert cpu.values == [60.0, 61.0]
+
+    def test_membership_change_forces_flush_boundary(self):
+        collector = TelemetryCollector()
+        self._record(collector, [1.0], ["a", "b"])
+        self._record(collector, [2.0], ["a", "c"])
+        assert collector.for_server("b").utilization.times == [1.0]
+        assert collector.for_server("c").utilization.times == [2.0]
+        assert collector.for_server("a").utilization.times == [1.0, 2.0]
+
+    def test_mixed_direct_append_and_columns(self):
+        import numpy as np
+
+        collector = TelemetryCollector()
+        names = ["a"]
+        self._record(collector, [1.0], names)
+        collector.record_fleet_cpu_samples(1.0, names, np.array([50.0]))
+        # A direct append (partial-due fallback) must not reorder behind
+        # buffered columns.
+        collector.append_cpu_sample("a", 2.0, 51.0)
+        self._record(collector, [3.0], names)
+        collector.record_fleet_cpu_samples(3.0, names, np.array([52.0]))
+        cpu = collector.for_server("a").cpu_temperature
+        assert cpu.times == [1.0, 2.0, 3.0]
+        assert cpu.values == [50.0, 51.0, 52.0]

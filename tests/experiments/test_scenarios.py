@@ -6,9 +6,12 @@ from repro.datacenter.server import Server
 from repro.datacenter.vm import Vm
 from repro.errors import ConfigurationError
 from repro.experiments.scenarios import (
+    build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
+    diurnal_fleet_scenario,
     migration_scenario,
+    migration_storm_scenario,
     random_scenario,
     random_scenarios,
 )
@@ -97,3 +100,76 @@ class TestMigrationScenario:
         before = trace.mean(700.0, 900.0)
         after = trace.mean(2100.0, 2400.0)
         assert after > before + 2.0
+
+
+class TestFleetScenarios:
+    def test_diurnal_fleet_shape(self):
+        scenario = diurnal_fleet_scenario(n_servers=12, seed=500)
+        assert scenario.n_servers == 12
+        assert scenario.n_vms >= 12 * 2
+        assert scenario.migrations == ()
+        # Deterministic: the same seed reproduces the same fleet.
+        again = diurnal_fleet_scenario(n_servers=12, seed=500)
+        assert [s.name for s in again.server_specs] == [
+            s.name for s in scenario.server_specs
+        ]
+        assert again.vm_specs[3][0].memory_gb == scenario.vm_specs[3][0].memory_gb
+
+    def test_diurnal_fleet_builds_and_runs(self):
+        scenario = diurnal_fleet_scenario(n_servers=8, seed=501, duration_s=600.0)
+        sim = build_fleet_simulation(scenario)
+        sim.run(120.0)
+        assert sim.time_s == 120.0
+        names = sim.telemetry.server_names
+        assert len(names) == 8
+        for name in names:
+            bundle = sim.telemetry.for_server(name)
+            assert len(bundle.utilization) == 120
+            assert len(bundle.cpu_temperature) > 0
+        # Heterogeneous hardware and load → heterogeneous temperatures.
+        temps = [s.thermal.cpu_temperature_c for s in sim.cluster.servers]
+        assert max(temps) - min(temps) > 1.0
+
+    def test_diurnal_fleet_racked(self):
+        scenario = diurnal_fleet_scenario(n_servers=20, seed=502)
+        sim = build_fleet_simulation(scenario)
+        racks = sim.cluster.racks()
+        assert set(racks) == {"rack-0", "rack-1"}
+        assert len(racks["rack-0"]) == 16
+
+    def test_migration_storm_moves_vms(self):
+        scenario = migration_storm_scenario(
+            n_servers=8, seed=510, storm_start_s=30.0, storm_window_s=20.0,
+            duration_s=300.0,
+        )
+        assert len(scenario.migrations) == 4
+        sim = build_fleet_simulation(scenario)
+        sim.run(200.0)
+        for i in range(4):
+            destination = sim.cluster.server(f"server-{i + 4:03d}")
+            assert f"migrant-{i:03d}" in destination.vms
+            assert destination.active_migrations == 0
+        # The storm heats the destinations.
+        assert sim.cluster.server("server-005").thermal.cpu_temperature_c > 30.0
+
+    def test_migration_storm_matches_reference_path(self):
+        def final_temps(use_fleet):
+            scenario = migration_storm_scenario(
+                n_servers=6, seed=511, storm_start_s=20.0, storm_window_s=15.0,
+                duration_s=200.0,
+            )
+            sim = build_fleet_simulation(scenario, use_fleet_engine=use_fleet)
+            sim.run(150.0)
+            return [s.thermal.cpu_temperature_c for s in sim.cluster.servers]
+
+        fleet = final_temps(True)
+        reference = final_temps(False)
+        assert fleet == pytest.approx(reference, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            migration_storm_scenario(n_servers=5)
+        with pytest.raises(ConfigurationError):
+            diurnal_fleet_scenario(n_servers=0)
+        with pytest.raises(ConfigurationError):
+            diurnal_fleet_scenario(vms_per_server=(3, 2))

@@ -82,3 +82,46 @@ class TestStandard:
         transformed = scaler.transform(single)
         expected = (single - matrix.mean(axis=0)) / matrix.std(axis=0)
         assert np.allclose(transformed, expected)
+
+
+class TestSingleRowInput:
+    """Regression: ``MinMaxScaler.transform`` raised ``IndexError`` on a
+    1-D row (the constant-feature fill indexed the wrong axis)."""
+
+    def test_minmax_accepts_1d_row(self, matrix):
+        scaler = MinMaxScaler().fit(matrix)
+        row = matrix[3]
+        out = scaler.transform(row)
+        assert out.ndim == 1
+        assert np.allclose(out, scaler.transform(matrix)[3])
+
+    def test_minmax_1d_row_with_constant_feature(self):
+        x = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        scaler = MinMaxScaler().fit(x)
+        out = scaler.transform(np.array([2.0, 7.0]))
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(0.0)  # constant → interval midpoint
+
+    def test_minmax_1d_inverse_round_trip(self, matrix):
+        scaler = MinMaxScaler().fit(matrix)
+        row = matrix[0]
+        assert np.allclose(scaler.inverse_transform(scaler.transform(row)), row)
+
+    def test_standard_accepts_1d_row(self, matrix):
+        scaler = StandardScaler().fit(matrix)
+        row = matrix[5]
+        out = scaler.transform(row)
+        assert out.ndim == 1
+        assert np.allclose(out, scaler.transform(matrix)[5])
+
+    def test_standard_1d_inverse_round_trip(self, matrix):
+        scaler = StandardScaler().fit(matrix)
+        row = matrix[2]
+        assert np.allclose(scaler.inverse_transform(scaler.transform(row)), row)
+
+    def test_feature_count_mismatch_rejected(self, matrix):
+        scaler = MinMaxScaler().fit(matrix)
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros(matrix.shape[1] + 1))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(matrix).transform(np.zeros((3, matrix.shape[1] + 2)))

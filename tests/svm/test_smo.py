@@ -138,3 +138,43 @@ class TestValidation:
             solve_svr_dual(
                 np.eye(3), np.zeros(3), c=1.0, epsilon=0.1, on_no_convergence="explode"
             )
+
+
+class TestConvergedFlagConsistency:
+    """Regression: a numerically stuck pair used to break out of the loop
+    with ``converged=False`` even when the KKT gap was already at (or
+    within a small multiple of) tol — callers saw spurious
+    non-convergence on well-solved problems."""
+
+    def test_converged_flag_matches_gap_on_random_problems(self):
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            x = rng.uniform(-1, 1, size=(40, 6))
+            y = 10.0 * x[:, 0] + 3.0 * np.sin(2.0 * x[:, 1])
+            k = RbfKernel(gamma=0.2).gram(x, x)
+            result = solve_svr_dual(
+                k, y, c=100.0, epsilon=0.1, on_no_convergence="ignore"
+            )
+            # Contract: the flag may never contradict the reported gap.
+            if result.kkt_gap <= 1e-3:
+                assert result.converged, (
+                    f"seed {seed}: gap {result.kkt_gap} <= tol but converged=False"
+                )
+
+    def test_duplicated_points_still_report_convergence(self):
+        # Identical rows produce zero-curvature pairs — the classic path
+        # into the numerically-stuck branch.
+        x = np.repeat(np.linspace(-1, 1, 8).reshape(-1, 1), 4, axis=0)
+        y = np.repeat(np.linspace(0, 5, 8), 4)
+        k = RbfKernel(gamma=1.0).gram(x, x)
+        result = solve_svr_dual(k, y, c=50.0, epsilon=0.01)
+        assert result.converged
+        assert result.kkt_gap <= 10.0 * 1e-3
+
+    def test_benchmark_problem_converges(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(200, 10))
+        y = 40.0 + 10.0 * x[:, 0] + 5.0 * np.sin(3.0 * x[:, 1])
+        k = RbfKernel(gamma=0.1).gram(x, x)
+        result = solve_svr_dual(k, y, c=100.0, epsilon=0.1)
+        assert result.converged

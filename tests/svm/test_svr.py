@@ -86,3 +86,33 @@ class TestValidation:
     def test_rejects_length_mismatch(self):
         with pytest.raises(ValueError):
             EpsilonSVR().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestChunkedPredict:
+    def test_chunked_matches_unchunked(self):
+        x, y = wave_data(n=80)
+        model = EpsilonSVR().fit(x, y)
+        rng = np.random.default_rng(9)
+        queries = rng.uniform(-2, 2, size=(5000, x.shape[1]))
+        full = model.predict(queries, chunk_size=10**9)
+        chunked = model.predict(queries, chunk_size=64)
+        assert np.array_equal(full, chunked)
+
+    def test_default_chunking_engages_on_large_batches(self):
+        x, y = wave_data(n=40)
+        model = EpsilonSVR().fit(x, y)
+        model.predict_chunk_rows = 128
+        rng = np.random.default_rng(10)
+        queries = rng.uniform(-2, 2, size=(1000, x.shape[1]))
+        assert model.predict(queries).shape == (1000,)
+
+    def test_single_row_still_scalar(self):
+        x, y = wave_data(n=40)
+        model = EpsilonSVR().fit(x, y)
+        assert np.isscalar(float(model.predict(x[0])))
+
+    def test_rejects_bad_chunk_size(self):
+        x, y = wave_data(n=40)
+        model = EpsilonSVR().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(x, chunk_size=0)
