@@ -15,6 +15,9 @@ every substrate the paper's testbed provided:
   co-simulation;
 * :mod:`repro.management` — thermal management built on the predictions
   (the paper's motivating use case);
+* :mod:`repro.serving` — the method deployed as a fleet-scale service:
+  model registry, cross-model batched SVR inference, and the vectorized
+  :class:`~repro.serving.fleet.PredictionFleet`;
 * :mod:`repro.experiments` — scenario generators and the Fig. 1(a)/(b)/(c)
   builders.
 
@@ -60,9 +63,16 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.rng import RngFactory
+from repro.serving import (
+    FleetPredictionProbe,
+    ModelRegistry,
+    PredictionFleet,
+    predict_batch,
+    predicted_vs_actual,
+)
 from repro.svm import EpsilonSVR, RbfKernel, grid_search_svr, mean_squared_error
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynamicTemperaturePredictor",
@@ -70,8 +80,11 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentRecord",
     "FeatureExtractor",
+    "FleetPredictionProbe",
+    "ModelRegistry",
     "PredefinedCurve",
     "PredictionConfig",
+    "PredictionFleet",
     "RbfKernel",
     "RcFitBaseline",
     "RecordDataset",
@@ -90,6 +103,8 @@ __all__ = [
     "evaluate_stable_predictor",
     "grid_search_svr",
     "mean_squared_error",
+    "predict_batch",
+    "predicted_vs_actual",
     "random_scenario",
     "random_scenarios",
     "replay_dynamic_prediction",

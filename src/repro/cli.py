@@ -6,10 +6,13 @@ Usage (module form)::
     python -m repro.cli fig1b [--quick] [--seed N]
     python -m repro.cli fig1c [--quick] [--seed N]
     python -m repro.cli dataset --n 50 --out records.json
+    python -m repro.cli fleet-predict [--servers N] [--duration S] [--quick]
 
 ``--quick`` shrinks training sizes and CV folds so each figure completes
 in well under a minute (with looser accuracy); omit it for the
-full-scale numbers recorded in EXPERIMENTS.md.
+full-scale numbers recorded in EXPERIMENTS.md. ``fleet-predict`` runs
+the online prediction service (:mod:`repro.serving`) against a diurnal
+fleet co-simulation and reports fleet-wide forecast accuracy.
 """
 
 from __future__ import annotations
@@ -95,6 +98,76 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_predict(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.scenarios import (
+        build_fleet_simulation,
+        diurnal_fleet_scenario,
+    )
+    from repro.management.hotspot import HotspotDetector
+    from repro.serving import (
+        FleetPredictionProbe,
+        ModelRegistry,
+        PredictionFleet,
+        predicted_vs_actual,
+    )
+
+    n_servers = args.servers if args.servers else (32 if args.quick else 128)
+    duration = args.duration if args.duration else (900.0 if args.quick else 3600.0)
+    n_train = args.n_train if args.n_train else (30 if args.quick else 120)
+
+    started = time.time()
+    print(f"== training the stable model ({n_train} records) ==", file=sys.stderr)
+    report = train_default_stable_model(
+        n_train=n_train, seed=args.seed, n_folds=3 if args.quick else 5
+    )
+    registry = ModelRegistry()
+    registry.register("default", report.predictor)
+    print(f"  {report.grid.summary()}", file=sys.stderr)
+
+    print(
+        f"== serving a {n_servers}-server diurnal fleet for {duration:.0f}s ==",
+        file=sys.stderr,
+    )
+    sim = build_fleet_simulation(
+        diurnal_fleet_scenario(n_servers=n_servers, seed=args.seed * 1000)
+    )
+    fleet = PredictionFleet(registry)
+    probe = FleetPredictionProbe(fleet)
+    probe.attach(sim)
+    run_started = time.time()
+    sim.run(duration)
+    run_elapsed = time.time() - run_started
+
+    per_server = []
+    for name in fleet.names:
+        _, predicted, actual = predicted_vs_actual(sim.telemetry, name)
+        if predicted.size:
+            per_server.append((name, float(np.mean((predicted - actual) ** 2))))
+    hotspots = fleet.predicted_hotspots(HotspotDetector(args.threshold))
+
+    print(f"servers tracked      {fleet.n_servers}")
+    print(f"forecasts scored     {len(per_server)} servers")
+    if per_server:
+        mses = np.array([mse for _, mse in per_server])
+        print(f"fleet MSE            mean {mses.mean():.3f}, median "
+              f"{np.median(mses):.3f}, max {mses.max():.3f} degC^2")
+        worst = sorted(per_server, key=lambda pair: -pair[1])[:5]
+        for name, mse in worst:
+            print(f"  worst: {name:<12} MSE {mse:.3f}")
+    else:
+        print("fleet MSE            n/a (no forecast matured; run longer)")
+    print(f"predicted hotspots   {len(hotspots)} above {args.threshold:.0f} degC")
+    for spot in hotspots[:5]:
+        print(f"  {spot.server_name:<12} {spot.temperature_c:.1f} degC "
+              f"(+{spot.severity_c:.1f})")
+    print(f"simulated {duration:.0f}s in {run_elapsed:.1f}s wall "
+          f"({duration / run_elapsed:,.0f}x realtime)")
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -120,6 +193,29 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--out", type=str, default="records.json", help="output path")
     dataset.add_argument("--seed", type=int, default=7)
     dataset.set_defaults(handler=_cmd_dataset)
+
+    fleet = commands.add_parser(
+        "fleet-predict",
+        help="run the online prediction service against a diurnal fleet",
+    )
+    _add_common(fleet)
+    fleet.add_argument(
+        "--servers", type=int, default=0,
+        help="fleet size (default: 128, or 32 with --quick)",
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=0.0,
+        help="simulated seconds (default: 3600, or 900 with --quick)",
+    )
+    fleet.add_argument(
+        "--n-train", type=int, default=0,
+        help="stable-model training records (default: 120, or 30 with --quick)",
+    )
+    fleet.add_argument(
+        "--threshold", type=float, default=75.0,
+        help="hotspot threshold in degC (default 75)",
+    )
+    fleet.set_defaults(handler=_cmd_fleet_predict)
     return parser
 
 

@@ -19,8 +19,9 @@ precisely to absorb that mismatch (see DESIGN.md §2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.config import DEFAULT_CURVE_DELTA, DEFAULT_T_BREAK_S
 from repro.errors import ConfigurationError
@@ -67,7 +68,10 @@ class PredefinedCurve:
             return self.phi_0
         if local >= self.t_break_s:
             return self.psi_stable
-        rise = math.log1p(self.delta * local) / math.log1p(self.delta * self.t_break_s)
+        # NumPy's log1p (not math.log1p, which rounds differently by an
+        # ULP) so the scalar curve stays bit-identical to the vectorized
+        # fleet evaluation in repro.serving.fleet.
+        rise = float(np.log1p(self.delta * local) / np.log1p(self.delta * self.t_break_s))
         return self.phi_0 + (self.psi_stable - self.phi_0) * rise
 
     def __call__(self, time_s: float) -> float:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import PredictionConfig
-from repro.core.calibration import RuntimeCalibrator
+from repro.core.calibration import CalibrationStep, RuntimeCalibrator
 from repro.core.curve import PredefinedCurve
 from repro.errors import ConfigurationError
 from repro.svm.metrics import mean_squared_error
@@ -34,10 +34,18 @@ class DynamicPrediction:
 
 @dataclass
 class DynamicPredictionResult:
-    """Forecast trace paired with the actuals it was scored against."""
+    """Forecast trace paired with the actuals it was scored against.
+
+    ``calibration_steps`` is the replayed predictor's full Δ_update trace
+    (Eq. 5–6): one :class:`~repro.core.calibration.CalibrationStep` per
+    applied update, so plots of predicted-vs-actual (see
+    ``examples/dynamic_migration.py``) can overlay γ without reaching
+    into the predictor's internals.
+    """
 
     predictions: list[DynamicPrediction] = field(default_factory=list)
     actuals: list[float] = field(default_factory=list)
+    calibration_steps: list[CalibrationStep] = field(default_factory=list)
 
     @property
     def mse(self) -> float:
@@ -54,6 +62,17 @@ class DynamicPredictionResult:
     def predicted_values(self) -> list[float]:
         """Forecast values."""
         return [p.predicted_c for p in self.predictions]
+
+    @property
+    def calibration_times(self) -> list[float]:
+        """Times at which a Δ_update calibration was applied."""
+        return [step.time_s for step in self.calibration_steps]
+
+    @property
+    def gamma_trace(self) -> list[float]:
+        """γ after each calibration update (aligned with
+        :attr:`calibration_times`)."""
+        return [step.gamma_after for step in self.calibration_steps]
 
 
 class DynamicTemperaturePredictor:
@@ -187,6 +206,7 @@ def replay_dynamic_prediction(
     for forecast in raw:
         result.predictions.append(forecast)
         result.actuals.append(_interpolate(times_s, measured_c, forecast.target_time_s))
+    result.calibration_steps = predictor.calibrator.history
     return result
 
 

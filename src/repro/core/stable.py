@@ -116,6 +116,20 @@ class StableTemperaturePredictor:
         """Whether fit() has completed."""
         return self._model is not None
 
+    @property
+    def scaler(self) -> MinMaxScaler:
+        """The fitted feature scaler (for sharing via a model registry)."""
+        if self._scaler is None:
+            raise NotFittedError("StableTemperaturePredictor not fitted")
+        return self._scaler
+
+    @property
+    def svr(self) -> EpsilonSVR:
+        """The fitted ε-SVR (for sharing via a model registry)."""
+        if self._model is None:
+            raise NotFittedError("StableTemperaturePredictor not fitted")
+        return self._model
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"StableTemperaturePredictor(c={self.c:g}, gamma={self.gamma:g}, "

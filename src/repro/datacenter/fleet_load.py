@@ -17,6 +17,15 @@ The model is a snapshot of VM placement and lifecycle state: the caller
 must rebuild it whenever events (migrations, arrivals, terminations, fan
 or overhead changes) may have mutated the cluster, exactly like the
 engine-repack protocol of :mod:`repro.thermal.fleet`.
+
+In the paper's terms this is the VMM-statistics source feeding the ξ_VM
+side of the Eq. (2) input record: per-VM demand aggregates into host
+CPU utilization, which drives the thermal plant whose sensor samples
+the online predictors (:class:`~repro.core.monitor.TemperatureMonitor`
+per-server, :class:`~repro.serving.fleet.PredictionFleet` fleet-wide)
+calibrate against. Parity with the scalar VMM is covered by
+``tests/thermal/test_fleet_parity.py``; the two data paths are drawn in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -185,7 +185,14 @@ class TimeSeries:
 
 @dataclass
 class ServerTelemetry:
-    """All series collected for one server."""
+    """All series collected for one server.
+
+    ``predicted_cpu_temperature`` holds Δ_gap-ahead forecasts recorded at
+    their *target* times by the fleet prediction service
+    (:class:`repro.serving.fleet.FleetPredictionProbe`), so it aligns
+    directly against the measured ``cpu_temperature`` series for
+    predicted-vs-actual analysis.
+    """
 
     server_name: str
     cpu_temperature: TimeSeries = field(default_factory=lambda: TimeSeries("cpu_temperature"))
@@ -193,6 +200,9 @@ class ServerTelemetry:
     vm_count: TimeSeries = field(default_factory=lambda: TimeSeries("vm_count"))
     fan_count: TimeSeries = field(default_factory=lambda: TimeSeries("fan_count"))
     fan_speed: TimeSeries = field(default_factory=lambda: TimeSeries("fan_speed"))
+    predicted_cpu_temperature: TimeSeries = field(
+        default_factory=lambda: TimeSeries("predicted_cpu_temperature")
+    )
 
 
 class _PendingFleetColumns:

@@ -51,3 +51,8 @@ class DatasetError(ReproError):
 
 class FeatureError(ReproError):
     """Feature extraction received telemetry it cannot featurize."""
+
+
+class ServingError(ReproError):
+    """The online prediction service was asked for something it cannot do
+    (unknown model key, duplicate registration, untracked server, ...)."""

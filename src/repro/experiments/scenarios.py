@@ -10,7 +10,11 @@ Beyond the paper's single-server cases, :class:`FleetScenario` describes
 cluster-scale workloads for the vectorized fleet engine: a 128-server
 diurnal fleet (:func:`diurnal_fleet_scenario`) and a migration-storm
 stress case (:func:`migration_storm_scenario`), both materialized by
-:func:`build_fleet_simulation`.
+:func:`build_fleet_simulation`. Fleet scenarios pair naturally with the
+online prediction service: attach a
+:class:`repro.serving.fleet.FleetPredictionProbe` to the built
+simulation to serve every host's Δ_gap-ahead forecast while it runs
+(see ``examples/fleet_prediction.py`` and the ``fleet-predict`` CLI).
 """
 
 from __future__ import annotations

@@ -1,8 +1,17 @@
-"""Hotspot detection over predicted or measured server temperatures."""
+"""Hotspot detection over predicted or measured server temperatures.
+
+Detection consumes either a per-server mapping (:meth:`HotspotDetector.detect`)
+or the fleet prediction service's forecast arrays directly
+(:meth:`HotspotDetector.detect_fleet`), so proactive policies can scan a
+whole cluster's Δ_gap-ahead forecasts without building dictionaries on
+the hot path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -45,11 +54,36 @@ class HotspotDetector:
         ]
         return sorted(spots, key=lambda h: (-h.temperature_c, h.server_name))
 
+    def detect_fleet(self, names: list[str], temperatures_c: np.ndarray) -> list[Hotspot]:
+        """Hotspots over a fleet forecast array, hottest first.
+
+        ``temperatures_c`` is indexed like ``names`` (e.g. the latest
+        Δ_gap-ahead forecasts from a
+        :class:`~repro.serving.fleet.PredictionFleet`); the threshold
+        scan is vectorized, only offenders materialize Python objects.
+        """
+        temperatures_c = np.asarray(temperatures_c, dtype=float)
+        if temperatures_c.shape != (len(names),):
+            raise ConfigurationError(
+                f"{len(names)} names but temperature array of shape "
+                f"{temperatures_c.shape}"
+            )
+        over = np.flatnonzero(temperatures_c > self.threshold_c)
+        spots = [
+            Hotspot(names[i], float(temperatures_c[i]), self.threshold_c)
+            for i in over.tolist()
+        ]
+        return sorted(spots, key=lambda h: (-h.temperature_c, h.server_name))
+
     def headroom(self, temperatures: dict[str, float]) -> dict[str, float]:
         """Degrees of margin per server (negative = hotspot)."""
         return {
             name: self.threshold_c - temp for name, temp in temperatures.items()
         }
+
+    def headroom_fleet(self, temperatures_c: np.ndarray) -> np.ndarray:
+        """Vectorized margin (threshold − temperature) for a forecast array."""
+        return self.threshold_c - np.asarray(temperatures_c, dtype=float)
 
     def would_overheat(self, predicted_c: float) -> bool:
         """Admission check for a predicted post-action temperature."""

@@ -77,12 +77,25 @@ class ThermalAwareScheduler(PlacementScheduler):
         self.decision_log: list[tuple[str, str, float]] = []
 
     def place(self, vm: Vm, cluster: Cluster) -> Server:
-        """Predict ψ_stable per feasible host; pick the coolest."""
+        """Predict ψ_stable for all feasible hosts in one batch; pick the coolest.
+
+        All hypothetical "host + new VM" records go through a single
+        batched SVR call (one kernel evaluation for the whole candidate
+        set) instead of one point call per host — same predictions, one
+        pass over the support vectors.
+        """
         candidates = self._feasible(vm, cluster)
         predicted: list[tuple[float, Server]] = []
-        for server in candidates:
-            record = record_for_host(server, self.environment_c, extra_vm=vm)
-            predicted.append((self.predictor.predict(record), server))
+        if candidates:
+            records = [
+                record_for_host(server, self.environment_c, extra_vm=vm)
+                for server in candidates
+            ]
+            temperatures = self.predictor.predict_many(records)
+            predicted = [
+                (float(temp), server)
+                for temp, server in zip(temperatures, candidates)
+            ]
         predicted.sort(key=lambda pair: (pair[0], pair[1].name))
 
         if self.detector is not None:

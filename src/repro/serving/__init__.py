@@ -1,0 +1,39 @@
+"""Online prediction serving: the paper's method as a fleet-scale service.
+
+Where :mod:`repro.core` implements the paper's per-server method and
+:mod:`repro.thermal.fleet` vectorizes the *simulation* substrate, this
+package vectorizes the *prediction* side so a whole cluster can be
+served at once:
+
+* :mod:`repro.serving.registry` — :class:`ModelRegistry`, keyed storage
+  of trained ψ_stable models with shared scalers;
+* :mod:`repro.serving.batch` — cross-model batched SVR inference
+  (:func:`predict_batch`), one kernel evaluation per model per batch;
+* :mod:`repro.serving.fleet` — :class:`PredictionFleet`, array-backed
+  dynamic prediction + Δ_update calibration for every tracked server,
+  plus :class:`FleetPredictionProbe`, the per-step simulation hook that
+  emits predicted-vs-actual telemetry columns.
+
+Fleet predictions are bit-identical to the per-server predictors they
+replace; see ``docs/architecture.md`` for the data-path diagram and
+``benchmarks/test_prediction_fleet.py`` for the throughput contract.
+"""
+
+from repro.serving.batch import PredictionRequest, predict_batch
+from repro.serving.fleet import (
+    FleetPredictionProbe,
+    PredictionFleet,
+    predicted_vs_actual,
+)
+from repro.serving.registry import DEFAULT_KEY, ModelEntry, ModelRegistry
+
+__all__ = [
+    "DEFAULT_KEY",
+    "FleetPredictionProbe",
+    "ModelEntry",
+    "ModelRegistry",
+    "PredictionFleet",
+    "PredictionRequest",
+    "predict_batch",
+    "predicted_vs_actual",
+]

@@ -1,0 +1,57 @@
+"""Cross-model batched ψ_stable inference.
+
+The serving hot path collects prediction requests from many servers —
+seeding curves for newly tracked hosts, re-querying the stable model
+after VM-set changes, scoring placement candidates — where requests may
+resolve to *different* registered models. :func:`predict_batch` groups
+the pending requests by resolved :class:`~repro.serving.registry.ModelEntry`
+and evaluates each group's kernel matrix in one NumPy call (the chunked
+``EpsilonSVR.predict`` of the fleet substrate, extended across models),
+then scatters results back into request order.
+
+Because ``EpsilonSVR.predict`` is bitwise batch-composition independent,
+the batched answers are identical to looping ``predict`` per request —
+the parity contract tested in ``tests/serving/test_batch.py`` and
+benchmarked in ``benchmarks/test_prediction_fleet.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import ExperimentRecord
+from repro.serving.registry import ModelEntry, ModelRegistry
+
+
+@dataclass(frozen=True)
+class PredictionRequest:
+    """One pending ψ_stable query: a model key plus an Eq. (2) record."""
+
+    key: str
+    record: ExperimentRecord
+
+
+def predict_batch(
+    registry: ModelRegistry, requests: list[PredictionRequest]
+) -> np.ndarray:
+    """ψ_stable for every request, batched per resolved model.
+
+    Requests resolving to the same entry (including via aliases or the
+    ``"default"`` fallback) are featurized, scaled, and pushed through
+    the SVR kernel as one matrix; results come back indexed like
+    ``requests``. Unknown keys raise
+    :class:`~repro.errors.ServingError` before any model runs.
+    """
+    out = np.empty(len(requests), dtype=float)
+    if not requests:
+        return out
+    groups: dict[int, tuple[ModelEntry, list[int]]] = {}
+    for i, request in enumerate(requests):
+        entry = registry.resolve(request.key)
+        groups.setdefault(id(entry), (entry, []))[1].append(i)
+    for entry, indices in groups.values():
+        records = [requests[i].record for i in indices]
+        out[np.asarray(indices, dtype=np.intp)] = entry.predict_records(records)
+    return out

@@ -1,0 +1,162 @@
+"""Model registry for the fleet prediction service.
+
+Fleet-scale serving needs one place that owns the trained ψ_stable
+models (Eq. 1–2): servers of the same hardware/VM class share one
+ε-SVR, and models trained on the same profiling campaign share one
+feature scaler (LIBSVM's svm-scale map must be the *training* map at
+inference time, so sharing it is correctness, not just memory).
+
+A :class:`ModelRegistry` maps string keys — typically a server class
+such as ``"rack-a/16-core"`` — to :class:`ModelEntry` triples
+``(extractor, scaler, svr)``. Lookups fall back to the ``"default"``
+entry when a key is unknown, so a fleet can run with one global model
+and specialize per class incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.core.records import ExperimentRecord
+from repro.core.stable import StableTemperaturePredictor
+from repro.errors import ServingError
+from repro.svm.scaling import MinMaxScaler
+from repro.svm.svr import EpsilonSVR
+
+#: Fallback key used by :meth:`ModelRegistry.resolve`.
+DEFAULT_KEY = "default"
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One deployable stable-temperature model: extractor → scaler → SVR.
+
+    Entries are value objects; registering the same entry under several
+    keys (see :meth:`ModelRegistry.alias`) shares the extractor, the
+    scaler, and the support vectors between those keys.
+    """
+
+    extractor: FeatureExtractor
+    scaler: MinMaxScaler
+    model: EpsilonSVR
+
+    def predict_records(self, records: list[ExperimentRecord]) -> np.ndarray:
+        """ψ_stable forecasts for a batch of Eq. (2) records.
+
+        The whole batch goes through one feature matrix, one scaler
+        transform, and one (chunked) kernel evaluation — the same
+        numerical path per row as a single-record call, so batched and
+        looped predictions are bit-identical.
+        """
+        if not records:
+            return np.empty(0, dtype=float)
+        x = self.extractor.matrix(records)
+        return np.atleast_1d(self.model.predict(self.scaler.transform(x)))
+
+
+class ModelRegistry:
+    """Keyed store of trained stable-temperature models.
+
+    Usage::
+
+        registry = ModelRegistry()
+        registry.register("default", trained_predictor)
+        registry.alias("rack-a/16-core", "default")   # shared entry
+        psi = registry.resolve("rack-b/unknown").predict_records(records)
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ModelEntry] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, key: str, predictor: StableTemperaturePredictor) -> ModelEntry:
+        """Register a fitted :class:`StableTemperaturePredictor` under ``key``.
+
+        The predictor's fitted extractor/scaler/SVR are captured by
+        reference (no copy); raises
+        :class:`~repro.errors.NotFittedError` when the predictor has not
+        been trained and :class:`~repro.errors.ServingError` on duplicate
+        keys.
+        """
+        return self.register_model(
+            key,
+            predictor.svr,
+            scaler=predictor.scaler,
+            extractor=predictor.extractor,
+        )
+
+    def register_model(
+        self,
+        key: str,
+        model: EpsilonSVR,
+        scaler: MinMaxScaler,
+        extractor: FeatureExtractor | None = None,
+    ) -> ModelEntry:
+        """Register raw fitted components under ``key``.
+
+        Passing another entry's ``scaler`` (or ``extractor``) shares it,
+        which is how per-class models trained on one svm-scale map are
+        deployed.
+        """
+        if not key:
+            raise ServingError("model key must be non-empty")
+        if key in self._entries:
+            raise ServingError(f"model key {key!r} already registered")
+        entry = ModelEntry(
+            extractor=extractor or FeatureExtractor(),
+            scaler=scaler,
+            model=model,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def alias(self, key: str, existing_key: str) -> ModelEntry:
+        """Serve ``key`` with the entry already registered as ``existing_key``."""
+        if key in self._entries:
+            raise ServingError(f"model key {key!r} already registered")
+        entry = self._require(existing_key)
+        self._entries[key] = entry
+        return entry
+
+    # -- lookup --------------------------------------------------------------
+
+    def _require(self, key: str) -> ModelEntry:
+        if key not in self._entries:
+            raise ServingError(
+                f"unknown model key {key!r}; registered keys: {sorted(self._entries)}"
+            )
+        return self._entries[key]
+
+    def resolve(self, key: str) -> ModelEntry:
+        """Entry for ``key``, falling back to ``"default"`` when unknown.
+
+        Raises :class:`~repro.errors.ServingError` when neither ``key``
+        nor the default entry exists.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        entry = self._entries.get(DEFAULT_KEY)
+        if entry is not None:
+            return entry
+        raise ServingError(
+            f"unknown model key {key!r} and no {DEFAULT_KEY!r} fallback; "
+            f"registered keys: {sorted(self._entries)}"
+        )
+
+    def keys(self) -> list[str]:
+        """All registered keys, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(keys={self.keys()})"

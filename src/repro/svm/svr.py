@@ -94,8 +94,15 @@ class EpsilonSVR:
         Large batches are scored in blocks of ``chunk_size`` rows
         (default :attr:`predict_chunk_rows`), so monitor-driven scenarios
         can push thousands of VM feature rows through one call without
-        materializing a full (n, n_support) Gram matrix. Results are
-        identical to unchunked evaluation: kernel rows are independent.
+        materializing a full (n, n_support) Gram matrix.
+
+        Results are **bit-identical regardless of batch composition**:
+        kernel rows are independent, and one-row blocks are evaluated
+        through the same two-row BLAS kernel as larger batches (single-row
+        GEMM/GEMV paths round differently), so ``predict(x)[i] ==
+        predict(x[i])`` exactly. The fleet prediction service
+        (:mod:`repro.serving`) relies on this to keep batched inference
+        in parity with per-record loops.
         """
         if self._support_x is None or self._support_beta is None:
             raise NotFittedError("EpsilonSVR.predict called before fit")
@@ -112,16 +119,31 @@ class EpsilonSVR:
         else:
             chunk = chunk_size or self.predict_chunk_rows
             if n <= chunk:
-                out = self.kernel.gram(x, self._support_x) @ self._support_beta + self._bias
+                out = self._decision(x)
             else:
                 out = np.empty(n, dtype=float)
                 for start in range(0, n, chunk):
                     block = x[start : start + chunk]
-                    out[start : start + chunk] = (
-                        self.kernel.gram(block, self._support_x) @ self._support_beta
-                        + self._bias
-                    )
+                    out[start : start + chunk] = self._decision(block)
         return out[0] if single else out
+
+    def _decision(self, block: np.ndarray) -> np.ndarray:
+        """Kernel expansion for one block of rows.
+
+        A one-row block is padded to two identical rows so the Gram
+        computation exercises the same n>=2 GEMM kernel as larger batches
+        (BLAS row results are content independent from two rows up but
+        the one-row path rounds differently), and the kernel-weight
+        contraction uses ``einsum`` rather than GEMV (whose rounding
+        depends on the row count). Together these make predictions
+        bitwise reproducible across batch compositions.
+        """
+        padded = block
+        if block.shape[0] == 1:
+            padded = np.vstack((block, block))
+        gram = self.kernel.gram(padded, self._support_x)
+        values = np.einsum("ij,j->i", gram, self._support_beta) + self._bias
+        return values[:1] if block.shape[0] == 1 else values
 
     # -- introspection ----------------------------------------------------------
 

@@ -26,6 +26,15 @@ or forced temperatures are repacked. Servers carrying a *custom* plant
 (any subclass of ``ServerThermalModel``, or non-standard power/fan
 models) are excluded by :meth:`FleetThermalEngine.partition` and must be
 stepped per-server by the caller.
+
+This engine is the *simulation* half of the fleet story: it produces
+the temperature traces the paper's method consumes. The *prediction*
+half — the pre-defined curve ψ* (Eq. 3), Δ_update calibration (Eq. 4–7)
+and Δ_gap-ahead forecasting (Eq. 8), vectorized across the cluster —
+lives in :mod:`repro.serving.fleet`. Per-server/fleet parity is
+enforced by ``tests/thermal/test_fleet_parity.py`` (plants) and
+``tests/serving/test_fleet_service.py`` (predictions); see
+``docs/architecture.md`` for the two data paths.
 """
 
 from __future__ import annotations

@@ -129,6 +129,40 @@ class TestReplay:
             replay_dynamic_prediction([0.0], [50.0], flat_curve(), config())
 
 
+class TestCalibrationTrace:
+    def test_replay_exposes_calibration_steps(self):
+        times, values = exponential_trace()
+        result = replay_dynamic_prediction(
+            times, values, flat_curve(40.0), config(update=15.0)
+        )
+        assert result.calibration_steps, "replay should record Δ_update steps"
+        # one update per 15 s grid point covered by the 5 s trace
+        assert len(result.calibration_steps) == len(
+            [t for t in times if t % 15.0 == 0.0]
+        )
+        # the exposed steps reproduce the Eq. (6) recursion exactly
+        gamma = 0.0
+        for step in result.calibration_steps:
+            gamma += 0.8 * step.dif
+            assert step.gamma_after == pytest.approx(gamma)
+
+    def test_gamma_trace_aligned_with_times(self):
+        times, values = exponential_trace()
+        result = replay_dynamic_prediction(times, values, flat_curve(40.0), config())
+        assert len(result.gamma_trace) == len(result.calibration_times)
+        assert result.calibration_times == sorted(result.calibration_times)
+        # γ chases the (trace − curve) mismatch upward on this workload
+        assert result.gamma_trace[-1] > result.gamma_trace[0]
+
+    def test_uncalibrated_replay_has_empty_trace(self):
+        times, values = exponential_trace()
+        result = replay_dynamic_prediction(
+            times, values, flat_curve(40.0), config(), calibrated=False
+        )
+        assert result.calibration_steps == []
+        assert result.gamma_trace == []
+
+
 class TestUpdateScheduleGrid:
     """Regression: ``observe`` used to re-anchor the next deadline at the
     (jittered) measurement time, so noisy sensor timestamps drifted the

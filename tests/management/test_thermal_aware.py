@@ -11,16 +11,25 @@ from tests.conftest import make_server_spec, make_vm
 
 
 class FakePredictor:
-    """Deterministic stand-in scoring hosts by their VM count."""
+    """Deterministic stand-in scoring hosts by their VM count.
+
+    Implements both ``predict`` and the batched ``predict_many`` the
+    scheduler now uses (one call per placement instead of one per host).
+    """
 
     def __init__(self, base=50.0, per_vm=5.0):
         self.base = base
         self.per_vm = per_vm
         self.queries = []
+        self.batch_calls = 0
 
     def predict(self, record):
         self.queries.append(record)
         return self.base + self.per_vm * record.n_vms
+
+    def predict_many(self, records):
+        self.batch_calls += 1
+        return [self.predict(record) for record in records]
 
 
 def small_cluster(n=3) -> Cluster:
@@ -67,6 +76,14 @@ class TestPlacement:
         vm_name, host, temp = scheduler.decision_log[0]
         assert vm_name == "new"
         assert temp == pytest.approx(55.0)
+
+    def test_one_batched_call_per_placement(self):
+        cluster = small_cluster(3)
+        predictor = FakePredictor()
+        scheduler = ThermalAwareScheduler(predictor)
+        scheduler.place(make_vm("new"), cluster)
+        assert predictor.batch_calls == 1
+        assert len(predictor.queries) == 3  # all candidates scored in the batch
 
     def test_predictions_are_post_placement(self):
         cluster = small_cluster(1)

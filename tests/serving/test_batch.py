@@ -1,0 +1,80 @@
+"""Tests for cross-model batched inference: grouping + bit-exact parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.stable import StableTemperaturePredictor
+from repro.errors import ServingError
+from repro.serving.batch import PredictionRequest, predict_batch
+from repro.serving.registry import ModelRegistry
+from tests.conftest import make_record
+
+
+def _fit(seed: float) -> StableTemperaturePredictor:
+    records = [
+        make_record(
+            psi=35.0 + seed + 2.0 * i, n_vms=2 + i % 6, util=0.2 + 0.05 * i
+        )
+        for i in range(12)
+    ]
+    return StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1).fit(records)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = ModelRegistry()
+    reg.register("default", _fit(0.0))
+    reg.register("hot-aisle", _fit(8.0))
+    return reg
+
+
+class TestBatchParity:
+    def test_single_model_batch_bit_identical_to_loop(self, registry):
+        records = [make_record(psi=None, n_vms=2 + k % 7) for k in range(20)]
+        requests = [PredictionRequest("default", r) for r in records]
+        batched = predict_batch(registry, requests)
+        entry = registry.resolve("default")
+        looped = np.array([entry.predict_records([r])[0] for r in records])
+        assert np.array_equal(batched, looped)
+
+    def test_cross_model_batch_bit_identical_to_loop(self, registry):
+        keys = ["default", "hot-aisle"] * 8
+        records = [
+            make_record(psi=None, n_vms=2 + k % 5, util=0.25 + 0.03 * k)
+            for k in range(16)
+        ]
+        requests = [PredictionRequest(k, r) for k, r in zip(keys, records)]
+        batched = predict_batch(registry, requests)
+        looped = np.array(
+            [
+                registry.resolve(k).predict_records([r])[0]
+                for k, r in zip(keys, records)
+            ]
+        )
+        assert np.array_equal(batched, looped)
+
+    def test_results_indexed_like_requests(self, registry):
+        records = [make_record(psi=None, n_vms=k) for k in (2, 8, 3, 11)]
+        keys = ["hot-aisle", "default", "hot-aisle", "default"]
+        requests = [PredictionRequest(k, r) for k, r in zip(keys, records)]
+        forward = predict_batch(registry, requests)
+        reversed_out = predict_batch(registry, requests[::-1])
+        assert np.array_equal(forward, reversed_out[::-1])
+
+    def test_alias_and_fallback_group_with_their_entry(self, registry):
+        record = make_record(psi=None, n_vms=4)
+        direct = predict_batch(registry, [PredictionRequest("default", record)])
+        fallback = predict_batch(
+            registry, [PredictionRequest("unknown-class", record)]
+        )
+        assert np.array_equal(direct, fallback)
+
+
+class TestBatchEdges:
+    def test_empty_batch(self, registry):
+        assert predict_batch(registry, []).shape == (0,)
+
+    def test_unknown_key_without_default_raises(self):
+        empty = ModelRegistry()
+        with pytest.raises(ServingError, match="unknown model key"):
+            predict_batch(empty, [PredictionRequest("x", make_record())])

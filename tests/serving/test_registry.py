@@ -1,0 +1,118 @@
+"""Tests for the serving model registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureExtractor
+from repro.core.stable import StableTemperaturePredictor
+from repro.errors import NotFittedError, ServingError
+from repro.serving.registry import DEFAULT_KEY, ModelRegistry
+from tests.conftest import make_record
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor():
+    records = [
+        make_record(psi=40.0 + 2.5 * i, n_vms=2 + i % 6, util=0.2 + 0.05 * i)
+        for i in range(12)
+    ]
+    return StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1).fit(records)
+
+
+class TestRegistration:
+    def test_register_and_resolve(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register("rack-a", fitted_predictor)
+        assert registry.resolve("rack-a") is entry
+        assert "rack-a" in registry
+        assert len(registry) == 1
+
+    def test_register_captures_fitted_components(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register("rack-a", fitted_predictor)
+        assert entry.scaler is fitted_predictor.scaler
+        assert entry.model is fitted_predictor.svr
+        assert entry.extractor is fitted_predictor.extractor
+
+    def test_unfitted_predictor_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(NotFittedError):
+            registry.register("rack-a", StableTemperaturePredictor())
+
+    def test_duplicate_key_rejected(self, fitted_predictor):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register("rack-a", fitted_predictor)
+
+    def test_empty_key_rejected(self, fitted_predictor):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="non-empty"):
+            registry.register("", fitted_predictor)
+
+
+class TestSharedComponents:
+    def test_register_model_shares_scaler(self, fitted_predictor):
+        registry = ModelRegistry()
+        base = registry.register("rack-a", fitted_predictor)
+        other = registry.register_model(
+            "rack-b",
+            fitted_predictor.svr,
+            scaler=base.scaler,
+            extractor=FeatureExtractor(),
+        )
+        assert registry.resolve("rack-b").scaler is base.scaler
+        assert other.scaler is base.scaler
+
+    def test_alias_shares_whole_entry(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register("default", fitted_predictor)
+        aliased = registry.alias("rack-c/16-core", "default")
+        assert aliased is entry
+        assert registry.resolve("rack-c/16-core") is entry
+
+    def test_alias_of_unknown_key_raises(self, fitted_predictor):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="unknown model key"):
+            registry.alias("rack-a", "missing")
+
+
+class TestLookup:
+    def test_unknown_key_without_default_raises(self, fitted_predictor):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        with pytest.raises(ServingError, match="no-such-key"):
+            registry.resolve("no-such-key")
+
+    def test_unknown_key_error_lists_known_keys(self, fitted_predictor):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        with pytest.raises(ServingError, match="rack-a"):
+            registry.resolve("missing")
+
+    def test_unknown_key_falls_back_to_default(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register(DEFAULT_KEY, fitted_predictor)
+        assert registry.resolve("never-registered") is entry
+
+    def test_keys_sorted(self, fitted_predictor):
+        registry = ModelRegistry()
+        registry.register("zeta", fitted_predictor)
+        registry.alias("alpha", "zeta")
+        assert registry.keys() == ["alpha", "zeta"]
+
+
+class TestEntryPrediction:
+    def test_predict_records_matches_predictor(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register("default", fitted_predictor)
+        records = [make_record(psi=None, n_vms=k) for k in (2, 5, 9)]
+        batched = entry.predict_records(records)
+        assert batched.shape == (3,)
+        expected = fitted_predictor.predict_many(records)
+        assert np.array_equal(batched, expected)
+
+    def test_predict_records_empty(self, fitted_predictor):
+        registry = ModelRegistry()
+        entry = registry.register("default", fitted_predictor)
+        assert entry.predict_records([]).shape == (0,)

@@ -14,10 +14,21 @@ class TestParser:
 
     def test_fig_commands_exist(self):
         parser = build_parser()
-        for command in ("fig1a", "fig1b", "fig1c", "dataset"):
+        for command in ("fig1a", "fig1b", "fig1c", "dataset", "fleet-predict"):
             args = parser.parse_args([command])
             assert args.command == command
             assert callable(args.handler)
+
+    def test_fleet_predict_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-predict", "--servers", "16", "--duration", "600",
+             "--n-train", "20", "--threshold", "70", "--quick"]
+        )
+        assert args.servers == 16
+        assert args.duration == 600.0
+        assert args.n_train == 20
+        assert args.threshold == 70.0
+        assert args.quick is True
 
     def test_quick_and_seed_flags(self):
         args = build_parser().parse_args(["fig1a", "--quick", "--seed", "3"])
@@ -50,3 +61,13 @@ class TestFigureCommandsSmoke:
         out = capsys.readouterr().out
         assert "average MSE" in out
         assert "paper" in out
+
+    def test_fleet_predict_tiny(self, capsys):
+        code = main(
+            ["fleet-predict", "--quick", "--servers", "6", "--duration", "300",
+             "--n-train", "12", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet MSE" in out
+        assert "servers tracked      6" in out
