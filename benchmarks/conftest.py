@@ -11,12 +11,13 @@ leaves a readable record.
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.figures import train_default_stable_model
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import profile_records
 from repro.experiments.scenarios import random_scenarios
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
@@ -24,12 +25,23 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
 _tables: list[tuple[str, str]] = []
 
 
+def slugify_title(title: str) -> str:
+    """Benchmark title → portable filename stem.
+
+    Only ``[a-z0-9-]`` survives (runs of anything else collapse to one
+    ``_``): colons and parentheses are invalid in Windows filenames, and
+    the historical ``title.lower().replace(" ", "_")`` slugs produced
+    names like ``ablation:_calibration_learning_rate.txt``.
+    """
+    slug = re.sub(r"[^a-z0-9-]+", "_", title.lower()).strip("_")
+    return slug or "untitled"
+
+
 def record_table(title: str, text: str) -> None:
     """Register a result table for the terminal summary and write it out."""
     _tables.append((title, text))
     RESULTS_DIR.mkdir(exist_ok=True)
-    slug = title.lower().replace(" ", "_").replace("/", "-")
-    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{slugify_title(title)}.txt").write_text(text + "\n")
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -61,11 +73,11 @@ def labelled_records():
     """A labelled dataset (120 train-scale records) for model-comparison
     benchmarks; distinct seed block from the figure builders."""
     scenarios = random_scenarios(120, base_seed=400_000, n_vms_range=(2, 12))
-    return [run_experiment(s).record for s in scenarios]
+    return profile_records(scenarios)
 
 
 @pytest.fixture(scope="session")
 def heldout_records():
     """Held-out labelled records matching :func:`labelled_records`."""
     scenarios = random_scenarios(30, base_seed=470_000, n_vms_range=(2, 12))
-    return [run_experiment(s).record for s in scenarios]
+    return profile_records(scenarios)

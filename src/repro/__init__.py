@@ -18,6 +18,9 @@ every substrate the paper's testbed provided:
 * :mod:`repro.serving` — the method deployed as a fleet-scale service:
   model registry, cross-model batched SVR inference, and the vectorized
   :class:`~repro.serving.fleet.PredictionFleet`;
+* :mod:`repro.training` — fleet-scale training: the canonical stable-model
+  trainer plus per-server-class model farms registered straight into the
+  serving registry (:func:`~repro.training.fleet_trainer.train_fleet_registry`);
 * :mod:`repro.experiments` — scenario generators and the Fig. 1(a)/(b)/(c)
   builders.
 
@@ -71,8 +74,16 @@ from repro.serving import (
     predicted_vs_actual,
 )
 from repro.svm import EpsilonSVR, RbfKernel, grid_search_svr, mean_squared_error
+from repro.training import (
+    FleetProfile,
+    FleetTrainingConfig,
+    FleetTrainingReport,
+    profile_fleet,
+    server_class_key,
+    train_fleet_registry,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DynamicTemperaturePredictor",
@@ -81,6 +92,9 @@ __all__ = [
     "ExperimentRecord",
     "FeatureExtractor",
     "FleetPredictionProbe",
+    "FleetProfile",
+    "FleetTrainingConfig",
+    "FleetTrainingReport",
     "ModelRegistry",
     "PredefinedCurve",
     "PredictionConfig",
@@ -105,9 +119,12 @@ __all__ = [
     "mean_squared_error",
     "predict_batch",
     "predicted_vs_actual",
+    "profile_fleet",
     "random_scenario",
     "random_scenarios",
     "replay_dynamic_prediction",
     "run_experiment",
+    "server_class_key",
+    "train_fleet_registry",
     "train_stable_predictor",
 ]

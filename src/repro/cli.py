@@ -7,12 +7,16 @@ Usage (module form)::
     python -m repro.cli fig1c [--quick] [--seed N]
     python -m repro.cli dataset --n 50 --out records.json
     python -m repro.cli fleet-predict [--servers N] [--duration S] [--quick]
+    python -m repro.cli fleet-train [--classes K] [--servers-per-class M] [--quick]
 
 ``--quick`` shrinks training sizes and CV folds so each figure completes
 in well under a minute (with looser accuracy); omit it for the
 full-scale numbers recorded in EXPERIMENTS.md. ``fleet-predict`` runs
 the online prediction service (:mod:`repro.serving`) against a diurnal
 fleet co-simulation and reports fleet-wide forecast accuracy.
+``fleet-train`` profiles a class-balanced fleet, trains one stable model
+per server class in a single batched pass (:mod:`repro.training`), and
+serves the resulting registry against the same fleet end to end.
 """
 
 from __future__ import annotations
@@ -28,7 +32,12 @@ from repro.experiments.figures import (
     build_fig1c,
     train_default_stable_model,
 )
-from repro.experiments.reporting import format_fig1a, format_fig1b, format_fig1c
+from repro.experiments.reporting import (
+    format_fig1a,
+    format_fig1b,
+    format_fig1c,
+    format_grid_search,
+)
 from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import random_scenarios
 
@@ -98,20 +107,62 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet_predict(args: argparse.Namespace) -> int:
+def _serve_fleet(registry, scenario, duration: float, threshold: float,
+                 key_fn=None) -> None:
+    """Serve one fleet scenario with ``registry`` and print the scorecard.
+
+    The shared back half of ``fleet-predict`` and ``fleet-train``: build
+    the co-simulation, attach the prediction service (``key_fn`` picks
+    each server's registry model), run, and report fleet-wide forecast
+    accuracy plus predicted hotspots.
+    """
     import numpy as np
 
-    from repro.experiments.scenarios import (
-        build_fleet_simulation,
-        diurnal_fleet_scenario,
-    )
+    from repro.experiments.scenarios import build_fleet_simulation
     from repro.management.hotspot import HotspotDetector
     from repro.serving import (
         FleetPredictionProbe,
-        ModelRegistry,
         PredictionFleet,
         predicted_vs_actual,
     )
+
+    sim = build_fleet_simulation(scenario)
+    fleet = PredictionFleet(registry)
+    probe = FleetPredictionProbe(fleet, key_fn=key_fn)
+    probe.attach(sim)
+    run_started = time.time()
+    sim.run(duration)
+    run_elapsed = time.time() - run_started
+
+    per_server = []
+    for name in fleet.names:
+        _, predicted, actual = predicted_vs_actual(sim.telemetry, name)
+        if predicted.size:
+            per_server.append((name, float(np.mean((predicted - actual) ** 2))))
+    hotspots = fleet.predicted_hotspots(HotspotDetector(threshold))
+
+    print(f"servers tracked      {fleet.n_servers}")
+    print(f"forecasts scored     {len(per_server)} servers")
+    if per_server:
+        mses = np.array([mse for _, mse in per_server])
+        print(f"fleet MSE            mean {mses.mean():.3f}, median "
+              f"{np.median(mses):.3f}, max {mses.max():.3f} degC^2")
+        worst = sorted(per_server, key=lambda pair: -pair[1])[:5]
+        for name, mse in worst:
+            print(f"  worst: {name:<12} MSE {mse:.3f}")
+    else:
+        print("fleet MSE            n/a (no forecast matured; run longer)")
+    print(f"predicted hotspots   {len(hotspots)} above {threshold:.0f} degC")
+    for spot in hotspots[:5]:
+        print(f"  {spot.server_name:<12} {spot.temperature_c:.1f} degC "
+              f"(+{spot.severity_c:.1f})")
+    print(f"simulated {duration:.0f}s in {run_elapsed:.1f}s wall "
+          f"({duration / run_elapsed:,.0f}x realtime)")
+
+
+def _cmd_fleet_predict(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import diurnal_fleet_scenario
+    from repro.serving import ModelRegistry
 
     n_servers = args.servers if args.servers else (32 if args.quick else 128)
     duration = args.duration if args.duration else (900.0 if args.quick else 3600.0)
@@ -130,40 +181,69 @@ def _cmd_fleet_predict(args: argparse.Namespace) -> int:
         f"== serving a {n_servers}-server diurnal fleet for {duration:.0f}s ==",
         file=sys.stderr,
     )
-    sim = build_fleet_simulation(
-        diurnal_fleet_scenario(n_servers=n_servers, seed=args.seed * 1000)
+    scenario = diurnal_fleet_scenario(n_servers=n_servers, seed=args.seed * 1000)
+    _serve_fleet(registry, scenario, duration, args.threshold)
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
+def _cmd_fleet_train(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import class_balanced_fleet_scenario
+    from repro.training import (
+        FleetTrainingConfig,
+        profile_fleet,
+        server_class_key,
+        train_fleet_registry,
     )
-    fleet = PredictionFleet(registry)
-    probe = FleetPredictionProbe(fleet)
-    probe.attach(sim)
-    run_started = time.time()
-    sim.run(duration)
-    run_elapsed = time.time() - run_started
 
-    per_server = []
-    for name in fleet.names:
-        _, predicted, actual = predicted_vs_actual(sim.telemetry, name)
-        if predicted.size:
-            per_server.append((name, float(np.mean((predicted - actual) ** 2))))
-    hotspots = fleet.predicted_hotspots(HotspotDetector(args.threshold))
+    n_classes = args.classes if args.classes else (4 if args.quick else 16)
+    per_class = args.servers_per_class if args.servers_per_class else (
+        3 if args.quick else 8
+    )
+    duration = args.duration if args.duration else (900.0 if args.quick else 3600.0)
+    serve_s = args.serve_duration if args.serve_duration is not None else (
+        600.0 if args.quick else 1800.0
+    )
 
-    print(f"servers tracked      {fleet.n_servers}")
-    print(f"forecasts scored     {len(per_server)} servers")
-    if per_server:
-        mses = np.array([mse for _, mse in per_server])
-        print(f"fleet MSE            mean {mses.mean():.3f}, median "
-              f"{np.median(mses):.3f}, max {mses.max():.3f} degC^2")
-        worst = sorted(per_server, key=lambda pair: -pair[1])[:5]
-        for name, mse in worst:
-            print(f"  worst: {name:<12} MSE {mse:.3f}")
-    else:
-        print("fleet MSE            n/a (no forecast matured; run longer)")
-    print(f"predicted hotspots   {len(hotspots)} above {args.threshold:.0f} degC")
-    for spot in hotspots[:5]:
-        print(f"  {spot.server_name:<12} {spot.temperature_c:.1f} degC "
-              f"(+{spot.severity_c:.1f})")
-    print(f"simulated {duration:.0f}s in {run_elapsed:.1f}s wall "
-          f"({duration / run_elapsed:,.0f}x realtime)")
+    started = time.time()
+    scenario = class_balanced_fleet_scenario(
+        n_classes=n_classes,
+        servers_per_class=per_class,
+        seed=args.seed * 1000,
+        duration_s=duration,
+    )
+    print(
+        f"== profiling {scenario.n_servers} servers "
+        f"({n_classes} classes) for {duration:.0f}s ==",
+        file=sys.stderr,
+    )
+    profile = profile_fleet(scenario)
+    config = FleetTrainingConfig(
+        n_splits=3 if args.quick else 5,
+        c_grid=(8.0, 64.0) if args.quick else FleetTrainingConfig.c_grid,
+        gamma_grid=(0.03125, 0.125) if args.quick else FleetTrainingConfig.gamma_grid,
+        epsilon_grid=(0.125,) if args.quick else FleetTrainingConfig.epsilon_grid,
+        min_class_records=min(3, per_class),
+    )
+    print("== training the per-class registry ==", file=sys.stderr)
+    report = train_fleet_registry(profile, config)
+    print(report.summary())
+    print("\nbest trials:")
+    print(format_grid_search(report.grid, top=5))
+
+    if serve_s > 0:
+        print(
+            f"\n== serving the fleet with per-class models for "
+            f"{serve_s:.0f}s ==",
+            file=sys.stderr,
+        )
+        _serve_fleet(
+            report.registry,
+            scenario,
+            serve_s,
+            args.threshold,
+            key_fn=lambda server: server_class_key(server.spec),
+        )
     print(f"\nelapsed {time.time() - started:.1f}s")
     return 0
 
@@ -216,6 +296,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="hotspot threshold in degC (default 75)",
     )
     fleet.set_defaults(handler=_cmd_fleet_predict)
+
+    train = commands.add_parser(
+        "fleet-train",
+        help="train one stable model per server class and serve the registry",
+    )
+    _add_common(train)
+    train.add_argument(
+        "--classes", type=int, default=0,
+        help="hardware classes in the fleet (default: 16, or 4 with --quick)",
+    )
+    train.add_argument(
+        "--servers-per-class", type=int, default=0,
+        help="servers per class (default: 8, or 3 with --quick)",
+    )
+    train.add_argument(
+        "--duration", type=float, default=0.0,
+        help="profiling simulation seconds (default: 3600, or 900 with --quick)",
+    )
+    train.add_argument(
+        "--serve-duration", type=float, default=None,
+        help="serving-phase seconds; 0 skips serving "
+             "(default: 1800, or 600 with --quick)",
+    )
+    train.add_argument(
+        "--threshold", type=float, default=75.0,
+        help="hotspot threshold in degC (default 75)",
+    )
+    train.set_defaults(handler=_cmd_fleet_train)
     return parser
 
 

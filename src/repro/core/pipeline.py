@@ -4,78 +4,28 @@ Mirrors the paper's procedure: records are split into training and test
 sets; hyper-parameters are chosen by easygrid-style grid search with
 k-fold cross-validation (the paper uses 10-fold); the winning model is
 refit on all training records and deployed.
+
+The implementation lives in :mod:`repro.training.trainer` — the same
+trainer the fleet registry builder uses — so the paper figures and the
+fleet path share one training code path. This module remains the stable
+public surface (``repro.core.pipeline.train_stable_predictor``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.features import FeatureExtractor
-from repro.core.records import ExperimentRecord
 from repro.core.stable import StableTemperaturePredictor
+from repro.core.records import ExperimentRecord
 from repro.errors import DatasetError
-from repro.rng import RngStream
-from repro.svm.grid import (
-    DEFAULT_C_GRID,
-    DEFAULT_EPSILON_GRID,
-    DEFAULT_GAMMA_GRID,
-    GridSearchResult,
-    grid_search_svr,
+from repro.training.trainer import (
+    StableTrainingReport,
+    train_stable_predictor,
 )
-from repro.svm.scaling import MinMaxScaler
 
-
-@dataclass(frozen=True)
-class StableTrainingReport:
-    """What the training workflow produced."""
-
-    predictor: StableTemperaturePredictor
-    grid: GridSearchResult
-    n_train: int
-
-
-def train_stable_predictor(
-    train_records: list[ExperimentRecord],
-    n_splits: int = 10,
-    c_grid: tuple[float, ...] = DEFAULT_C_GRID,
-    gamma_grid: tuple[float, ...] = DEFAULT_GAMMA_GRID,
-    epsilon_grid: tuple[float, ...] = DEFAULT_EPSILON_GRID,
-    rng: RngStream | None = None,
-    extractor: FeatureExtractor | None = None,
-) -> StableTrainingReport:
-    """Grid-search hyper-parameters and fit the final stable model.
-
-    The grid search scales features once over the training set (as
-    svm-easygrid does) and cross-validates in the scaled space; the final
-    predictor re-learns its own scaler during :meth:`fit`, keeping
-    deployment self-contained.
-    """
-    if len(train_records) < n_splits:
-        raise DatasetError(
-            f"{len(train_records)} training records cannot be split into "
-            f"{n_splits} folds"
-        )
-    extractor = extractor or FeatureExtractor()
-    x = extractor.matrix(train_records)
-    y = extractor.targets(train_records)
-    x_scaled = MinMaxScaler().fit_transform(x)
-    grid = grid_search_svr(
-        x_scaled,
-        y,
-        c_grid=c_grid,
-        gamma_grid=gamma_grid,
-        epsilon_grid=epsilon_grid,
-        n_splits=n_splits,
-        rng=rng,
-    )
-    predictor = StableTemperaturePredictor(
-        c=grid.best_c,
-        gamma=grid.best_gamma,
-        epsilon=grid.best_epsilon,
-        extractor=extractor,
-    )
-    predictor.fit(train_records)
-    return StableTrainingReport(predictor=predictor, grid=grid, n_train=len(train_records))
+__all__ = [
+    "StableTrainingReport",
+    "evaluate_stable_predictor",
+    "train_stable_predictor",
+]
 
 
 def evaluate_stable_predictor(

@@ -17,7 +17,7 @@ from repro.experiments.figures import (
     build_fig1c,
 )
 from repro.experiments.reporting import ascii_table, format_fig1a, format_fig1b, format_fig1c
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult, profile_records, run_experiment
 from repro.experiments.scenarios import (
     ExperimentScenario,
     FleetScenario,
@@ -25,6 +25,7 @@ from repro.experiments.scenarios import (
     build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
+    class_balanced_fleet_scenario,
     diurnal_fleet_scenario,
     migration_storm_scenario,
     random_scenario,
@@ -47,11 +48,13 @@ __all__ = [
     "build_fleet_simulation",
     "build_migration_simulation",
     "build_simulation",
+    "class_balanced_fleet_scenario",
     "diurnal_fleet_scenario",
     "format_fig1a",
     "format_fig1b",
     "format_fig1c",
     "migration_storm_scenario",
+    "profile_records",
     "random_scenario",
     "random_scenarios",
     "run_experiment",

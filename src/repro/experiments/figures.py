@@ -21,8 +21,8 @@ from repro.core.pipeline import StableTrainingReport, train_stable_predictor
 from repro.core.records import ExperimentRecord, VmRecord
 from repro.core.stable import StableTemperaturePredictor
 from repro.experiments.runner import (
+    profile_records,
     record_inputs_from_scenario,
-    run_experiment,
     run_experiments,
 )
 from repro.experiments.scenarios import (
@@ -95,7 +95,7 @@ def build_fig1a(
         n_vms_range=n_vms_range,
         duration_s=duration_s,
     )
-    train_records = [run_experiment(s).record for s in train_scenarios]
+    train_records = profile_records(train_scenarios)
     test_results = run_experiments(test_scenarios)
 
     report = train_stable_predictor(
@@ -191,7 +191,7 @@ def train_default_stable_model(
     scenarios = random_scenarios(
         n_train, base_seed=seed * 10_000, n_vms_range=(2, 12), duration_s=duration_s
     )
-    records = [run_experiment(s).record for s in scenarios]
+    records = profile_records(scenarios)
     return train_stable_predictor(
         records,
         n_splits=n_folds,

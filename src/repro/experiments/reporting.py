@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.figures import Fig1aResult, Fig1bResult, Fig1cResult
+from repro.svm.grid import GridSearchResult
 
 
 def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -70,6 +71,19 @@ def format_fig1c(result: Fig1cResult) -> str:
         + f"\nMSE range [{result.min_mse:.3f}, {result.max_mse:.3f}] "
         "(paper: 0.70-1.50, 4 fans)"
     )
+
+
+def format_grid_search(result: GridSearchResult, top: int | None = None) -> str:
+    """Grid-search trials table (best CV MSE first) plus the winner line.
+
+    Built from :meth:`~repro.svm.grid.GridSearchResult.to_rows`, so the
+    columns track the :class:`~repro.svm.grid.GridTrial` fields.
+    """
+    rows = sorted(result.to_rows(), key=lambda row: row[3])
+    if top is not None:
+        rows = rows[:top]
+    table = ascii_table(["C", "gamma", "epsilon", "cv MSE"], rows)
+    return f"{table}\n{result.summary()}"
 
 
 def paper_vs_measured(rows: list[tuple[str, str, str, str]]) -> str:

@@ -91,6 +91,21 @@ def run_experiments(scenarios: list[ExperimentScenario]) -> list[ExperimentResul
     return [run_experiment(s) for s in scenarios]
 
 
+def profile_records(scenarios: list[ExperimentScenario]) -> list[ExperimentRecord]:
+    """Run a profiling campaign and keep only the labelled Eq. (2) records.
+
+    The dataset-assembly step every training entry point shares: the
+    figure builders, the CLI's quick models, and the benchmarks all
+    feed :func:`repro.training.trainer.train_stable_predictor` (via
+    :func:`repro.core.pipeline.train_stable_predictor`) with the output
+    of this call. The fleet counterpart is
+    :func:`repro.training.fleet_trainer.profile_fleet`, which extracts
+    one record per server from a single co-simulation instead of one
+    record per run.
+    """
+    return [run_experiment(scenario).record for scenario in scenarios]
+
+
 def run_simulation_trace(
     sim: DatacenterSimulation, server_name: str, duration_s: float
 ) -> TimeSeries:

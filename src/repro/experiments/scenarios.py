@@ -308,6 +308,46 @@ def _fleet_server_spec(hw, index: int) -> ServerSpec:
     )
 
 
+def _diurnal_vm_specs(
+    factory: RngFactory, server_index: int, lo: int, hi: int
+) -> tuple[VmSpec, ...]:
+    """One server's diurnal VM mix (request-serving / batch / cache-warming).
+
+    Draws from the ``vms/<index>`` stream exactly as the original inline
+    loop did, so existing fleet scenarios reproduce bit-identically.
+    """
+    vm_rng = factory.stream(f"vms/{server_index}")
+    n_vms = vm_rng.randint(lo, hi)
+    vms = []
+    for j in range(n_vms):
+        kind = vm_rng.choice(["periodic", "constant", "ramp"])
+        if kind == "periodic":
+            mean = vm_rng.uniform(0.25, 0.65)
+            task = PeriodicTask(
+                mean=mean,
+                amplitude=vm_rng.uniform(0.1, min(0.3, mean, 1.0 - mean)),
+                period_s=86400.0,
+                phase_s=vm_rng.uniform(0.0, 86400.0),
+            )
+        elif kind == "constant":
+            task = ConstantTask(level=vm_rng.uniform(0.2, 0.8))
+        else:
+            task = RampTask(
+                start_level=vm_rng.uniform(0.05, 0.3),
+                end_level=vm_rng.uniform(0.4, 0.9),
+                ramp_s=vm_rng.uniform(600.0, 3600.0),
+            )
+        vms.append(
+            VmSpec(
+                name=f"vm-{server_index:03d}-{j}",
+                vcpus=vm_rng.randint(1, 4),
+                memory_gb=vm_rng.uniform(2.0, 8.0),
+                tasks=(task,),
+            )
+        )
+    return tuple(vms)
+
+
 def diurnal_fleet_scenario(
     n_servers: int = 128,
     seed: int = 90_000,
@@ -332,39 +372,82 @@ def diurnal_fleet_scenario(
     placements = []
     for i in range(n_servers):
         server = _fleet_server_spec(hw, i)
-        vm_rng = factory.stream(f"vms/{i}")
-        n_vms = vm_rng.randint(lo, hi)
-        vms = []
-        for j in range(n_vms):
-            kind = vm_rng.choice(["periodic", "constant", "ramp"])
-            if kind == "periodic":
-                mean = vm_rng.uniform(0.25, 0.65)
-                task = PeriodicTask(
-                    mean=mean,
-                    amplitude=vm_rng.uniform(0.1, min(0.3, mean, 1.0 - mean)),
-                    period_s=86400.0,
-                    phase_s=vm_rng.uniform(0.0, 86400.0),
-                )
-            elif kind == "constant":
-                task = ConstantTask(level=vm_rng.uniform(0.2, 0.8))
-            else:
-                task = RampTask(
-                    start_level=vm_rng.uniform(0.05, 0.3),
-                    end_level=vm_rng.uniform(0.4, 0.9),
-                    ramp_s=vm_rng.uniform(600.0, 3600.0),
-                )
-            vms.append(
-                VmSpec(
-                    name=f"vm-{i:03d}-{j}",
-                    vcpus=vm_rng.randint(1, 4),
-                    memory_gb=vm_rng.uniform(2.0, 8.0),
-                    tasks=(task,),
-                )
-            )
         specs.append(server)
-        placements.append(tuple(vms))
+        placements.append(_diurnal_vm_specs(factory, i, lo, hi))
     return FleetScenario(
         name=f"diurnal-fleet-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=SinusoidalEnvironment(
+            mean_c=22.0, amplitude_c=2.0, period_s=86400.0
+        ),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def class_balanced_fleet_scenario(
+    n_classes: int = 16,
+    servers_per_class: int = 8,
+    seed: int = 92_000,
+    vms_per_server: tuple[int, int] = (2, 5),
+    duration_s: float = 3600.0,
+) -> FleetScenario:
+    """A fleet built from a fixed number of hardware classes.
+
+    Real fleets buy servers in SKU generations: many hosts share one
+    hardware class. This scenario draws ``n_classes`` distinct
+    (cores, clock, memory, fans) combinations and instantiates
+    ``servers_per_class`` servers of each — the shape the per-class
+    trainer (:func:`repro.training.fleet_trainer.train_fleet_registry`)
+    trains one model per class from. VM mixes and fan speeds vary per
+    server; the environment rides the diurnal cycle.
+    """
+    if n_classes < 1:
+        raise ConfigurationError(f"n_classes must be >= 1, got {n_classes}")
+    if servers_per_class < 1:
+        raise ConfigurationError(
+            f"servers_per_class must be >= 1, got {servers_per_class}"
+        )
+    lo, hi = vms_per_server
+    if not 1 <= lo <= hi:
+        raise ConfigurationError(f"invalid vms_per_server {vms_per_server}")
+    combos = [
+        (cores, ghz, memory, fans)
+        for cores in CORE_OPTIONS
+        for ghz in GHZ_OPTIONS
+        for memory in MEMORY_OPTIONS
+        for fans in FAN_COUNT_OPTIONS
+    ]
+    if n_classes > len(combos):
+        raise ConfigurationError(
+            f"n_classes must be <= {len(combos)} distinct hardware "
+            f"combinations, got {n_classes}"
+        )
+    factory = RngFactory(seed)
+    class_rng = factory.stream("classes")
+    class_rng.shuffle(combos)
+    hw = factory.stream("hardware")
+    specs = []
+    placements = []
+    index = 0
+    for class_index in range(n_classes):
+        cores, ghz, memory, fans = combos[class_index]
+        for _ in range(servers_per_class):
+            specs.append(
+                ServerSpec(
+                    name=f"server-{index:03d}",
+                    capacity=ResourceCapacity(
+                        cpu_cores=cores, ghz_per_core=ghz, memory_gb=memory
+                    ),
+                    fan_count=fans,
+                    fan_speed=hw.uniform(0.5, 0.9),
+                )
+            )
+            placements.append(_diurnal_vm_specs(factory, index, lo, hi))
+            index += 1
+    return FleetScenario(
+        name=f"class-balanced-fleet-{n_classes}x{servers_per_class}",
         server_specs=tuple(specs),
         vm_specs=tuple(placements),
         environment=SinusoidalEnvironment(

@@ -14,19 +14,28 @@ cross-validation. This subpackage reimplements that tool-chain:
   reports MSE throughout).
 """
 
-from repro.svm.cv import KFold, cross_val_mse
-from repro.svm.grid import GridSearchResult, grid_search_svr
-from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RbfKernel
+from repro.svm.cv import FoldGrams, KFold, cross_val_mse
+from repro.svm.grid import GridSearchResult, GridTrial, grid_search_svr
+from repro.svm.kernels import (
+    GramCache,
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    RbfKernel,
+)
 from repro.svm.metrics import mean_absolute_error, mean_squared_error, r2_score, rmse
 from repro.svm.ridge import KernelRidge
 from repro.svm.scaling import MinMaxScaler, StandardScaler
-from repro.svm.smo import SmoResult, solve_svr_dual
+from repro.svm.smo import SmoResult, solve_svr_dual, solve_svr_dual_batch
 from repro.svm.svc import SupportVectorClassifier
 from repro.svm.svr import EpsilonSVR
 
 __all__ = [
     "EpsilonSVR",
+    "FoldGrams",
+    "GramCache",
     "GridSearchResult",
+    "GridTrial",
     "KFold",
     "Kernel",
     "KernelRidge",
@@ -44,4 +53,5 @@ __all__ = [
     "r2_score",
     "rmse",
     "solve_svr_dual",
+    "solve_svr_dual_batch",
 ]

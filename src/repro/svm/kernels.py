@@ -68,6 +68,80 @@ class RbfKernel(Kernel):
         return np.exp(-self.gamma * squared_distances(a, b))
 
 
+class GramCache:
+    """RBF Gram matrices over one fixed row set, cached by γ.
+
+    A grid search evaluates every (C, ε) pair — and, with shared folds,
+    every cross-validation fold — against the same training rows, so the
+    kernel evaluation can be hoisted out of the solver loop. The cache
+    stores the γ-independent squared-distance matrix once and derives
+    each requested Gram as ``exp(−γ·D²)`` — **the exact expression**
+    :meth:`RbfKernel.gram` evaluates, so cached matrices are bit-identical
+    to direct evaluation (slicing a larger Gram would not be: BLAS GEMM
+    results differ between a submatrix product and a sliced full product).
+
+    Only the ``max_entries`` most recently used Grams are retained
+    (default 1), bounding memory at O(n²) for one γ at a time on top of
+    the distance matrix. Returned arrays are read-only views of the
+    cached buffers; callers must copy before mutating.
+    """
+
+    def __init__(self, x: np.ndarray, max_entries: int = 1) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._x = _as_2d(x)
+        self._max_entries = max_entries
+        self._d2: np.ndarray | None = None
+        self._grams: dict[float, np.ndarray] = {}  # insertion-ordered LRU
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def n_rows(self) -> int:
+        """Number of cached rows (the Gram matrices are n_rows²)."""
+        return int(self._x.shape[0])
+
+    @property
+    def n_cached(self) -> int:
+        """Number of Gram matrices currently retained (≤ max_entries)."""
+        return len(self._grams)
+
+    def squared(self) -> np.ndarray:
+        """The shared squared-distance matrix (read-only, lazily built)."""
+        if self._d2 is None:
+            d2 = squared_distances(self._x, self._x)
+            d2.setflags(write=False)
+            self._d2 = d2
+        return self._d2
+
+    def gram(self, gamma: float) -> np.ndarray:
+        """Gram matrix for ``RbfKernel(gamma)``, cached (read-only view).
+
+        Bit-identical to ``RbfKernel(gamma).gram(x, x)`` for the cached
+        rows, whether the value comes from the cache or is computed.
+        """
+        if gamma <= 0:
+            raise ConfigurationError(f"gamma must be > 0, got {gamma}")
+        key = float(gamma)
+        cached = self._grams.get(key)
+        if cached is not None:
+            self.hits += 1
+            # Re-insert to mark as most recently used.
+            del self._grams[key]
+            self._grams[key] = cached
+            return cached
+        self.misses += 1
+        gram = np.exp(-key * self.squared())
+        gram.setflags(write=False)
+        while len(self._grams) >= self._max_entries:
+            oldest = next(iter(self._grams))
+            del self._grams[oldest]
+        self._grams[key] = gram
+        return gram
+
+
 @dataclass(frozen=True)
 class LinearKernel(Kernel):
     """Plain inner product ``a·b``."""

@@ -55,8 +55,22 @@ class EpsilonSVR:
 
     # -- training ------------------------------------------------------------
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "EpsilonSVR":
-        """Train on a feature matrix ``x`` (n, d) and targets ``y`` (n,)."""
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        gram: np.ndarray | None = None,
+        beta0: np.ndarray | None = None,
+    ) -> "EpsilonSVR":
+        """Train on a feature matrix ``x`` (n, d) and targets ``y`` (n,).
+
+        ``gram`` optionally supplies the precomputed training Gram matrix
+        (e.g. from a :class:`~repro.svm.kernels.GramCache`), skipping the
+        kernel evaluation; it must equal ``kernel.gram(x, x)``. ``beta0``
+        warm-starts the SMO solve from a previous solution's dual
+        coefficients (see :func:`~repro.svm.smo.solve_svr_dual`). Both
+        default to the historical cold path, which is bit-identical.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         if x.ndim != 2:
@@ -65,7 +79,14 @@ class EpsilonSVR:
             raise ValueError(
                 f"y shape {y.shape} does not match {x.shape[0]} samples"
             )
-        gram = self.kernel.gram(x, x)
+        if gram is None:
+            gram = self.kernel.gram(x, x)
+        else:
+            gram = np.asarray(gram, dtype=float)
+            if gram.shape != (x.shape[0], x.shape[0]):
+                raise ValueError(
+                    f"gram shape {gram.shape} does not match {x.shape[0]} samples"
+                )
         result = solve_svr_dual(
             gram,
             y,
@@ -74,7 +95,26 @@ class EpsilonSVR:
             tol=self.tol,
             max_iter=self.max_iter,
             on_no_convergence=self.on_no_convergence,
+            beta0=beta0,
         )
+        return self.adopt_solution(x, result)
+
+    def adopt_solution(self, x: np.ndarray, result: SmoResult) -> "EpsilonSVR":
+        """Install a solver result as this estimator's fitted state.
+
+        The precomputed-kernel counterpart of :meth:`fit`: the caller ran
+        :func:`~repro.svm.smo.solve_svr_dual` (or the batched
+        :func:`~repro.svm.smo.solve_svr_dual_batch`) against this
+        estimator's kernel and hyper-parameters over training rows ``x``;
+        only the support vectors are retained, exactly as :meth:`fit`
+        would.
+        """
+        x = np.asarray(x, dtype=float)
+        if result.beta.shape != (x.shape[0],):
+            raise ValueError(
+                f"solution has {result.beta.shape[0]} coefficients but x has "
+                f"{x.shape[0]} rows"
+            )
         mask = result.support_mask
         self._support_x = x[mask]
         self._support_beta = result.beta[mask]

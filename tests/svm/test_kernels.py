@@ -98,3 +98,76 @@ class TestPolynomial:
             PolynomialKernel().name,
         }
         assert len(names) == 3
+
+
+class TestGramCache:
+    from repro.svm.kernels import GramCache  # noqa: F401 - import check
+
+    def points(self, n=25, seed=3):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(-2, 2, size=(n, 4))
+
+    def test_bit_identical_to_direct_evaluation(self):
+        from repro.svm.kernels import GramCache
+
+        x = self.points()
+        cache = GramCache(x)
+        for gamma in (0.03125, 0.125, 0.5, 2.0):
+            direct = RbfKernel(gamma=gamma).gram(x, x)
+            assert np.array_equal(cache.gram(gamma), direct)
+            # The second lookup (a cache hit for max_entries >= 1 only
+            # when gamma repeats back-to-back) must stay bit-identical.
+            assert np.array_equal(cache.gram(gamma), direct)
+
+    def test_hit_and_miss_accounting(self):
+        from repro.svm.kernels import GramCache
+
+        cache = GramCache(self.points())
+        cache.gram(0.1)
+        cache.gram(0.1)
+        cache.gram(0.1)
+        assert (cache.misses, cache.hits) == (1, 2)
+        cache.gram(0.5)  # miss, evicts 0.1 at max_entries=1
+        cache.gram(0.1)  # miss again after eviction
+        assert (cache.misses, cache.hits) == (3, 2)
+
+    def test_eviction_bounds_memory_to_one_gamma(self):
+        from repro.svm.kernels import GramCache
+
+        cache = GramCache(self.points(), max_entries=1)
+        for gamma in (0.1, 0.2, 0.4, 0.8):
+            cache.gram(gamma)
+            assert cache.n_cached == 1
+
+    def test_larger_cache_keeps_lru_entries(self):
+        from repro.svm.kernels import GramCache
+
+        cache = GramCache(self.points(), max_entries=2)
+        cache.gram(0.1)
+        cache.gram(0.2)
+        cache.gram(0.1)  # refresh 0.1 -> 0.2 becomes LRU
+        cache.gram(0.4)  # evicts 0.2
+        assert cache.n_cached == 2
+        hits = cache.hits
+        cache.gram(0.1)
+        assert cache.hits == hits + 1  # still cached
+        misses = cache.misses
+        cache.gram(0.2)
+        assert cache.misses == misses + 1  # was evicted
+
+    def test_returned_gram_is_read_only(self):
+        from repro.svm.kernels import GramCache
+
+        cache = GramCache(self.points())
+        gram = cache.gram(0.1)
+        with pytest.raises(ValueError):
+            gram[0, 0] = 1.0
+
+    def test_rejects_bad_arguments(self):
+        from repro.svm.kernels import GramCache
+
+        with pytest.raises(ConfigurationError):
+            GramCache(self.points(), max_entries=0)
+        cache = GramCache(self.points())
+        with pytest.raises(ConfigurationError):
+            cache.gram(-1.0)

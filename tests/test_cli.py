@@ -14,10 +14,23 @@ class TestParser:
 
     def test_fig_commands_exist(self):
         parser = build_parser()
-        for command in ("fig1a", "fig1b", "fig1c", "dataset", "fleet-predict"):
+        for command in (
+            "fig1a", "fig1b", "fig1c", "dataset", "fleet-predict", "fleet-train"
+        ):
             args = parser.parse_args([command])
             assert args.command == command
             assert callable(args.handler)
+
+    def test_fleet_train_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-train", "--classes", "8", "--servers-per-class", "4",
+             "--duration", "1200", "--serve-duration", "600", "--quick"]
+        )
+        assert args.classes == 8
+        assert args.servers_per_class == 4
+        assert args.duration == 1200.0
+        assert args.serve_duration == 600.0
+        assert args.quick is True
 
     def test_fleet_predict_flags(self):
         args = build_parser().parse_args(

@@ -1,0 +1,72 @@
+"""Verbatim replicas of the seed training implementation.
+
+The parity tests (``tests/training/test_grid_parity.py``) and the
+throughput benchmark (``benchmarks/test_training_throughput.py``) both
+compare against the pre-refactor training loop. Keeping one copy here
+ensures they measure the same baseline: the historical ``cross_val_mse``
+(one estimator clone and one kernel evaluation per fold, one KFold draw
+per ``cross_val_mse`` call when an rng is supplied) and the historical
+triple-nested ``grid_search_svr`` with its sequential tie-breaking scan.
+Do not "improve" these — their job is to stay byte-for-byte faithful to
+the seed behaviour.
+"""
+
+import numpy as np
+
+from repro.svm.cv import KFold
+from repro.svm.kernels import RbfKernel
+from repro.svm.metrics import mean_squared_error
+from repro.svm.svr import EpsilonSVR
+
+
+def seed_cross_val_mse(model, x, y, n_splits=10, rng=None):
+    """Verbatim copy of the seed ``cross_val_mse``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    splitter = KFold(n_splits=n_splits, rng=rng)
+    scores = []
+    for train_idx, val_idx in splitter.split(x.shape[0]):
+        fold_model = model.clone()
+        fold_model.fit(x[train_idx], y[train_idx])
+        predictions = fold_model.predict(x[val_idx])
+        scores.append(
+            mean_squared_error(
+                y[val_idx].tolist(), np.atleast_1d(predictions).tolist()
+            )
+        )
+    return sum(scores) / len(scores)
+
+
+def seed_grid_search(
+    x, y, c_grid, gamma_grid, epsilon_grid, n_splits=10, rng=None,
+    max_iter=50_000,
+):
+    """Verbatim copy of the seed ``grid_search_svr`` loop.
+
+    Returns ``(best, best_mse, trials)`` with ``best`` the winning
+    (c, gamma, epsilon) triple and ``trials`` the legacy tuple rows.
+    """
+    trials = []
+    best = None
+    best_mse = float("inf")
+    for c in c_grid:
+        for gamma in gamma_grid:
+            for epsilon in epsilon_grid:
+                model = EpsilonSVR(
+                    kernel=RbfKernel(gamma=gamma),
+                    c=c,
+                    epsilon=epsilon,
+                    max_iter=max_iter,
+                    on_no_convergence="ignore",
+                )
+                mse = seed_cross_val_mse(model, x, y, n_splits=n_splits, rng=rng)
+                trials.append((c, gamma, epsilon, mse))
+                better = mse < best_mse - 1e-12
+                tie = abs(mse - best_mse) <= 1e-12
+                prefer = best is None or better
+                if tie and best is not None and (c, -gamma) < (best[0], -best[1]):
+                    prefer = True
+                if prefer:
+                    best = (c, gamma, epsilon)
+                    best_mse = mse
+    return best, best_mse, trials

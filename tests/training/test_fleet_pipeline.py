@@ -1,0 +1,112 @@
+"""Integration: fleet-train output drives the fleet prediction service.
+
+The acceptance path of the training subsystem: a trained per-class
+registry (``fleet-train``) must be consumable by the online prediction
+service (``fleet-predict``'s serving loop) end to end — per-class model
+resolution, batched ψ_stable queries, forecasts landing in telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.scenarios import (
+    build_fleet_simulation,
+    class_balanced_fleet_scenario,
+)
+from repro.serving import FleetPredictionProbe, PredictionFleet, predicted_vs_actual
+from repro.training import (
+    FleetTrainingConfig,
+    profile_fleet,
+    server_class_key,
+    train_fleet_registry,
+)
+
+
+class TestRegistryServesFleet:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return class_balanced_fleet_scenario(
+            n_classes=3, servers_per_class=3, seed=43_000, duration_s=700.0
+        )
+
+    @pytest.fixture(scope="class")
+    def report(self, scenario):
+        return train_fleet_registry(
+            profile_fleet(scenario),
+            FleetTrainingConfig(
+                n_splits=3, c_grid=(8.0, 64.0), gamma_grid=(0.125,),
+                epsilon_grid=(0.125,), min_class_records=3,
+            ),
+        )
+
+    def test_probe_serves_every_server_through_its_class_model(
+        self, scenario, report
+    ):
+        sim = build_fleet_simulation(scenario)
+        fleet = PredictionFleet(report.registry)
+        probe = FleetPredictionProbe(
+            fleet, key_fn=lambda server: server_class_key(server.spec)
+        )
+        probe.attach(sim)
+        sim.run(400.0)
+
+        assert fleet.n_servers == scenario.n_servers
+        # Every tracked server resolved its own hardware class entry.
+        assert sorted(set(fleet._keys)) == sorted(
+            {server_class_key(spec) for spec in scenario.server_specs}
+        )
+        scored = 0
+        for name in fleet.names:
+            _, predicted, actual = predicted_vs_actual(sim.telemetry, name)
+            if predicted.size:
+                scored += 1
+                assert np.isfinite(predicted).all()
+                assert float(np.mean((predicted - actual) ** 2)) < 200.0
+        assert scored == scenario.n_servers
+
+    def test_forecasts_match_direct_entry_predictions(self, scenario, report):
+        """The probe's seeded ψ_stable equals a direct registry query."""
+        sim = build_fleet_simulation(scenario)
+        fleet = PredictionFleet(report.registry)
+        probe = FleetPredictionProbe(
+            fleet, key_fn=lambda server: server_class_key(server.spec)
+        )
+        probe.attach(sim)
+        sim.run(30.0)
+        from repro.core.monitor import record_for_server
+
+        server = sim.cluster.servers[0]
+        entry = report.registry.resolve(server_class_key(server.spec))
+        record = record_for_server(
+            server, sim.environment.temperature(0.0)
+        )
+        expected = entry.predict_records([record])[0]
+        index = fleet.indices([server.name])[0]
+        assert fleet._psi[index] == expected  # bitwise: same batched path
+
+
+class TestFleetTrainCli:
+    def test_fleet_train_end_to_end(self, capsys):
+        code = main(
+            ["fleet-train", "--quick", "--classes", "2",
+             "--servers-per-class", "3", "--duration", "700",
+             "--serve-duration", "300", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "server classes" in out
+        assert "best C=" in out
+        assert "servers tracked      6" in out
+        assert "fleet MSE" in out
+
+    def test_fleet_train_can_skip_serving(self, capsys):
+        code = main(
+            ["fleet-train", "--quick", "--classes", "2",
+             "--servers-per-class", "2", "--duration", "700",
+             "--serve-duration", "0", "--seed", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "server classes" in out
+        assert "servers tracked" not in out

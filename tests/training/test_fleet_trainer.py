@@ -1,0 +1,252 @@
+"""Unit tests for the per-server-class fleet trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.datacenter.resources import ResourceCapacity
+from repro.datacenter.server import ServerSpec
+from repro.errors import DatasetError
+from repro.training.fleet_trainer import (
+    FleetProfile,
+    FleetTrainingConfig,
+    _search_subset,
+    profile_fleet,
+    server_class_key,
+    train_fleet_registry,
+)
+
+#: Distinct hardware classes for synthetic profiles. The first four are
+#: the historical fixtures; the commodity grid continues behind them so
+#: benchmarks can ask for 16+ classes without key collisions.
+_BASE_SPECS = [
+    (8, 2.0, 64.0, 2),
+    (16, 2.4, 128.0, 4),
+    (24, 2.6, 128.0, 6),
+    (32, 3.0, 256.0, 8),
+]
+CLASS_SPECS = _BASE_SPECS + [
+    combo
+    for combo in (
+        (cores, ghz, memory, fans)
+        for cores, ghz in zip((8, 16, 24, 32), (2.0, 2.4, 2.6, 3.0))
+        for memory in (64.0, 128.0, 256.0)
+        for fans in (2, 4, 6, 8)
+    )
+    if combo not in _BASE_SPECS
+]
+
+TINY_CONFIG = FleetTrainingConfig(
+    n_splits=3,
+    c_grid=(8.0, 64.0),
+    gamma_grid=(0.125,),
+    epsilon_grid=(0.125,),
+    min_class_records=3,
+)
+
+
+def synthetic_profile(records_per_class=6, n_classes=4, seed=0):
+    """A labelled fleet profile without running a simulation."""
+    rng = np.random.default_rng(seed)
+    names, keys, records = [], [], []
+    for class_index in range(n_classes):
+        cores, ghz, memory, fans = CLASS_SPECS[class_index % len(CLASS_SPECS)]
+        spec = ServerSpec(
+            name=f"probe-{class_index}",
+            capacity=ResourceCapacity(
+                cpu_cores=cores, ghz_per_core=ghz, memory_gb=memory
+            ),
+            fan_count=fans,
+            fan_speed=0.7,
+        )
+        key = server_class_key(spec)
+        for server_index in range(records_per_class):
+            n_vms = int(rng.integers(2, 6))
+            util = float(rng.uniform(0.3, 0.9))
+            vms = tuple(
+                VmRecord(
+                    vcpus=2, memory_gb=4.0, task_kinds=("constant",),
+                    nominal_utilization=util,
+                )
+                for _ in range(n_vms)
+            )
+            load = n_vms * 2 * util / cores
+            psi = 35.0 + 30.0 * min(load, 1.0) - 1.5 * fans + float(
+                rng.normal(0.0, 0.3)
+            )
+            records.append(
+                ExperimentRecord(
+                    theta_cpu_cores=cores,
+                    theta_cpu_ghz=cores * ghz,
+                    theta_memory_gb=memory,
+                    theta_fan_count=fans,
+                    theta_fan_speed=0.7,
+                    delta_env_c=22.0,
+                    vms=vms,
+                    psi_stable_c=psi,
+                )
+            )
+            names.append(f"server-{class_index}-{server_index}")
+            keys.append(key)
+    return FleetProfile(
+        names=tuple(names), class_keys=tuple(keys), records=tuple(records)
+    )
+
+
+class TestServerClassKey:
+    def test_distinct_hardware_distinct_keys(self):
+        specs = [
+            ServerSpec(
+                name=f"s{i}",
+                capacity=ResourceCapacity(
+                    cpu_cores=cores, ghz_per_core=ghz, memory_gb=memory
+                ),
+                fan_count=fans,
+                fan_speed=0.5 + 0.01 * i,
+            )
+            for i, (cores, ghz, memory, fans) in enumerate(CLASS_SPECS)
+        ]
+        assert len({server_class_key(spec) for spec in specs}) == len(specs)
+
+    def test_fan_speed_not_a_class_boundary(self):
+        base = dict(
+            capacity=ResourceCapacity(cpu_cores=16, ghz_per_core=2.4, memory_gb=64.0),
+            fan_count=4,
+        )
+        a = ServerSpec(name="a", fan_speed=0.4, **base)
+        b = ServerSpec(name="b", fan_speed=0.9, **base)
+        assert server_class_key(a) == server_class_key(b)
+
+
+class TestTrainFleetRegistry:
+    def test_registers_default_and_all_classes(self):
+        profile = synthetic_profile()
+        report = train_fleet_registry(profile, TINY_CONFIG)
+        assert "default" in report.registry
+        for key in set(profile.class_keys):
+            assert key in report.registry
+        assert report.n_class_models == 4
+        assert report.n_records == profile.n_servers
+
+    def test_shared_scaler_and_extractor(self):
+        profile = synthetic_profile()
+        report = train_fleet_registry(profile, TINY_CONFIG)
+        default = report.registry.resolve("default")
+        for key in set(profile.class_keys):
+            entry = report.registry.resolve(key)
+            assert entry.scaler is default.scaler
+            assert entry.extractor is default.extractor
+
+    def test_small_classes_alias_to_default(self):
+        profile = synthetic_profile(records_per_class=2)
+        report = train_fleet_registry(profile, TINY_CONFIG)
+        default = report.registry.resolve("default")
+        for class_report in report.classes:
+            assert class_report.aliased
+            assert class_report.train_mse is None
+            assert report.registry.resolve(class_report.key) is default
+
+    def test_class_models_fit_their_classes(self):
+        profile = synthetic_profile(records_per_class=10)
+        report = train_fleet_registry(profile, TINY_CONFIG)
+        groups = profile.classes()
+        for class_report in report.classes:
+            assert not class_report.aliased
+            entry = report.registry.resolve(class_report.key)
+            records = [profile.records[i] for i in groups[class_report.key]]
+            predicted = entry.predict_records(records)
+            actual = np.array([r.psi_stable_c for r in records])
+            assert float(np.mean((predicted - actual) ** 2)) < 25.0
+            assert class_report.train_mse == pytest.approx(
+                float(np.mean((predicted - actual) ** 2))
+            )
+
+    def test_unknown_class_falls_back_to_default(self):
+        report = train_fleet_registry(synthetic_profile(), TINY_CONFIG)
+        entry = report.registry.resolve("999c/9ghz/9gb/9fan")
+        assert entry is report.registry.resolve("default")
+
+    def test_shared_hyperparameters_across_classes(self):
+        report = train_fleet_registry(synthetic_profile(), TINY_CONFIG)
+        default = report.registry.resolve("default")
+        for class_report in report.classes:
+            model = report.registry.resolve(class_report.key).model
+            assert model.c == default.model.c == report.grid.best_c
+            assert model.kernel.gamma == report.grid.best_gamma
+
+    def test_too_few_records_raises(self):
+        profile = synthetic_profile(records_per_class=1, n_classes=2)
+        with pytest.raises(DatasetError):
+            train_fleet_registry(profile, TINY_CONFIG)
+
+    def test_summary_mentions_classes_and_search(self):
+        report = train_fleet_registry(synthetic_profile(), TINY_CONFIG)
+        summary = report.summary()
+        assert "server classes" in summary
+        assert "best C=" in summary
+        for class_report in report.classes:
+            assert class_report.key in summary
+
+
+class TestSearchSubset:
+    def test_no_cap_keeps_everything(self):
+        profile = synthetic_profile(records_per_class=3)
+        subset = _search_subset(profile, cap=100)
+        assert subset.tolist() == list(range(profile.n_servers))
+
+    def test_capped_subset_is_class_stratified(self):
+        profile = synthetic_profile(records_per_class=10)
+        subset = _search_subset(profile, cap=8)
+        assert subset.shape[0] == 8
+        keys = [profile.class_keys[i] for i in subset]
+        counts = {key: keys.count(key) for key in set(keys)}
+        assert set(counts.values()) == {2}  # 4 classes x 2 each
+
+    def test_deterministic(self):
+        profile = synthetic_profile(records_per_class=10)
+        a = _search_subset(profile, cap=11)
+        b = _search_subset(profile, cap=11)
+        assert np.array_equal(a, b)
+
+
+class TestProfileFleet:
+    @pytest.fixture(scope="class")
+    def small_scenario(self):
+        from repro.experiments.scenarios import class_balanced_fleet_scenario
+
+        return class_balanced_fleet_scenario(
+            n_classes=2, servers_per_class=3, seed=41_000, duration_s=700.0
+        )
+
+    def test_one_record_per_server_with_class_keys(self, small_scenario):
+        profile = profile_fleet(small_scenario)
+        assert profile.n_servers == 6
+        assert len(set(profile.class_keys)) == 2
+        for record, spec in zip(profile.records, small_scenario.server_specs):
+            assert record.psi_stable_c is not None
+            assert record.theta_cpu_cores == spec.capacity.cpu_cores
+            assert len(record.vms) == len(
+                small_scenario.vm_specs[
+                    small_scenario.server_specs.index(spec)
+                ]
+            )
+
+    def test_rejects_duration_inside_warmup(self, small_scenario):
+        with pytest.raises(DatasetError):
+            profile_fleet(small_scenario, t_break_s=800.0)
+
+    def test_end_to_end_trains_and_serves(self, small_scenario):
+        """profile → train → registry resolves every live server class."""
+        from repro.datacenter.server import Server
+
+        profile = profile_fleet(small_scenario)
+        config = FleetTrainingConfig(
+            n_splits=3, c_grid=(64.0,), gamma_grid=(0.125,),
+            epsilon_grid=(0.125,), min_class_records=2,
+        )
+        report = train_fleet_registry(profile, config)
+        for spec in small_scenario.server_specs:
+            key = server_class_key(Server(spec).spec)
+            entry = report.registry.resolve(key)
+            predicted = entry.predict_records([profile.records[0]])
+            assert np.isfinite(predicted).all()

@@ -1,0 +1,106 @@
+"""Bitwise parity of the refactored grid search against the seed loop.
+
+The acceptance contract of the training refactor: at default settings
+(no warm start, no pool), the work-queue grid search over shared Gram
+caches and the batched fold solver must return the **same bits** as the
+historical implementation — every trial MSE, the selected
+(C, γ, ε, CV-MSE), and the refit predictor's coefficients. The seed
+implementation lives in :mod:`tests.training.seed_reference` (shared
+with the throughput benchmark so both compare the same baseline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import train_stable_predictor
+from repro.core.stable import StableTemperaturePredictor
+from repro.rng import RngFactory, RngStream
+from repro.svm.grid import (
+    DEFAULT_C_GRID,
+    DEFAULT_EPSILON_GRID,
+    DEFAULT_GAMMA_GRID,
+    grid_search_svr,
+)
+from repro.svm.scaling import MinMaxScaler
+from tests.training.seed_reference import seed_grid_search
+
+
+@pytest.fixture(scope="module")
+def scaled_features(experiment_records):
+    """The exact matrix/targets the training pipeline feeds the search."""
+    from repro.core.features import FeatureExtractor
+
+    extractor = FeatureExtractor()
+    x = extractor.matrix(experiment_records)
+    y = extractor.targets(experiment_records)
+    return MinMaxScaler().fit_transform(x), y
+
+
+class TestGridSearchParity:
+    def test_default_grids_bit_identical(self, scaled_features):
+        """The full default 4x4x2 grid with 10-fold CV, default settings."""
+        x, y = scaled_features
+        best, best_mse, trials = seed_grid_search(
+            x, y, DEFAULT_C_GRID, DEFAULT_GAMMA_GRID, DEFAULT_EPSILON_GRID
+        )
+        result = grid_search_svr(x, y)
+        assert (result.best_c, result.best_gamma, result.best_epsilon) == best
+        assert result.best_cv_mse == best_mse  # bitwise
+        assert [t.astuple() for t in result.trials] == trials  # bitwise
+
+    def test_per_point_rng_folds_bit_identical(self, scaled_features):
+        """The historical one-shuffle-per-point semantics, exactly."""
+        x, y = scaled_features
+        grids = dict(
+            c_grid=(8.0, 64.0), gamma_grid=(0.03125, 0.5), epsilon_grid=(0.125,),
+        )
+        best, best_mse, trials = seed_grid_search(
+            x, y, n_splits=5, rng=RngStream(13, "cv"), **grids
+        )
+        result = grid_search_svr(
+            x, y, n_splits=5, rng=RngStream(13, "cv"), **grids
+        )
+        assert (result.best_c, result.best_gamma, result.best_epsilon) == best
+        assert result.best_cv_mse == best_mse
+        assert [t.astuple() for t in result.trials] == trials
+
+
+class TestRefitParity:
+    def test_refit_predictor_bit_identical(self, experiment_records):
+        """train_stable_predictor: same winner, same fitted coefficients."""
+        records = experiment_records
+        grids = dict(
+            c_grid=(8.0, 64.0, 512.0),
+            gamma_grid=(0.03125, 0.125),
+            epsilon_grid=(0.125,),
+        )
+        # Seed path: seed search over the scaled features, then the
+        # unchanged StableTemperaturePredictor refit.
+        from repro.core.features import FeatureExtractor
+
+        extractor = FeatureExtractor()
+        x = extractor.matrix(records)
+        y = extractor.targets(records)
+        x_scaled = MinMaxScaler().fit_transform(x)
+        best, best_mse, _ = seed_grid_search(
+            x_scaled, y, n_splits=5, rng=RngFactory(7).stream("cv"), **grids
+        )
+        seed_predictor = StableTemperaturePredictor(
+            c=best[0], gamma=best[1], epsilon=best[2]
+        ).fit(records)
+
+        report = train_stable_predictor(
+            records, n_splits=5, rng=RngFactory(7).stream("cv"), **grids
+        )
+        assert (
+            report.grid.best_c, report.grid.best_gamma, report.grid.best_epsilon
+        ) == best
+        assert report.grid.best_cv_mse == best_mse
+        new_svr = report.predictor.svr
+        old_svr = seed_predictor.svr
+        assert np.array_equal(new_svr._support_x, old_svr._support_x)
+        assert np.array_equal(new_svr._support_beta, old_svr._support_beta)
+        assert new_svr.bias == old_svr.bias
+        predictions_new = report.predictor.predict_many(records)
+        predictions_old = seed_predictor.predict_many(records)
+        assert np.array_equal(predictions_new, predictions_old)
