@@ -14,7 +14,10 @@ every substrate the paper's testbed provided:
 * :mod:`repro.datacenter` — VMs, VMM, migration, schedulers, telemetry,
   co-simulation;
 * :mod:`repro.management` — thermal management built on the predictions
-  (the paper's motivating use case);
+  (the paper's motivating use case), including the shared batched
+  what-if scoring path;
+* :mod:`repro.control` — the closed loop: predict → detect → plan →
+  act → account on a control interval inside the co-simulation;
 * :mod:`repro.serving` — the method deployed as a fleet-scale service:
   model registry, cross-model batched SVR inference, and the vectorized
   :class:`~repro.serving.fleet.PredictionFleet`;
@@ -54,6 +57,14 @@ from repro.core import (
     evaluate_stable_predictor,
     train_stable_predictor,
 )
+from repro.control import (
+    ControlPlane,
+    ControlPlaneConfig,
+    EnergyAwareConsolidationPolicy,
+    ProactiveForecastPolicy,
+    ReactiveEvictionPolicy,
+    run_closed_loop,
+)
 from repro.core.dynamic import replay_dynamic_prediction
 from repro.errors import ReproError
 from repro.experiments import (
@@ -83,10 +94,13 @@ from repro.training import (
     train_fleet_registry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ControlPlane",
+    "ControlPlaneConfig",
     "DynamicTemperaturePredictor",
+    "EnergyAwareConsolidationPolicy",
     "EpsilonSVR",
     "ExperimentConfig",
     "ExperimentRecord",
@@ -99,7 +113,9 @@ __all__ = [
     "PredefinedCurve",
     "PredictionConfig",
     "PredictionFleet",
+    "ProactiveForecastPolicy",
     "RbfKernel",
+    "ReactiveEvictionPolicy",
     "RcFitBaseline",
     "RecordDataset",
     "ReproError",
@@ -123,6 +139,7 @@ __all__ = [
     "random_scenario",
     "random_scenarios",
     "replay_dynamic_prediction",
+    "run_closed_loop",
     "run_experiment",
     "server_class_key",
     "train_fleet_registry",

@@ -8,6 +8,7 @@ Usage (module form)::
     python -m repro.cli dataset --n 50 --out records.json
     python -m repro.cli fleet-predict [--servers N] [--duration S] [--quick]
     python -m repro.cli fleet-train [--classes K] [--servers-per-class M] [--quick]
+    python -m repro.cli fleet-manage [--scenario cooling-failure] [--quick]
 
 ``--quick`` shrinks training sizes and CV folds so each figure completes
 in well under a minute (with looser accuracy); omit it for the
@@ -17,6 +18,9 @@ fleet co-simulation and reports fleet-wide forecast accuracy.
 ``fleet-train`` profiles a class-balanced fleet, trains one stable model
 per server class in a single batched pass (:mod:`repro.training`), and
 serves the resulting registry against the same fleet end to end.
+``fleet-manage`` closes the loop: train, serve, and run the thermal
+control plane (:mod:`repro.control`) against a stress scenario, printing
+the managed-vs-baseline hotspot and energy/PUE ledger.
 """
 
 from __future__ import annotations
@@ -248,6 +252,139 @@ def _cmd_fleet_train(args: argparse.Namespace) -> int:
     return 0
 
 
+#: fleet-manage scenario names accepted by --scenario (see _manage_scenario).
+_MANAGE_SCENARIOS = ("cooling-failure", "flash-crowd", "thermal-cascade")
+
+
+def _manage_scenario(name: str, n_servers: int, duration_s: float):
+    """Build a stress scenario sized to the requested run.
+
+    The disturbance (CRAC step / flash crowd) lands a quarter into the
+    run, capped at the builders' 600 s default, so short ``--duration``
+    runs stay valid instead of tripping the builders' in-run checks.
+    """
+    import repro.experiments.scenarios as scenarios
+
+    event_time_s = min(600.0, 0.25 * duration_s)
+    if name == "cooling-failure":
+        return scenarios.cooling_failure_scenario(
+            n_servers=n_servers, duration_s=duration_s,
+            failure_time_s=event_time_s,
+        )
+    if name == "flash-crowd":
+        return scenarios.flash_crowd_scenario(
+            n_servers=n_servers, duration_s=duration_s,
+            spike_time_s=event_time_s,
+        )
+    return scenarios.thermal_cascade_scenario(
+        n_servers=n_servers, duration_s=duration_s
+    )
+
+#: fleet-manage policy names accepted by --policy (see _manage_policy).
+_MANAGE_POLICIES = ("proactive", "reactive", "consolidate")
+
+
+def _manage_policy(name: str, margin: float):
+    from repro.control import (
+        EnergyAwareConsolidationPolicy,
+        ProactiveForecastPolicy,
+        ReactiveEvictionPolicy,
+    )
+
+    if name == "proactive":
+        return ProactiveForecastPolicy(margin_c=margin)
+    if name == "reactive":
+        return ReactiveEvictionPolicy()
+    return EnergyAwareConsolidationPolicy()
+
+
+def _cmd_fleet_manage(args: argparse.Namespace) -> int:
+    from repro.control import ControlPlaneConfig, run_closed_loop
+    from repro.errors import ConfigurationError
+    from repro.experiments.reporting import ascii_table
+    from repro.management.hotspot import HotspotDetector
+    from repro.serving import ModelRegistry
+
+    n_servers = args.servers if args.servers else (16 if args.quick else 32)
+    duration = args.duration if args.duration else (2400.0 if args.quick else 3600.0)
+    n_train = args.n_train if args.n_train else (30 if args.quick else 120)
+    try:
+        scenario = _manage_scenario(args.scenario, n_servers, duration)
+    except ConfigurationError as exc:
+        print(f"fleet-manage: invalid scenario parameters: {exc}", file=sys.stderr)
+        return 2
+
+    started = time.time()
+    print(f"== training the stable model ({n_train} records) ==", file=sys.stderr)
+    report = train_default_stable_model(
+        n_train=n_train, seed=args.seed, n_folds=3 if args.quick else 5
+    )
+    registry = ModelRegistry()
+    registry.register("default", report.predictor)
+    print(f"  {report.grid.summary()}", file=sys.stderr)
+
+    detector = HotspotDetector(threshold_c=args.threshold)
+    config = ControlPlaneConfig(
+        interval_s=args.interval, max_moves_per_interval=args.budget
+    )
+    policy = None if args.no_control else _manage_policy(args.policy, args.margin)
+
+    runs = [("no control", None)]
+    if policy is not None:
+        runs.append((args.policy, policy))
+    outcomes = []
+    for label, run_policy in runs:
+        print(
+            f"== running {scenario.name} for {duration:.0f}s ({label}) ==",
+            file=sys.stderr,
+        )
+        result = run_closed_loop(
+            scenario, registry, policy=run_policy, config=config,
+            detector=detector,
+        )
+        outcomes.append((label, result))
+
+    rows = []
+    for label, result in outcomes:
+        summary = result.ledger.summary()
+        rows.append(
+            (
+                label,
+                int(summary["peak_measured_hotspots"]),
+                int(summary["final_measured_hotspots"]),
+                int(summary["sustained_hotspots"]),
+                int(summary["moves_issued"]),
+                summary["mean_forecast_error_c"],
+                summary["it_energy_kwh"] + summary["cooling_energy_kwh"],
+                summary["pue"],
+            )
+        )
+    print(
+        ascii_table(
+            ["run", "peak hs", "final hs", "sustained", "moves",
+             "fc err degC", "energy kWh", "PUE"],
+            rows,
+        )
+    )
+    managed = outcomes[-1][1]
+    sustained = managed.ledger.sustained_hotspots()
+    if sustained:
+        print(f"\nsustained hotspots remain: {', '.join(sustained)}")
+    else:
+        print("\nno sustained hotspots at end of run")
+    for record in managed.ledger.records:
+        if record.moves_issued:
+            print(
+                f"  t={record.time_s:6.0f}s  predicted={record.predicted_hotspots}"
+                f"  measured={record.measured_hotspots}"
+                f"  issued={record.moves_issued}/{record.moves_planned}"
+            )
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    if args.no_control:
+        return 0  # baseline-only runs report, they don't fail
+    return 0 if not sustained else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -324,6 +461,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="hotspot threshold in degC (default 75)",
     )
     train.set_defaults(handler=_cmd_fleet_train)
+
+    manage = commands.add_parser(
+        "fleet-manage",
+        help="run the closed-loop thermal control plane on a stress scenario",
+    )
+    _add_common(manage)
+    manage.add_argument(
+        "--scenario", choices=sorted(_MANAGE_SCENARIOS), default="cooling-failure",
+        help="stress scenario to manage (default cooling-failure)",
+    )
+    manage.add_argument(
+        "--policy", choices=_MANAGE_POLICIES, default="proactive",
+        help="mitigation policy (default proactive)",
+    )
+    manage.add_argument(
+        "--servers", type=int, default=0,
+        help="fleet size (default: 32, or 16 with --quick)",
+    )
+    manage.add_argument(
+        "--duration", type=float, default=0.0,
+        help="simulated seconds (default: 3600, or 2400 with --quick)",
+    )
+    manage.add_argument(
+        "--n-train", type=int, default=0,
+        help="stable-model training records (default: 120, or 30 with --quick)",
+    )
+    manage.add_argument(
+        "--threshold", type=float, default=75.0,
+        help="hotspot threshold in degC (default 75)",
+    )
+    manage.add_argument(
+        "--margin", type=float, default=2.0,
+        help="proactive safety margin in degC (default 2)",
+    )
+    manage.add_argument(
+        "--interval", type=float, default=60.0,
+        help="control interval in seconds (default 60)",
+    )
+    manage.add_argument(
+        "--budget", type=int, default=4,
+        help="max migrations per control interval (default 4)",
+    )
+    manage.add_argument(
+        "--no-control",
+        action="store_true",
+        help="run only the no-control baseline",
+    )
+    manage.set_defaults(handler=_cmd_fleet_manage)
     return parser
 
 

@@ -1,0 +1,58 @@
+"""Closed-loop fleet thermal control: predict → detect → plan → act → account.
+
+The paper motivates VM-level temperature prediction as the enabler of
+*proactive thermal management*; this package is that loop, closed, at
+fleet scale. Each control interval the
+:class:`~repro.control.plane.ControlPlane` pulls the whole cluster's
+Δ_gap-ahead forecasts from the serving layer, scans them for hotspots,
+lets a pluggable :class:`~repro.control.policies.MitigationPolicy` score
+every candidate (VM, destination) move through the shared batched
+what-if path (:mod:`repro.management.whatif`), emits the chosen live
+migrations into the co-simulation's event queue under budgets and
+cooldowns, and accounts the consequences (hotspots, forecast error,
+IT + cooling energy through the CRAC COP model) in a
+:class:`~repro.control.ledger.ControlLedger`.
+
+* :mod:`repro.control.policies` — reactive threshold eviction,
+  proactive forecast-driven eviction, energy-aware consolidation;
+* :mod:`repro.control.plane` — the five-stage interval loop and its
+  act-stage guards;
+* :mod:`repro.control.ledger` — per-interval records, sustained-hotspot
+  queries, the energy/PUE account;
+* :mod:`repro.control.loop` — the end-to-end runner behind the
+  ``fleet-manage`` CLI and the integration tests.
+
+See the "Control path" section of ``docs/architecture.md`` and
+``benchmarks/test_control_plane.py`` for the batched-scoring parity and
+throughput contract.
+"""
+
+from repro.control.ledger import (
+    ControlIntervalRecord,
+    ControlLedger,
+    forecast_error_at,
+)
+from repro.control.loop import ClosedLoopResult, run_closed_loop
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.control.policies import (
+    ControlView,
+    EnergyAwareConsolidationPolicy,
+    MitigationPolicy,
+    ProactiveForecastPolicy,
+    ReactiveEvictionPolicy,
+)
+
+__all__ = [
+    "ClosedLoopResult",
+    "ControlIntervalRecord",
+    "ControlLedger",
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "ControlView",
+    "EnergyAwareConsolidationPolicy",
+    "MitigationPolicy",
+    "ProactiveForecastPolicy",
+    "ReactiveEvictionPolicy",
+    "forecast_error_at",
+    "run_closed_loop",
+]

@@ -1,0 +1,85 @@
+"""End-to-end closed-loop runner: serve + control one fleet scenario.
+
+The glue the ``fleet-manage`` CLI, the examples, and the integration
+tests share: materialize a :class:`~repro.experiments.scenarios.FleetScenario`,
+attach the online prediction service
+(:class:`~repro.serving.fleet.FleetPredictionProbe`), attach a
+:class:`~repro.control.plane.ControlPlane` on top, run, and hand back
+the simulation plus the control ledger. Passing ``policy=None`` runs
+the identical pipeline without actuation — the no-control baseline with
+a like-for-like ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.plane import ControlPlane, ControlPlaneConfig
+from repro.control.policies import MitigationPolicy
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.experiments.scenarios import FleetScenario
+from repro.management.energy import CoolingModel
+from repro.management.hotspot import HotspotDetector
+from repro.management.whatif import WhatIfScorer
+from repro.serving.fleet import FleetPredictionProbe, PredictionFleet
+from repro.serving.registry import ModelRegistry
+
+
+@dataclass
+class ClosedLoopResult:
+    """Everything a caller needs to audit one managed run."""
+
+    simulation: DatacenterSimulation
+    fleet: PredictionFleet
+    plane: ControlPlane
+
+    @property
+    def ledger(self):
+        """The control plane's per-interval ledger."""
+        return self.plane.ledger
+
+    def measured_temperatures(self) -> dict[str, float]:
+        """Final measured CPU temperature per server."""
+        return {
+            server.name: server.thermal.cpu_temperature_c
+            for server in self.simulation.cluster.servers
+        }
+
+
+def run_closed_loop(
+    scenario: FleetScenario,
+    registry: ModelRegistry,
+    policy: MitigationPolicy | None,
+    config: ControlPlaneConfig | None = None,
+    detector: HotspotDetector | None = None,
+    cooling: CoolingModel | None = None,
+    key_fn=None,
+    duration_s: float | None = None,
+    use_fleet_engine: bool = True,
+) -> ClosedLoopResult:
+    """Profile → serve → control one fleet scenario end to end.
+
+    ``key_fn`` maps a server to its registry model key for *both* the
+    prediction probe and the what-if scorer (per-class model farms);
+    ``policy=None`` keeps the loop observing/accounting but never acting.
+    """
+    from repro.experiments.scenarios import build_fleet_simulation
+
+    sim = build_fleet_simulation(scenario, use_fleet_engine=use_fleet_engine)
+    fleet = PredictionFleet(registry)
+    probe = FleetPredictionProbe(fleet, key_fn=key_fn)
+    probe.attach(sim)
+    scorer = None
+    if policy is not None:
+        scorer = WhatIfScorer(registry=registry, key_fn=key_fn)
+    plane = ControlPlane(
+        fleet,
+        policy=policy,
+        detector=detector,
+        scorer=scorer,
+        config=config,
+        cooling=cooling,
+    )
+    plane.attach(sim)  # after the probe: control sees this step's forecasts
+    sim.run(duration_s if duration_s is not None else scenario.duration_s)
+    return ClosedLoopResult(simulation=sim, fleet=fleet, plane=plane)

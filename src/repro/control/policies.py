@@ -1,0 +1,303 @@
+"""Mitigation policies — the *plan* stage of the control loop.
+
+A policy looks at one :class:`ControlView` (the cluster, the fleet's
+Δ_gap-ahead forecast snapshot, the measured temperatures, and the shared
+batched what-if scorer) and proposes a ranked list of
+:class:`~repro.management.whatif.MoveScore` migrations. Policies only
+*propose*: budgets, cooldowns, and capacity reservations are enforced by
+the :class:`~repro.control.plane.ControlPlane` act stage, so policies
+stay pure functions of the view and are trivially testable.
+
+Three built-in policies cover the classic trade-off triangle:
+
+* :class:`ReactiveEvictionPolicy` — threshold eviction on *measured*
+  temperatures: the no-prediction baseline (acts only after a server is
+  already hot).
+* :class:`ProactiveForecastPolicy` — the paper's payoff: act on the
+  Δ_gap-ahead *forecast*, with a safety margin, before the sensor ever
+  crosses the limit.
+* :class:`EnergyAwareConsolidationPolicy` — during thermal calm, drain
+  nearly-empty hosts onto warm-but-safe ones so the freed machines can
+  be parked (cooling follows the COP curve: fewer, warmer hosts beat
+  many cold ones).
+
+Every policy scores all its candidate (VM, destination) moves in **one**
+batched what-if call per interval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.vm import VmState
+from repro.errors import ConfigurationError
+from repro.management.hotspot import HotspotDetector
+from repro.management.whatif import MoveScore, WhatIfScorer, enumerate_evictions
+from repro.serving.fleet import ForecastSnapshot
+
+
+@dataclass(frozen=True)
+class ControlView:
+    """Everything a mitigation policy may look at for one interval.
+
+    ``resting_servers``/``resting_vms`` surface the act stage's cooldown
+    and in-flight state so policies don't propose moves the actuator
+    would immediately veto — planning around a blocked first choice
+    beats planning it and idling the interval.
+    """
+
+    time_s: float
+    cluster: Cluster
+    snapshot: ForecastSnapshot
+    measured_c: dict[str, float]
+    detector: HotspotDetector
+    scorer: WhatIfScorer
+    environment_c: float
+    resting_servers: frozenset[str] = frozenset()
+    resting_vms: frozenset[str] = frozenset()
+
+    def movable_sources(self, names: list[str]) -> list[str]:
+        """Offenders that are not resting and host at least one movable VM."""
+        movable = []
+        for name in names:
+            if name in self.resting_servers:
+                continue
+            server = self.cluster.server(name)
+            if any(
+                vm.state is VmState.RUNNING and vm.name not in self.resting_vms
+                for vm in server.vms.values()
+            ):
+                movable.append(name)
+        return movable
+
+    def movable(self, move) -> bool:
+        """Is a candidate move free of cooldown/in-flight vetoes?"""
+        if move.vm_name in self.resting_vms:
+            return False
+        if move.source in self.resting_servers:
+            return False
+        if move.destination in self.resting_servers:
+            return False
+        vm = self.cluster.server(move.source).vms.get(move.vm_name)
+        return vm is not None and vm.state is VmState.RUNNING
+
+
+class MitigationPolicy(ABC):
+    """Ranks candidate migrations for one control interval."""
+
+    @abstractmethod
+    def plan(self, view: ControlView) -> list[MoveScore]:
+        """Proposed moves, most urgent first (the act stage trims to budget)."""
+
+    # -- shared planning machinery ------------------------------------------
+
+    @staticmethod
+    def _greedy_assign(
+        sources: list[str],
+        scores: list[MoveScore],
+        destination_limit_c: float,
+        preference,
+        exclusive_sources: bool = False,
+    ) -> list[MoveScore]:
+        """One move per source, greedily, with destination claiming.
+
+        Keeps scores whose destination stays below
+        ``destination_limit_c``; each source (in the given urgency
+        order) takes its ``preference``-best option among destinations
+        no earlier source claimed this interval, so one attractive
+        server doesn't soak up every plan only to be cooldown-blocked
+        after the first. ``exclusive_sources`` additionally bars a
+        server from acting as both drain and receiver in one plan.
+        """
+        admissible: dict[str, list[MoveScore]] = {}
+        for score in scores:
+            if score.predicted_destination_c >= destination_limit_c:
+                continue
+            admissible.setdefault(score.move.source, []).append(score)
+        planned: list[MoveScore] = []
+        used: set[str] = set()
+        for source in sources:
+            if exclusive_sources and source in used:
+                continue
+            options = sorted(admissible.get(source, ()), key=preference)
+            chosen = next(
+                (s for s in options if s.move.destination not in used), None
+            )
+            if chosen is None:
+                continue
+            used.add(chosen.move.destination)
+            if exclusive_sources:
+                used.add(source)
+            planned.append(chosen)
+        return planned
+
+    @staticmethod
+    def _best_eviction_per_source(
+        view: ControlView,
+        sources: list[str],
+        destination_limit_c: float,
+    ) -> list[MoveScore]:
+        """One best admissible eviction per source, batched scoring.
+
+        Enumerates every (VM, destination) candidate off every source —
+        destinations restricted to non-source servers — scores the whole
+        set in one batched SVR call, and keeps, per source (in the given
+        urgency order), the move with the lowest predicted post-move
+        peak whose destination stays below ``destination_limit_c``.
+        Evicting one VM per hot server per interval and re-planning next
+        interval beats a single big bang: each later plan sees the fleet
+        the earlier moves actually produced.
+        """
+        sources = view.movable_sources(sources)
+        if not sources:
+            return []
+        excluded = set(sources)
+        destinations = [
+            server.name
+            for server in view.cluster.servers
+            if server.name not in excluded
+        ]
+        moves = enumerate_evictions(view.cluster, sources, destinations)
+        moves = [move for move in moves if view.movable(move)]
+        scores = view.scorer.score_moves(view.cluster, moves, view.environment_c)
+        # Lowest predicted post-move peak wins (ties: VM, destination).
+        return MitigationPolicy._greedy_assign(
+            sources,
+            scores,
+            destination_limit_c,
+            preference=lambda s: (
+                s.predicted_peak_c,
+                s.move.vm_name,
+                s.move.destination,
+            ),
+        )
+
+
+class ReactiveEvictionPolicy(MitigationPolicy):
+    """Threshold eviction on measured temperatures (no prediction).
+
+    The baseline every forecast-driven policy is judged against: once a
+    sensor reads above the detector threshold, evict the best VM. By
+    construction it can only act *after* the SLA is already violated.
+    """
+
+    def __init__(self, margin_c: float = 0.0) -> None:
+        if margin_c < 0:
+            raise ConfigurationError(f"margin_c must be >= 0, got {margin_c}")
+        self.margin_c = margin_c
+
+    def plan(self, view: ControlView) -> list[MoveScore]:
+        hotspots = view.detector.detect(view.measured_c)
+        sources = [spot.server_name for spot in hotspots]
+        limit = view.detector.threshold_c - self.margin_c
+        return self._best_eviction_per_source(view, sources, limit)
+
+
+class ProactiveForecastPolicy(MitigationPolicy):
+    """Forecast-driven eviction: act Δ_gap ahead of the threshold.
+
+    Flags servers whose latest Δ_gap-ahead forecast exceeds
+    ``threshold − margin_c`` (the margin absorbs model error and buys
+    actuation lead time) and plans the best eviction for each, hottest
+    forecast first. Destinations must stay below the same margined
+    limit, so mitigation never manufactures the next hotspot.
+    """
+
+    def __init__(self, margin_c: float = 2.0) -> None:
+        if margin_c < 0:
+            raise ConfigurationError(f"margin_c must be >= 0, got {margin_c}")
+        self.margin_c = margin_c
+
+    def plan(self, view: ControlView) -> list[MoveScore]:
+        names, predicted = view.snapshot.forecasts()
+        limit = view.detector.threshold_c - self.margin_c
+        offenders = [
+            (float(temp), name)
+            for name, temp in zip(names, predicted.tolist())
+            if temp > limit
+        ]
+        offenders.sort(key=lambda pair: (-pair[0], pair[1]))
+        sources = [name for _, name in offenders]
+        return self._best_eviction_per_source(view, sources, limit)
+
+
+class EnergyAwareConsolidationPolicy(MitigationPolicy):
+    """Drain nearly-empty hosts onto warm-but-safe ones.
+
+    The COP curve rewards concentrating heat: the same IT load on fewer
+    (warmer) hosts lets the freed machines idle or park. Sources are
+    servers hosting at most ``max_source_vms`` VMs and measuring below
+    ``threshold − margin_c``; each source's VMs are proposed onto the
+    destination whose predicted post-move temperature is *highest while
+    still safe* (pack the warm host), never onto another drain source.
+    Only plans while the fleet is thermally calm — any measured or
+    forecast hotspot defers consolidation to the mitigation policies.
+    """
+
+    def __init__(self, max_source_vms: int = 1, margin_c: float = 5.0) -> None:
+        if max_source_vms < 1:
+            raise ConfigurationError(
+                f"max_source_vms must be >= 1, got {max_source_vms}"
+            )
+        if margin_c < 0:
+            raise ConfigurationError(f"margin_c must be >= 0, got {margin_c}")
+        self.max_source_vms = max_source_vms
+        self.margin_c = margin_c
+
+    def plan(self, view: ControlView) -> list[MoveScore]:
+        limit = view.detector.threshold_c - self.margin_c
+        if view.detector.detect(view.measured_c):
+            return []
+        _, predicted = view.snapshot.forecasts()
+        if any(temp > limit for temp in predicted.tolist()):
+            return []
+        cluster = view.cluster
+
+        # Strict drain order — emptier, cooler, then name — so load only
+        # ever flows "uphill" toward fuller/warmer hosts: no A→B while
+        # B→A cycles, and ties (a uniform one-VM fleet) still drain.
+        def order_key(name: str):
+            return (
+                len(cluster.server(name).vms),
+                view.measured_c.get(name, 0.0),
+                name,
+            )
+
+        hosting = [server.name for server in cluster.servers if server.vms]
+        sources = view.movable_sources(
+            sorted(
+                (
+                    name
+                    for name in hosting
+                    if len(cluster.server(name).vms) <= self.max_source_vms
+                ),
+                key=order_key,
+            )
+        )
+        moves = []
+        for source in sources:
+            uphill = [
+                name
+                for name in hosting
+                if order_key(name) > order_key(source)
+                and name not in view.resting_servers
+            ]
+            moves.extend(enumerate_evictions(cluster, [source], uphill))
+        moves = [move for move in moves if view.movable(move)]
+        scores = view.scorer.score_moves(cluster, moves, view.environment_c)
+        # Pack the warm host: highest still-safe destination wins (ties:
+        # VM, name); exclusive sources keep a server from acting as both
+        # drain and receiver in one plan.
+        return self._greedy_assign(
+            sources,
+            scores,
+            limit,
+            preference=lambda s: (
+                -s.predicted_destination_c,
+                s.move.vm_name,
+                s.move.destination,
+            ),
+            exclusive_sources=True,
+        )

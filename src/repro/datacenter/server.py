@@ -92,13 +92,26 @@ class Server:
         """Uncommitted memory."""
         return self.spec.capacity.memory_gb - self.used_memory_gb
 
-    def can_host(self, vm: Vm) -> bool:
+    def can_host(
+        self,
+        vm: Vm,
+        reserved_memory_gb: float = 0.0,
+        reserved_vcpus: int = 0,
+    ) -> bool:
         """Admission check: memory is a hard constraint, vCPUs may be
-        overcommitted up to the spec's ratio."""
-        if vm.spec.memory_gb > self.free_memory_gb + 1e-9:
+        overcommitted up to the spec's ratio.
+
+        ``reserved_memory_gb``/``reserved_vcpus`` count capacity already
+        promised to arrivals not yet hosted (e.g. in-flight migrations),
+        so planners can admit against the committed future state with
+        the same rule the eventual placement will enforce.
+        """
+        if vm.spec.memory_gb > self.free_memory_gb - reserved_memory_gb + 1e-9:
             return False
         vcpu_limit = self.spec.capacity.cpu_cores * self.spec.cpu_overcommit
-        return self.used_vcpus + vm.spec.vcpus <= vcpu_limit + 1e-9
+        return (
+            self.used_vcpus + reserved_vcpus + vm.spec.vcpus <= vcpu_limit + 1e-9
+        )
 
     # -- VM lifecycle ------------------------------------------------------
 

@@ -60,6 +60,35 @@ from repro.thermal.sensors import SensorBank, TemperatureSensor
 Probe = Callable[["DatacenterSimulation", float], None]
 
 
+class _IntervalGate:
+    """Wraps a probe so it fires only on its own control interval.
+
+    The gate arms itself one interval after the first step it observes
+    and then advances the deadline by repeated addition (the same
+    drift-free grid discipline the Δ_update calibration uses), so a
+    probe registered with ``interval_s=60`` fires once per simulated
+    minute regardless of the simulation step size — and keeps its grid
+    if the step size or run boundaries are irregular.
+    """
+
+    def __init__(self, probe: Probe, interval_s: float) -> None:
+        if interval_s <= 0:
+            raise SimulationError(f"interval_s must be > 0, got {interval_s}")
+        self.probe = probe
+        self.interval_s = interval_s
+        self._next_due: float | None = None
+
+    def __call__(self, sim: "DatacenterSimulation", time_s: float) -> None:
+        if self._next_due is None:
+            self._next_due = time_s + self.interval_s
+            return
+        if time_s + 1e-9 < self._next_due:
+            return
+        while self._next_due <= time_s + 1e-9:
+            self._next_due += self.interval_s
+        self.probe(sim, time_s)
+
+
 @dataclass
 class _FleetState:
     """Vectorized view of the cluster, valid until the next mutation."""
@@ -157,9 +186,28 @@ class DatacenterSimulation:
             )
         return self._sensors[server_name]
 
-    def add_probe(self, probe: Probe) -> None:
-        """Register a per-step callback (scenario instrumentation)."""
+    def add_probe(self, probe: Probe, interval_s: float | None = None) -> None:
+        """Register a per-step callback (scenario instrumentation).
+
+        ``interval_s`` turns the probe into an *interval probe*: it is
+        invoked only when the simulation clock crosses the next multiple
+        of the interval (first firing one interval after registration's
+        first step), which is how control-plane loops run on a sparse
+        control period while telemetry probes run every step.
+        """
+        if interval_s is not None:
+            probe = _IntervalGate(probe, interval_s)
         self._probes.append(probe)
+
+    @property
+    def recording(self) -> bool:
+        """False while :meth:`warm_up` advances physics without telemetry.
+
+        Probes that *write* derived telemetry or act on recorded series
+        (prediction probes, control planes) should no-op while this is
+        False, mirroring the built-in sensor/series suppression.
+        """
+        return self._recording
 
     def schedule(self, event: Event) -> None:
         """Schedule an event for later execution."""

@@ -40,6 +40,7 @@ from repro.thermal.environment import (
     ConstantEnvironment,
     EnvironmentProfile,
     SinusoidalEnvironment,
+    SteppedEnvironment,
 )
 
 #: Discrete option sets for randomized server hardware; commodity boxes.
@@ -258,7 +259,9 @@ class FleetScenario:
 
     ``vm_specs[i]`` are the VMs initially placed on ``server_specs[i]``;
     ``migrations`` schedules (start_time_s, vm_name, destination) live
-    migrations on the materialized simulation.
+    migrations on the materialized simulation; ``arrivals`` schedules
+    (time_s, server_name, VmSpec) mid-run VM arrivals (flash crowds,
+    tenant launches).
     """
 
     name: str
@@ -268,6 +271,7 @@ class FleetScenario:
     duration_s: float
     seed: int = 0
     migrations: tuple[tuple[float, str, str], ...] = ()
+    arrivals: tuple[tuple[float, str, VmSpec], ...] = ()
     servers_per_rack: int = 16
 
     def __post_init__(self) -> None:
@@ -519,6 +523,203 @@ def migration_storm_scenario(
     )
 
 
+# -- control-plane stress scenarios -------------------------------------------
+#
+# These three scenarios are the workloads the closed-loop thermal control
+# plane (:mod:`repro.control`) must survive: each manufactures a fleet
+# where doing nothing leaves sustained hotspots while feasible migrations
+# exist that clear them. They share one shape — a minority of "hot"
+# servers driven near the thermal limit plus a majority of lightly loaded
+# spares with the memory/vCPU headroom to absorb evicted VMs.
+
+#: Hardware used by the stress scenarios: one commodity SKU, so the
+#: control loop's decisions (not hardware diversity) drive the outcome.
+_STRESS_CAPACITY = dict(cpu_cores=16, ghz_per_core=2.4, memory_gb=64.0)
+
+
+def _stress_server_spec(index: int) -> ServerSpec:
+    return ServerSpec(
+        name=f"server-{index:03d}",
+        capacity=ResourceCapacity(**_STRESS_CAPACITY),
+        fan_count=4,
+        fan_speed=0.7,
+    )
+
+
+def _hot_vm_specs(
+    vm_rng,
+    server_index: int,
+    n_vms: int,
+    level: tuple[float, float] = (0.78, 0.88),
+) -> tuple[VmSpec, ...]:
+    """Heavily loaded VMs that together push a stress server near its limit."""
+    return tuple(
+        VmSpec(
+            name=f"hot-{server_index:03d}-{j}",
+            vcpus=4,
+            memory_gb=vm_rng.uniform(4.0, 6.0),
+            tasks=tuple(
+                ConstantTask(level=vm_rng.uniform(*level)) for _ in range(4)
+            ),
+        )
+        for j in range(n_vms)
+    )
+
+
+def _light_vm_spec(vm_rng, server_index: int) -> VmSpec:
+    """Background load for a spare server — plenty of headroom left."""
+    return VmSpec(
+        name=f"light-{server_index:03d}",
+        vcpus=2,
+        memory_gb=vm_rng.uniform(2.0, 4.0),
+        tasks=(ConstantTask(level=vm_rng.uniform(0.15, 0.3)),),
+    )
+
+
+def cooling_failure_scenario(
+    n_servers: int = 32,
+    seed: int = 93_000,
+    failure_time_s: float = 600.0,
+    failure_delta_c: float = 8.0,
+    recovery_time_s: float | None = None,
+    duration_s: float = 3600.0,
+    hot_fraction: float = 0.25,
+) -> FleetScenario:
+    """A CRAC step failure: the cold aisle jumps ``failure_delta_c`` mid-run.
+
+    The hot quarter of the fleet runs close enough to the thermal limit
+    that the warmer room pushes it over; the spare servers stay far
+    below it. Without intervention the hot servers are sustained
+    hotspots for the rest of the run; shedding one or two VMs each
+    (onto spares with ample headroom) clears them — exactly the
+    mitigation a forecast-driven control loop should discover.
+    """
+    if n_servers < 2:
+        raise ConfigurationError(f"n_servers must be >= 2, got {n_servers}")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ConfigurationError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    if not 0.0 < failure_time_s < duration_s:
+        raise ConfigurationError(
+            f"failure_time_s must fall inside the run, got {failure_time_s}"
+        )
+    if recovery_time_s is not None and recovery_time_s <= failure_time_s:
+        raise ConfigurationError("recovery_time_s must follow failure_time_s")
+    n_hot = max(1, int(n_servers * hot_fraction))
+    factory = RngFactory(seed)
+    specs = []
+    placements = []
+    for i in range(n_servers):
+        specs.append(_stress_server_spec(i))
+        vm_rng = factory.stream(f"vms/{i}")
+        if i < n_hot:
+            # Near the limit only once the room warms: ~70 °C at the
+            # 22 °C set-point, over 75 °C after an 8 °C CRAC step.
+            placements.append(
+                _hot_vm_specs(vm_rng, i, n_vms=4, level=(0.58, 0.68))
+            )
+        else:
+            placements.append((_light_vm_spec(vm_rng, i),))
+    steps = [(failure_time_s, 22.0 + failure_delta_c)]
+    if recovery_time_s is not None:
+        steps.append((recovery_time_s, 22.0))
+    return FleetScenario(
+        name=f"cooling-failure-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=SteppedEnvironment(initial_c=22.0, steps=tuple(steps)),
+        duration_s=duration_s,
+        seed=seed,
+        servers_per_rack=max(1, n_servers // 4),
+    )
+
+
+def thermal_cascade_scenario(
+    n_servers: int = 32,
+    seed: int = 94_000,
+    duration_s: float = 3600.0,
+    ambient_c: float = 24.0,
+) -> FleetScenario:
+    """A hot row: one rack packed with heavy tenants, the rest idle-ish.
+
+    Models the classic cascade risk — recirculation and packed placement
+    leave a whole row running hot while neighbouring racks idle. The
+    first rack's servers each host four heavy VMs (sustained hotspots at
+    ``ambient_c``); every other rack has headroom. The control plane
+    must spread the row's load across the cold racks before the row
+    saturates.
+    """
+    if n_servers < 8:
+        raise ConfigurationError(f"n_servers must be >= 8, got {n_servers}")
+    servers_per_rack = max(2, n_servers // 4)
+    factory = RngFactory(seed)
+    specs = []
+    placements = []
+    for i in range(n_servers):
+        specs.append(_stress_server_spec(i))
+        vm_rng = factory.stream(f"vms/{i}")
+        if i < servers_per_rack:  # the hot row = rack-0
+            placements.append(_hot_vm_specs(vm_rng, i, n_vms=4))
+        else:
+            placements.append((_light_vm_spec(vm_rng, i),))
+    return FleetScenario(
+        name=f"thermal-cascade-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=ConstantEnvironment(ambient_c),
+        duration_s=duration_s,
+        seed=seed,
+        servers_per_rack=servers_per_rack,
+    )
+
+
+def flash_crowd_scenario(
+    n_servers: int = 32,
+    seed: int = 95_000,
+    spike_time_s: float = 600.0,
+    duration_s: float = 3600.0,
+    hot_fraction: float = 0.25,
+) -> FleetScenario:
+    """A flash crowd: a burst of heavy VMs lands on the front-end pool.
+
+    Every server starts lightly loaded. At ``spike_time_s`` the first
+    ``hot_fraction`` of the fleet each receives four heavy arrivals
+    (the load balancer pinning a crowd to the warm pool), driving those
+    hosts toward the limit while the rest of the fleet keeps its
+    headroom. Unlike the CRAC failure the room stays cold — only load
+    moves — so mitigation must rebalance VMs, not wait out the weather.
+    """
+    if n_servers < 2:
+        raise ConfigurationError(f"n_servers must be >= 2, got {n_servers}")
+    if not 0.0 < spike_time_s < duration_s:
+        raise ConfigurationError(
+            f"spike_time_s must fall inside the run, got {spike_time_s}"
+        )
+    n_hot = max(1, int(n_servers * hot_fraction))
+    factory = RngFactory(seed)
+    specs = []
+    placements = []
+    arrivals = []
+    for i in range(n_servers):
+        specs.append(_stress_server_spec(i))
+        vm_rng = factory.stream(f"vms/{i}")
+        placements.append((_light_vm_spec(vm_rng, i),))
+        if i < n_hot:
+            for j, spec in enumerate(_hot_vm_specs(vm_rng, i, n_vms=4)):
+                arrivals.append(
+                    (spike_time_s + 10.0 * j, f"server-{i:03d}", spec)
+                )
+    return FleetScenario(
+        name=f"flash-crowd-{n_servers}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=ConstantEnvironment(22.0),
+        duration_s=duration_s,
+        seed=seed,
+        arrivals=tuple(arrivals),
+        servers_per_rack=max(1, n_servers // 4),
+    )
+
+
 # -- simulation builders ------------------------------------------------------
 
 
@@ -527,7 +728,8 @@ def build_fleet_simulation(
 ) -> DatacenterSimulation:
     """Materialize a fleet scenario: servers racked, VMs placed at t=0,
     lumps initialized to the per-server idle steady state, migrations
-    scheduled."""
+    and mid-run arrivals scheduled."""
+    from repro.datacenter.events import FunctionEvent
     from repro.datacenter.migration import migrate_vm
 
     cluster = Cluster(name=f"{scenario.name}-cluster")
@@ -549,6 +751,14 @@ def build_fleet_simulation(
     )
     for start_time_s, vm_name, destination in scenario.migrations:
         migrate_vm(sim, vm_name=vm_name, destination=destination, start_time_s=start_time_s)
+    for arrival_time_s, server_name, vm_spec in scenario.arrivals:
+
+        def host(sim, name=server_name, spec=vm_spec, t=arrival_time_s):
+            sim.cluster.server(name).host_vm(Vm(spec), time_s=t)
+
+        sim.schedule(
+            FunctionEvent(arrival_time_s, host, label=f"arrival:{vm_spec.name}")
+        )
     return sim
 
 

@@ -1,10 +1,13 @@
 """Migration advisor: clear predicted hotspots with live migration.
 
 Closes the remaining loop of the paper's motivation: once the monitor
-predicts a hotspot, *which VM should move, and where?* The advisor
-evaluates candidate (VM, destination) pairs with the stable model —
-"source without the VM" and "destination with the VM" — and recommends
-the move that removes the hotspot with the smallest new peak.
+predicts a hotspot, *which VM should move, and where?* The advisor is a
+thin policy wrapper over the shared batched what-if path
+(:mod:`repro.management.whatif`): it enumerates every candidate
+(VM, destination) pair off the hot server, scores them all — "source
+without the VM" and "destination with the VM" — in one batched SVR
+call, and recommends the move that removes the hotspot with the
+smallest new peak.
 """
 
 from __future__ import annotations
@@ -13,10 +16,8 @@ from dataclasses import dataclass
 
 from repro.core.stable import StableTemperaturePredictor
 from repro.datacenter.cluster import Cluster
-from repro.datacenter.server import Server
-from repro.datacenter.vm import Vm
 from repro.errors import SchedulingError
-from repro.management.thermal_aware import record_for_host
+from repro.management.whatif import WhatIfScorer, enumerate_evictions
 
 
 @dataclass(frozen=True)
@@ -51,38 +52,7 @@ class MigrationAdvisor:
     ) -> None:
         self.predictor = predictor
         self.environment_c = environment_c
-
-    def _predict_without(self, server: Server, vm_name: str) -> float:
-        """ψ_stable of a host with one VM hypothetically removed."""
-        from repro.core.records import ExperimentRecord, VmRecord
-
-        vms = [vm for name, vm in server.vms.items() if name != vm_name]
-        vm_records = tuple(
-            VmRecord(
-                vcpus=vm.spec.vcpus,
-                memory_gb=vm.spec.memory_gb,
-                task_kinds=tuple(task.kind for task in vm.spec.tasks),
-                nominal_utilization=vm.spec.nominal_utilization(),
-            )
-            for vm in vms
-        )
-        capacity = server.spec.capacity
-        reduced = ExperimentRecord(
-            theta_cpu_cores=capacity.cpu_cores,
-            theta_cpu_ghz=capacity.total_ghz,
-            theta_memory_gb=capacity.memory_gb,
-            theta_fan_count=server.fans.count,
-            theta_fan_speed=server.fans.speed,
-            delta_env_c=self.environment_c,
-            vms=vm_records,
-            metadata={"server": server.name, "hypothetical_removal": vm_name},
-        )
-        return self.predictor.predict(reduced)
-
-    def _predict_with(self, server: Server, vm: Vm) -> float:
-        """ψ_stable of a host with an extra VM hypothetically added."""
-        record = record_for_host(server, self.environment_c, extra_vm=vm)
-        return self.predictor.predict(record)
+        self._scorer = WhatIfScorer(predictor)
 
     def advise(
         self,
@@ -92,7 +62,8 @@ class MigrationAdvisor:
     ) -> MigrationAdvice:
         """Best (VM, destination) move off ``hot_server``.
 
-        Considers every hosted VM × every other feasible host; ranks by
+        Considers every hosted VM × every other feasible host; all
+        candidates are scored in one batched what-if call and ranked by
         predicted post-move peak over the two affected hosts; requires
         the source to drop below the threshold. Raises
         :class:`SchedulingError` when no move achieves that.
@@ -100,30 +71,23 @@ class MigrationAdvisor:
         source = cluster.server(hot_server)
         if not source.vms:
             raise SchedulingError(f"server {hot_server!r} hosts no VMs to move")
-        best: MigrationAdvice | None = None
-        for vm_name, vm in source.vms.items():
-            source_after = self._predict_without(source, vm_name)
-            for destination in cluster.servers:
-                if destination.name == hot_server or not destination.can_host(vm):
-                    continue
-                destination_after = self._predict_with(destination, vm)
-                advice = MigrationAdvice(
-                    vm_name=vm_name,
-                    source=hot_server,
-                    destination=destination.name,
-                    predicted_source_c=source_after,
-                    predicted_destination_c=destination_after,
-                )
-                if best is None or advice.predicted_peak_c < best.predicted_peak_c:
-                    best = advice
-        if best is None:
+        moves = enumerate_evictions(cluster, [hot_server])
+        if not moves:
             raise SchedulingError(
                 f"no feasible destination for any VM on {hot_server!r}"
             )
+        scores = self._scorer.score_moves(cluster, moves, self.environment_c)
+        best = min(scores, key=lambda score: score.predicted_peak_c)
         if best.predicted_source_c > threshold_c:
             raise SchedulingError(
                 f"no single migration cools {hot_server!r} below "
                 f"{threshold_c:.1f} °C (best predicted "
                 f"{best.predicted_source_c:.1f} °C)"
             )
-        return best
+        return MigrationAdvice(
+            vm_name=best.move.vm_name,
+            source=hot_server,
+            destination=best.move.destination,
+            predicted_source_c=best.predicted_source_c,
+            predicted_destination_c=best.predicted_destination_c,
+        )

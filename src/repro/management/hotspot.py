@@ -46,13 +46,15 @@ class HotspotDetector:
         self.threshold_c = threshold_c
 
     def detect(self, temperatures: dict[str, float]) -> list[Hotspot]:
-        """Hotspots for a server→temperature mapping, hottest first."""
-        spots = [
-            Hotspot(name, temp, self.threshold_c)
-            for name, temp in temperatures.items()
-            if temp > self.threshold_c
-        ]
-        return sorted(spots, key=lambda h: (-h.temperature_c, h.server_name))
+        """Hotspots for a server→temperature mapping, hottest first.
+
+        Thin adapter over :meth:`detect_fleet` — the vectorized scan is
+        the one implementation; this just unpacks the mapping.
+        """
+        names = list(temperatures)
+        return self.detect_fleet(
+            names, np.fromiter(temperatures.values(), dtype=float, count=len(names))
+        )
 
     def detect_fleet(self, names: list[str], temperatures_c: np.ndarray) -> list[Hotspot]:
         """Hotspots over a fleet forecast array, hottest first.
@@ -76,10 +78,15 @@ class HotspotDetector:
         return sorted(spots, key=lambda h: (-h.temperature_c, h.server_name))
 
     def headroom(self, temperatures: dict[str, float]) -> dict[str, float]:
-        """Degrees of margin per server (negative = hotspot)."""
-        return {
-            name: self.threshold_c - temp for name, temp in temperatures.items()
-        }
+        """Degrees of margin per server (negative = hotspot).
+
+        Delegates to the vectorized :meth:`headroom_fleet` core.
+        """
+        names = list(temperatures)
+        margins = self.headroom_fleet(
+            np.fromiter(temperatures.values(), dtype=float, count=len(names))
+        )
+        return dict(zip(names, margins.tolist()))
 
     def headroom_fleet(self, temperatures_c: np.ndarray) -> np.ndarray:
         """Vectorized margin (threshold − temperature) for a forecast array."""

@@ -1,15 +1,18 @@
 """Prediction-driven thermal-aware VM placement.
 
 For each candidate host the scheduler builds the hypothetical Eq. (2)
-record "this host with the new VM added", asks the stable model for the
-resulting ψ_stable, and places the VM on the host with the lowest
-predicted temperature (skipping hosts predicted to overheat). This is
-exactly the proactive decision-making the paper's introduction motivates.
+record "this host with the new VM added" (via the shared what-if
+builder in :mod:`repro.management.whatif`), asks the stable model for
+the resulting ψ_stable in one batched call, and places the VM on the
+host with the lowest predicted temperature (skipping hosts predicted to
+overheat). This is exactly the proactive decision-making the paper's
+introduction motivates.
 """
 
 from __future__ import annotations
 
-from repro.core.records import ExperimentRecord, VmRecord
+from dataclasses import dataclass
+
 from repro.core.stable import StableTemperaturePredictor
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.scheduler import PlacementScheduler
@@ -17,36 +20,25 @@ from repro.datacenter.server import Server
 from repro.datacenter.vm import Vm
 from repro.errors import SchedulingError
 from repro.management.hotspot import HotspotDetector
+from repro.management.whatif import WhatIfScorer, record_for_host
+
+__all__ = ["PlacementDecision", "ThermalAwareScheduler", "record_for_host"]
 
 
-def record_for_host(
-    server: Server, environment_c: float, extra_vm: Vm | None = None
-) -> ExperimentRecord:
-    """Eq. (2) input record describing a host's current (or hypothetical)
-    VM set."""
-    vms = list(server.vms.values())
-    if extra_vm is not None:
-        vms.append(extra_vm)
-    vm_records = tuple(
-        VmRecord(
-            vcpus=vm.spec.vcpus,
-            memory_gb=vm.spec.memory_gb,
-            task_kinds=tuple(task.kind for task in vm.spec.tasks),
-            nominal_utilization=vm.spec.nominal_utilization(),
-        )
-        for vm in vms
-    )
-    capacity = server.spec.capacity
-    return ExperimentRecord(
-        theta_cpu_cores=capacity.cpu_cores,
-        theta_cpu_ghz=capacity.total_ghz,
-        theta_memory_gb=capacity.memory_gb,
-        theta_fan_count=server.fans.count,
-        theta_fan_speed=server.fans.speed,
-        delta_env_c=environment_c,
-        vms=vm_records,
-        metadata={"server": server.name, "hypothetical": extra_vm is not None},
-    )
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One logged placement outcome.
+
+    ``degraded`` is True when every feasible host was predicted to
+    overheat and the scheduler fell back to the coolest of them instead
+    of failing the placement — callers watching the decision log can
+    treat those placements as capacity warnings.
+    """
+
+    vm_name: str
+    server_name: str
+    predicted_c: float
+    degraded: bool = False
 
 
 class ThermalAwareScheduler(PlacementScheduler):
@@ -61,8 +53,8 @@ class ThermalAwareScheduler(PlacementScheduler):
     detector:
         Optional hotspot detector; hosts predicted above its threshold
         are rejected outright (unless *every* host would overheat, in
-        which case the coolest is chosen — degrading gracefully beats
-        failing the placement).
+        which case the coolest is chosen and the decision is flagged
+        ``degraded`` — degrading loudly beats failing the placement).
     """
 
     def __init__(
@@ -74,7 +66,15 @@ class ThermalAwareScheduler(PlacementScheduler):
         self.predictor = predictor
         self.environment_c = environment_c
         self.detector = detector
-        self.decision_log: list[tuple[str, str, float]] = []
+        self._scorer = WhatIfScorer(predictor)
+        self.decision_log: list[PlacementDecision] = []
+
+    @property
+    def last_decision(self) -> PlacementDecision:
+        """The most recent placement decision (raises before any)."""
+        if not self.decision_log:
+            raise SchedulingError("no placement decided yet")
+        return self.decision_log[-1]
 
     def place(self, vm: Vm, cluster: Cluster) -> Server:
         """Predict ψ_stable for all feasible hosts in one batch; pick the coolest.
@@ -87,18 +87,17 @@ class ThermalAwareScheduler(PlacementScheduler):
         candidates = self._feasible(vm, cluster)
         predicted: list[tuple[float, Server]] = []
         if candidates:
-            records = [
-                record_for_host(server, self.environment_c, extra_vm=vm)
-                for server in candidates
-            ]
-            temperatures = self.predictor.predict_many(records)
+            temperatures = self._scorer.score_placements(
+                candidates, vm, self.environment_c
+            )
             predicted = [
                 (float(temp), server)
                 for temp, server in zip(temperatures, candidates)
             ]
         predicted.sort(key=lambda pair: (pair[0], pair[1].name))
 
-        if self.detector is not None:
+        degraded = False
+        if self.detector is not None and predicted:
             acceptable = [
                 (temp, server)
                 for temp, server in predicted
@@ -106,9 +105,18 @@ class ThermalAwareScheduler(PlacementScheduler):
             ]
             if acceptable:
                 predicted = acceptable
+            else:
+                degraded = True
         if not predicted:
             raise SchedulingError(f"no feasible host for VM {vm.name!r}")
 
         temperature, chosen = predicted[0]
-        self.decision_log.append((vm.name, chosen.name, temperature))
+        self.decision_log.append(
+            PlacementDecision(
+                vm_name=vm.name,
+                server_name=chosen.name,
+                predicted_c=temperature,
+                degraded=degraded,
+            )
+        )
         return chosen

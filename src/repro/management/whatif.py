@@ -1,0 +1,308 @@
+"""Shared batched what-if scoring for migration and placement policies.
+
+Every prediction-driven management decision asks the stable model the
+same two questions: *"how hot would this host be without VM x?"* and
+*"how hot would this host be with VM x added?"*. Historically the
+:class:`~repro.management.advisor.MigrationAdvisor` and the
+:class:`~repro.management.thermal_aware.ThermalAwareScheduler` each
+built those hypothetical Eq. (2) records in their own Python loops and
+issued one point ψ_stable call per candidate — fine for one decision,
+hopeless for a control plane that re-plans a 128-server cluster every
+interval.
+
+This module is the single implementation both policies (and the
+closed-loop control plane in :mod:`repro.control`) now share:
+
+* :func:`record_for_host` — the one hypothetical-record builder
+  (current VM set, optionally minus ``without_vm`` and/or plus
+  ``extra_vm``);
+* :class:`CandidateMove` / :class:`MoveScore` — one (VM, source,
+  destination) candidate and its scored outcome;
+* :func:`enumerate_evictions` — all feasible moves off a set of
+  source servers;
+* :class:`WhatIfScorer` — scores *all* candidate moves in one batched
+  SVR call. Unique hypothetical records are deduplicated (the
+  "source without VM x" record is shared by every destination
+  considered for x) and pushed through ``predict_many`` — or, when a
+  :class:`~repro.serving.registry.ModelRegistry` serves per-class
+  models, through :func:`~repro.serving.batch.predict_batch` — as one
+  matrix.
+
+Because ``EpsilonSVR.predict`` is bitwise batch-composition independent
+(see ``docs/architecture.md``), the batched scores are **bit-identical**
+to looping ``predict``/``predict_many`` per candidate — the parity
+contract tested in ``tests/management/test_whatif.py`` and benchmarked
+(≥5× at 128 servers) in ``benchmarks/test_control_plane.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.records import ExperimentRecord, VmRecord
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.server import Server
+from repro.datacenter.vm import Vm
+from repro.errors import ConfigurationError, SchedulingError
+
+
+def record_for_host(
+    server: Server,
+    environment_c: float,
+    extra_vm: Vm | None = None,
+    without_vm: str | None = None,
+) -> ExperimentRecord:
+    """Eq. (2) input record for a host's current or hypothetical VM set.
+
+    ``extra_vm`` appends a VM that is not (yet) on the host — placement
+    and migration-destination what-ifs; ``without_vm`` drops a hosted VM
+    by name — migration-source what-ifs. Both may be combined (swap
+    what-ifs).
+    """
+    if without_vm is not None and without_vm not in server.vms:
+        raise SchedulingError(
+            f"cannot remove VM {without_vm!r}: not hosted on {server.name!r}"
+        )
+    vms = [vm for name, vm in server.vms.items() if name != without_vm]
+    if extra_vm is not None:
+        vms.append(extra_vm)
+    vm_records = tuple(
+        VmRecord(
+            vcpus=vm.spec.vcpus,
+            memory_gb=vm.spec.memory_gb,
+            task_kinds=tuple(task.kind for task in vm.spec.tasks),
+            nominal_utilization=vm.spec.nominal_utilization(),
+        )
+        for vm in vms
+    )
+    capacity = server.spec.capacity
+    metadata: dict = {"server": server.name}
+    if extra_vm is not None:
+        metadata["hypothetical"] = True
+    if without_vm is not None:
+        metadata["hypothetical_removal"] = without_vm
+    return ExperimentRecord(
+        theta_cpu_cores=capacity.cpu_cores,
+        theta_cpu_ghz=capacity.total_ghz,
+        theta_memory_gb=capacity.memory_gb,
+        theta_fan_count=server.fans.count,
+        theta_fan_speed=server.fans.speed,
+        delta_env_c=environment_c,
+        vms=vm_records,
+        metadata=metadata,
+    )
+
+
+@dataclass(frozen=True)
+class CandidateMove:
+    """One candidate live migration: move ``vm_name`` source → destination."""
+
+    vm_name: str
+    source: str
+    destination: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError(
+                f"move of {self.vm_name!r}: source and destination are both "
+                f"{self.source!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MoveScore:
+    """A candidate move with its predicted post-move host temperatures."""
+
+    move: CandidateMove
+    predicted_source_c: float
+    predicted_destination_c: float
+
+    @property
+    def predicted_peak_c(self) -> float:
+        """Peak of the two affected hosts after the move."""
+        return max(self.predicted_source_c, self.predicted_destination_c)
+
+
+def enumerate_evictions(
+    cluster: Cluster,
+    sources: Iterable[str],
+    destinations: Iterable[str] | None = None,
+) -> list[CandidateMove]:
+    """Every feasible (VM, destination) move off each source server.
+
+    ``destinations`` restricts the candidate hosts (default: every other
+    cluster member); feasibility is the destination's
+    :meth:`~repro.datacenter.server.Server.can_host` admission check.
+    Moves come back in deterministic order: sources as given, VMs in
+    hosting order, destinations in cluster order.
+    """
+    source_names = list(sources)
+    if destinations is None:
+        candidates = cluster.servers
+    else:
+        candidates = [cluster.server(name) for name in destinations]
+    moves: list[CandidateMove] = []
+    for source_name in source_names:
+        source = cluster.server(source_name)
+        for vm_name, vm in source.vms.items():
+            for destination in candidates:
+                if destination.name == source_name or not destination.can_host(vm):
+                    continue
+                moves.append(
+                    CandidateMove(
+                        vm_name=vm_name,
+                        source=source_name,
+                        destination=destination.name,
+                    )
+                )
+    return moves
+
+
+#: Maps a server to its model registry key (per-class model selection).
+KeyFn = Callable[[Server], str]
+
+
+class WhatIfScorer:
+    """Batched what-if evaluation of candidate moves against ψ_stable.
+
+    Exactly one model source must be supplied:
+
+    ``predictor``
+        Anything with ``predict_many(records) -> array`` (a trained
+        :class:`~repro.core.stable.StableTemperaturePredictor`) — one
+        shared model for the whole cluster.
+    ``registry`` (+ optional ``key_fn``)
+        A :class:`~repro.serving.registry.ModelRegistry`; each
+        hypothetical record is scored by the model serving the host it
+        describes (``key_fn(server)``, default the registry's
+        ``"default"`` entry) via one cross-model
+        :func:`~repro.serving.batch.predict_batch` call.
+    """
+
+    def __init__(
+        self,
+        predictor=None,
+        *,
+        registry=None,
+        key_fn: KeyFn | None = None,
+    ) -> None:
+        if (predictor is None) == (registry is None):
+            raise ConfigurationError(
+                "WhatIfScorer needs exactly one of predictor / registry"
+            )
+        self.predictor = predictor
+        self.registry = registry
+        self.key_fn = key_fn
+
+    def _predict_records(
+        self, records: list[ExperimentRecord], servers: list[Server]
+    ) -> np.ndarray:
+        if self.predictor is not None:
+            return np.atleast_1d(
+                np.asarray(self.predictor.predict_many(records), dtype=float)
+            )
+        from repro.serving.batch import PredictionRequest, predict_batch
+        from repro.serving.registry import DEFAULT_KEY
+
+        key_fn = self.key_fn or (lambda server: DEFAULT_KEY)
+        requests = [
+            PredictionRequest(key_fn(server), record)
+            for server, record in zip(servers, records)
+        ]
+        return predict_batch(self.registry, requests)
+
+    def score_moves(
+        self,
+        cluster: Cluster,
+        moves: list[CandidateMove],
+        environment_c: float,
+    ) -> list[MoveScore]:
+        """Score every candidate move in one batched ψ_stable call.
+
+        Builds each *unique* hypothetical record once and evaluates the
+        whole batch through a single kernel pass. "Source minus VM" is
+        shared across that VM's destinations, and "destination plus VM"
+        is keyed by the moved VM's Eq. (2) *signature* (vcpus, memory,
+        task kinds, nominal utilization) rather than its name — fleets
+        run many identical VM flavors, and identical records are
+        identical predictions, so the dedup cannot change a single bit.
+        Scores come back indexed like ``moves``.
+        """
+        if not moves:
+            return []
+        records: list[ExperimentRecord] = []
+        servers: list[Server] = []
+        slot: dict[tuple, int] = {}
+
+        def intern(key: tuple, server: Server, record_of) -> int:
+            index = slot.get(key)
+            if index is None:
+                slot[key] = index = len(records)
+                records.append(record_of())
+                servers.append(server)
+            return index
+
+        def vm_signature(vm: Vm) -> tuple:
+            spec = vm.spec
+            return (
+                spec.vcpus,
+                spec.memory_gb,
+                tuple(task.kind for task in spec.tasks),
+                spec.nominal_utilization(),
+            )
+
+        source_idx = np.empty(len(moves), dtype=np.intp)
+        dest_idx = np.empty(len(moves), dtype=np.intp)
+        for i, move in enumerate(moves):
+            source = cluster.server(move.source)
+            destination = cluster.server(move.destination)
+            vm = source.vms.get(move.vm_name)
+            if vm is None:
+                raise SchedulingError(
+                    f"VM {move.vm_name!r} not on source {move.source!r}"
+                )
+            source_idx[i] = intern(
+                ("without", move.source, move.vm_name),
+                source,
+                lambda: record_for_host(
+                    source, environment_c, without_vm=move.vm_name
+                ),
+            )
+            dest_idx[i] = intern(
+                ("with", move.destination, vm_signature(vm)),
+                destination,
+                lambda: record_for_host(destination, environment_c, extra_vm=vm),
+            )
+        predicted = self._predict_records(records, servers)
+        source_c = predicted[source_idx]
+        dest_c = predicted[dest_idx]
+        return [
+            MoveScore(
+                move=move,
+                predicted_source_c=float(source_c[i]),
+                predicted_destination_c=float(dest_c[i]),
+            )
+            for i, move in enumerate(moves)
+        ]
+
+    def score_placements(
+        self,
+        servers: list[Server],
+        vm: Vm,
+        environment_c: float,
+    ) -> np.ndarray:
+        """Predicted ψ_stable of each host with ``vm`` hypothetically added.
+
+        One batched call over all candidate hosts — the scheduler's
+        placement question, shared with consolidation policies.
+        """
+        if not servers:
+            return np.empty(0, dtype=float)
+        records = [
+            record_for_host(server, environment_c, extra_vm=vm)
+            for server in servers
+        ]
+        return self._predict_records(records, servers)

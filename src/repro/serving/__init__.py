@@ -22,6 +22,7 @@ replace; see ``docs/architecture.md`` for the data-path diagram and
 from repro.serving.batch import PredictionRequest, predict_batch
 from repro.serving.fleet import (
     FleetPredictionProbe,
+    ForecastSnapshot,
     PredictionFleet,
     predicted_vs_actual,
 )
@@ -30,6 +31,7 @@ from repro.serving.registry import DEFAULT_KEY, ModelEntry, ModelRegistry
 __all__ = [
     "DEFAULT_KEY",
     "FleetPredictionProbe",
+    "ForecastSnapshot",
     "ModelEntry",
     "ModelRegistry",
     "PredictionFleet",

@@ -36,6 +36,7 @@ measured ``cpu_temperature`` series).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -48,6 +49,40 @@ from repro.errors import ServingError
 from repro.management.hotspot import Hotspot, HotspotDetector
 from repro.serving.batch import PredictionRequest, predict_batch
 from repro.serving.registry import DEFAULT_KEY, ModelRegistry
+
+
+@dataclass(frozen=True)
+class ForecastSnapshot:
+    """A consistent point-in-time copy of a fleet's latest forecasts.
+
+    The snapshot is the read API mitigation policies consume: name-aligned
+    arrays of the latest Δ_gap-ahead forecast per tracked server (its
+    target time and value), the current calibration γ, and a validity
+    mask (servers tracked but not yet forecast carry NaN). Arrays are
+    copies — policies may plan at leisure while the fleet keeps serving.
+    """
+
+    names: tuple[str, ...]
+    target_times_s: np.ndarray
+    predicted_c: np.ndarray
+    gamma: np.ndarray
+    has_forecast: np.ndarray
+
+    @property
+    def n_servers(self) -> int:
+        """Number of tracked servers in the snapshot."""
+        return len(self.names)
+
+    def forecast_names(self) -> list[str]:
+        """Names of servers that have a forecast, in array order."""
+        mask = self.has_forecast
+        return [name for i, name in enumerate(self.names) if mask[i]]
+
+    def forecasts(self) -> tuple[list[str], np.ndarray]:
+        """(names, predicted) restricted to servers with a forecast —
+        the shape :meth:`~repro.management.hotspot.HotspotDetector.detect_fleet`
+        consumes."""
+        return self.forecast_names(), self.predicted_c[self.has_forecast]
 
 
 class PredictionFleet:
@@ -322,6 +357,21 @@ class PredictionFleet:
     def retarget_log(self) -> list[tuple[str, float, float, float]]:
         """(server, time, measured φ, new ψ_stable) for every retarget."""
         return list(self._retarget_log)
+
+    def forecast_snapshot(self) -> ForecastSnapshot:
+        """Point-in-time copy of every tracked server's latest forecast.
+
+        The control plane's *predict* stage: policies get name-aligned
+        arrays (forecast target times, values, γ, validity mask) decoupled
+        from the live service state.
+        """
+        return ForecastSnapshot(
+            names=tuple(self._names),
+            target_times_s=self._last_target.copy(),
+            predicted_c=self._last_pred.copy(),
+            gamma=self._gamma.copy(),
+            has_forecast=~np.isnan(self._last_pred),
+        )
 
     def forecast_all(self) -> dict[str, float]:
         """Latest forecast value per server that has one."""

@@ -1,0 +1,178 @@
+"""Integration: the closed loop end to end on the stress scenarios.
+
+The PR's headline acceptance: on the cooling-failure scenario the
+managed run ends with **zero sustained hotspots** while the identical
+no-control baseline reports several — the `fleet-manage` pipeline
+(serve → control) actually closes the loop the paper motivates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ControlPlaneConfig,
+    EnergyAwareConsolidationPolicy,
+    ProactiveForecastPolicy,
+    ReactiveEvictionPolicy,
+    run_closed_loop,
+)
+from repro.experiments.scenarios import (
+    cooling_failure_scenario,
+    flash_crowd_scenario,
+    thermal_cascade_scenario,
+)
+from repro.serving import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def registry(trained_predictor):
+    reg = ModelRegistry()
+    reg.register("default", trained_predictor)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def cooling_failure_runs(registry):
+    """One baseline + one managed run of the same cooling failure."""
+    scenario = cooling_failure_scenario(
+        n_servers=12, failure_time_s=600.0, duration_s=3000.0
+    )
+    baseline = run_closed_loop(scenario, registry, policy=None)
+    managed = run_closed_loop(
+        scenario, registry, policy=ProactiveForecastPolicy(margin_c=2.0)
+    )
+    return baseline, managed
+
+
+class TestCoolingFailureAcceptance:
+    def test_baseline_sustains_hotspots(self, cooling_failure_runs):
+        baseline, _ = cooling_failure_runs
+        assert len(baseline.ledger.sustained_hotspots()) > 0
+        assert baseline.ledger.moves_issued == 0
+
+    def test_control_clears_all_sustained_hotspots(self, cooling_failure_runs):
+        baseline, managed = cooling_failure_runs
+        assert managed.ledger.sustained_hotspots() == []
+        assert managed.ledger.moves_issued > 0
+        # And the final measured temperatures actually sit below threshold.
+        threshold = managed.plane.detector.threshold_c
+        assert max(managed.measured_temperatures().values()) < threshold
+
+    def test_control_acts_through_migration_events(self, cooling_failure_runs):
+        _, managed = cooling_failure_runs
+        log = managed.simulation.telemetry.event_log
+        starts = [line for _, line in log if "migration" in line and "started" in line]
+        completes = [
+            line for _, line in log if "migration" in line and "completed" in line
+        ]
+        assert len(starts) == managed.ledger.moves_issued
+        assert len(completes) == managed.ledger.moves_issued
+
+    def test_ledger_accounts_energy_and_forecast_error(self, cooling_failure_runs):
+        baseline, managed = cooling_failure_runs
+        for result in (baseline, managed):
+            summary = result.ledger.summary()
+            assert summary["pue"] > 1.0
+            assert summary["it_energy_kwh"] > 0.0
+            assert np.isfinite(summary["mean_forecast_error_c"])
+        # Shedding load off throttling-hot servers must not cost energy.
+        assert (
+            managed.ledger.account.total_energy_j
+            <= baseline.ledger.account.total_energy_j * 1.02
+        )
+
+    def test_proactive_peaks_below_reactive(self, registry):
+        """The paper's payoff: forecast-driven action keeps peak measured
+        hotspots at/below what measured-only reaction allows."""
+        scenario = cooling_failure_scenario(
+            n_servers=12, failure_time_s=600.0, duration_s=2400.0
+        )
+        reactive = run_closed_loop(
+            scenario, registry, policy=ReactiveEvictionPolicy()
+        )
+        proactive = run_closed_loop(
+            scenario, registry, policy=ProactiveForecastPolicy(margin_c=2.0)
+        )
+        r_peak = reactive.ledger.summary()["peak_measured_hotspots"]
+        p_peak = proactive.ledger.summary()["peak_measured_hotspots"]
+        assert p_peak <= r_peak
+        assert proactive.ledger.sustained_hotspots() == []
+        assert reactive.ledger.sustained_hotspots() == []
+
+
+class TestEnginePathParity:
+    def test_managed_run_identical_on_both_engine_paths(self, registry):
+        """The control loop composes with both simulation paths: the
+        fleet-engine and per-server reference runs must issue the same
+        migrations, fill identical ledgers, and land on bit-equal
+        temperatures (the repo's parity discipline, extended one layer)."""
+        scenario = cooling_failure_scenario(
+            n_servers=10, failure_time_s=500.0, duration_s=2000.0
+        )
+        results = {
+            use_fleet: run_closed_loop(
+                scenario,
+                registry,
+                policy=ProactiveForecastPolicy(margin_c=2.0),
+                use_fleet_engine=use_fleet,
+            )
+            for use_fleet in (True, False)
+        }
+
+        def ledger_rows(result):
+            return [
+                (
+                    record.time_s,
+                    record.moves_issued,
+                    record.measured_hotspot_names,
+                    record.it_power_w,
+                )
+                for record in result.ledger.records
+            ]
+
+        assert results[True].ledger.moves_issued > 0
+        assert ledger_rows(results[True]) == ledger_rows(results[False])
+        fleet_temps = results[True].measured_temperatures()
+        reference_temps = results[False].measured_temperatures()
+        assert fleet_temps == reference_temps  # bit-equal
+
+
+class TestOtherStressScenarios:
+    def test_thermal_cascade_cleared(self, registry):
+        scenario = thermal_cascade_scenario(n_servers=12, duration_s=3000.0)
+        baseline = run_closed_loop(scenario, registry, policy=None)
+        managed = run_closed_loop(
+            scenario, registry, policy=ProactiveForecastPolicy(margin_c=2.0)
+        )
+        assert len(baseline.ledger.sustained_hotspots()) > 0
+        assert managed.ledger.sustained_hotspots() == []
+
+    def test_flash_crowd_cleared(self, registry):
+        scenario = flash_crowd_scenario(
+            n_servers=12, spike_time_s=600.0, duration_s=3000.0
+        )
+        baseline = run_closed_loop(scenario, registry, policy=None)
+        managed = run_closed_loop(
+            scenario, registry, policy=ProactiveForecastPolicy(margin_c=2.0)
+        )
+        assert len(baseline.ledger.sustained_hotspots()) > 0
+        assert managed.ledger.sustained_hotspots() == []
+
+    def test_consolidation_parks_servers_without_hotspots(self, registry):
+        # A calm fleet (spike only at the very end): consolidation drains
+        # lightly loaded hosts so they could be parked, never making heat.
+        scenario = flash_crowd_scenario(
+            n_servers=12, spike_time_s=2900.0, duration_s=3000.0
+        )
+        managed = run_closed_loop(
+            scenario,
+            registry,
+            policy=EnergyAwareConsolidationPolicy(),
+            config=ControlPlaneConfig(max_moves_per_interval=2),
+        )
+        empty = sum(
+            1 for s in managed.simulation.cluster.servers if not s.vms
+        )
+        assert managed.ledger.moves_issued > 0
+        assert empty > 0
+        assert managed.ledger.sustained_hotspots() == []

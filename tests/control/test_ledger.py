@@ -1,0 +1,140 @@
+"""Unit tests for control-plane accounting."""
+
+import math
+
+import pytest
+
+from repro.control.ledger import ControlLedger, forecast_error_at
+from repro.datacenter.telemetry import TelemetryCollector
+from repro.errors import ConfigurationError
+
+
+def record(ledger, time_s, measured=(), predicted=(), planned=0, issued=0,
+           error=float("nan"), scored=0, it_power_w=1000.0):
+    return ledger.record_interval(
+        time_s=time_s,
+        n_tracked=4,
+        predicted_hotspot_names=list(predicted),
+        measured_hotspot_names=list(measured),
+        moves_planned=planned,
+        moves_issued=issued,
+        moves_deferred=planned - issued,
+        forecast_error_c=error,
+        forecasts_scored=scored,
+        it_power_w=it_power_w,
+    )
+
+
+class TestLedgerRows:
+    def test_interval_record_fields(self):
+        ledger = ControlLedger(interval_s=60.0)
+        row = record(ledger, 60.0, measured=["a"], predicted=["a", "b"],
+                     planned=2, issued=1, error=0.5, scored=3)
+        assert row.predicted_hotspots == 2
+        assert row.measured_hotspots == 1
+        assert row.moves_deferred == 1
+        assert row.total_power_w == pytest.approx(
+            row.it_power_w + row.cooling_power_w
+        )
+        assert ledger.n_intervals == 1
+        assert ledger.moves_issued == 1
+
+    def test_energy_integrates_per_interval(self):
+        ledger = ControlLedger(interval_s=60.0, supply_temperature_c=15.0)
+        record(ledger, 60.0, it_power_w=1000.0)
+        record(ledger, 120.0, it_power_w=2000.0)
+        assert ledger.account.it_energy_j == pytest.approx(3000.0 * 60.0)
+        cop = ledger.account.cooling.cop(15.0)
+        assert ledger.account.cooling_energy_j == pytest.approx(
+            3000.0 * 60.0 / cop
+        )
+        assert ledger.summary()["pue"] == pytest.approx(1.0 + 1.0 / cop)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            ControlLedger(interval_s=0.0)
+
+
+class TestSustainedHotspots:
+    def test_requires_consecutive_intervals(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, measured=["a", "b"])
+        record(ledger, 120.0, measured=["a"])
+        record(ledger, 180.0, measured=["a", "c"])
+        assert ledger.sustained_hotspots(intervals=3) == ["a"]
+        assert ledger.sustained_hotspots(intervals=2) == ["a"]
+        assert ledger.sustained_hotspots(intervals=1) == ["a", "c"]
+
+    def test_transient_not_sustained(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, measured=["a"])
+        record(ledger, 120.0, measured=[])
+        record(ledger, 180.0, measured=["a"])
+        assert ledger.sustained_hotspots(intervals=3) == []
+
+    def test_too_few_rows_means_nothing_sustained(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, measured=["a"])
+        assert ledger.sustained_hotspots(intervals=3) == []
+
+    def test_rejects_bad_window(self):
+        ledger = ControlLedger(interval_s=60.0)
+        with pytest.raises(ConfigurationError):
+            ledger.sustained_hotspots(intervals=0)
+
+
+class TestSummary:
+    def test_summary_aggregates(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, measured=["a", "b"], issued=1, planned=2,
+               error=1.0, scored=2)
+        record(ledger, 120.0, measured=[], issued=2, planned=2, error=3.0,
+               scored=2)
+        summary = ledger.summary()
+        assert summary["intervals"] == 2.0
+        assert summary["moves_issued"] == 3.0
+        assert summary["peak_measured_hotspots"] == 2.0
+        assert summary["final_measured_hotspots"] == 0.0
+        assert summary["mean_forecast_error_c"] == pytest.approx(2.0)
+
+    def test_nan_errors_excluded_from_mean(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, error=float("nan"))
+        record(ledger, 120.0, error=4.0, scored=1)
+        assert ledger.mean_forecast_error_c() == pytest.approx(4.0)
+
+    def test_empty_ledger_summary(self):
+        summary = ControlLedger(interval_s=60.0).summary()
+        assert summary["intervals"] == 0.0
+        assert math.isnan(summary["mean_forecast_error_c"])
+        assert math.isnan(summary["pue"])
+
+
+class TestForecastErrorAt:
+    def test_scores_matured_forecasts(self):
+        telemetry = TelemetryCollector()
+        bundle = telemetry.for_server("s0")
+        for t in (5.0, 10.0, 15.0, 20.0):
+            bundle.cpu_temperature.append(t, 50.0 + t)
+        # Forecast recorded at its *target* time 15 s, value 2 °C high.
+        bundle.predicted_cpu_temperature.append(15.0, 67.0)
+        error, scored = forecast_error_at(telemetry, ["s0"], 20.0)
+        assert scored == 1
+        assert error == pytest.approx(2.0)
+
+    def test_servers_without_forecasts_skipped(self):
+        telemetry = TelemetryCollector()
+        bundle = telemetry.for_server("s0")
+        bundle.cpu_temperature.append(5.0, 50.0)
+        error, scored = forecast_error_at(telemetry, ["s0", "ghost"], 10.0)
+        assert scored == 0
+        assert math.isnan(error)
+
+    def test_future_forecasts_not_scored(self):
+        telemetry = TelemetryCollector()
+        bundle = telemetry.for_server("s0")
+        bundle.cpu_temperature.append(5.0, 50.0)
+        bundle.predicted_cpu_temperature.append(60.0, 55.0)  # target ahead
+        error, scored = forecast_error_at(telemetry, ["s0"], 10.0)
+        assert scored == 0
+        assert math.isnan(error)

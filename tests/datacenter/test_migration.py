@@ -2,8 +2,20 @@
 
 import pytest
 
-from repro.datacenter.migration import plan_migration
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.migration import (
+    MigrationCompleteEvent,
+    MigrationStartEvent,
+    migrate_vm,
+    plan_migration,
+)
+from repro.datacenter.server import Server
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.datacenter.vm import VmState
 from repro.errors import MigrationError
+from repro.rng import RngFactory
+from repro.thermal.environment import ConstantEnvironment
+from tests.conftest import make_server_spec, make_vm
 
 
 def plan(memory=8.0, bw=10.0, dirty=1.0, downtime=0.3, rounds=30):
@@ -76,3 +88,93 @@ class TestValidation:
                 source="same",
                 destination="same",
             )
+
+
+class TestEdgeCases:
+    def test_zero_dirty_rate_single_round_no_downtime_payload(self):
+        # dirty_rate=0: nothing is re-dirtied, so pre-copy is exactly one
+        # full-image round and the stop-and-copy transfers zero bytes.
+        p = plan(memory=16.0, bw=8.0, dirty=0.0)
+        assert p.rounds == 1
+        assert p.transferred_gb == pytest.approx(16.0)
+        assert p.downtime_s == 0.0
+        assert p.duration_s == pytest.approx(16.0 / 8.0)
+        assert p.overhead_ratio == pytest.approx(1.0)
+
+    def test_first_round_already_meets_downtime_target(self):
+        # Round 1 dirties 0.8 GiB; the 1 s target allows 10 GiB — the
+        # loop must stop immediately instead of iterating toward zero.
+        p = plan(memory=8.0, bw=10.0, dirty=1.0, downtime=1.0)
+        assert p.rounds == 1
+        assert p.downtime_s <= 1.0
+        # Stop-and-copy ships exactly what round 1 dirtied.
+        assert p.transferred_gb == pytest.approx(8.0 + 1.0 * 0.8)
+
+    def test_max_rounds_exhaustion_still_terminates(self):
+        # dirty/bw = 0.9 with an impossible target: the cap bounds both
+        # the rounds and the total transfer (geometric series).
+        p = plan(memory=10.0, bw=10.0, dirty=9.0, downtime=1e-9, rounds=4)
+        assert p.rounds == 4
+        expected_rounds_gb = 10.0 * sum(0.9**k for k in range(4))
+        assert p.transferred_gb == pytest.approx(
+            expected_rounds_gb + 10.0 * 0.9**4
+        )
+        # The residual downtime misses the target — exhaustion is visible.
+        assert p.downtime_s > 1e-9
+
+    def test_max_rounds_one_degenerates_to_stop_and_copy_of_dirty_set(self):
+        p = plan(memory=10.0, bw=10.0, dirty=5.0, downtime=1e-9, rounds=1)
+        assert p.rounds == 1
+        assert p.downtime_s == pytest.approx(0.5)
+
+
+class TestEventRoundTrip:
+    def build_sim(self):
+        cluster = Cluster("mig")
+        cluster.add_server(Server(make_server_spec(name="src")))
+        cluster.add_server(Server(make_server_spec(name="dst")))
+        cluster.server("src").host_vm(make_vm("payload", memory_gb=8.0))
+        return DatacenterSimulation(
+            cluster=cluster,
+            environment=ConstantEnvironment(22.0),
+            rng=RngFactory(17),
+        )
+
+    def test_start_and_complete_round_trip_on_live_simulation(self):
+        sim = self.build_sim()
+        # Slow link (0.5 GB/s) so the ~18 s migration spans several steps.
+        plan = migrate_vm(
+            sim, "payload", "dst", start_time_s=5.0,
+            bandwidth_gbps=0.5, dirty_rate_gbps=0.05,
+        )
+        vm = sim.cluster.server("src").vms["payload"]
+
+        sim.run(6.0)  # start fired, completion still pending
+        assert vm.state is VmState.MIGRATING
+        assert sim.cluster.server("src").active_migrations == 1
+        assert sim.cluster.server("dst").active_migrations == 1
+        assert "payload" in sim.cluster.server("src").vms
+
+        sim.run(plan.duration_s + 2.0)  # completion fires
+        assert vm.state is VmState.RUNNING
+        assert vm.host_name == "dst"
+        assert "payload" not in sim.cluster.server("src").vms
+        assert "payload" in sim.cluster.server("dst").vms
+        assert sim.cluster.server("src").active_migrations == 0
+        assert sim.cluster.server("dst").active_migrations == 0
+
+    def test_start_event_rejects_missing_vm(self):
+        sim = self.build_sim()
+        plan = plan_migration(
+            vm_memory_gb=8.0, vm_name="ghost", source="src", destination="dst"
+        )
+        event = MigrationStartEvent(1.0, plan)
+        with pytest.raises(MigrationError):
+            event.apply(sim)
+
+    def test_events_describe_their_vm(self):
+        plan = plan_migration(
+            vm_memory_gb=8.0, vm_name="payload", source="src", destination="dst"
+        )
+        assert "payload" in MigrationStartEvent(1.0, plan).describe()
+        assert "payload" in MigrationCompleteEvent(2.0, plan).describe()

@@ -79,6 +79,55 @@ class TestRunLoop:
         assert len(ticks) == 10
 
 
+class TestIntervalProbes:
+    def test_interval_probe_fires_on_its_own_grid(self):
+        sim = make_sim()
+        ticks = []
+        sim.add_probe(lambda _sim, t: ticks.append(t), interval_s=5.0)
+        sim.run(30.0)
+        # Arms at the first step (t=1), first firing at t=6, then every 5 s.
+        assert ticks == [pytest.approx(6.0), pytest.approx(11.0),
+                         pytest.approx(16.0), pytest.approx(21.0),
+                         pytest.approx(26.0)]
+
+    def test_interval_grid_survives_run_boundaries(self):
+        sim = make_sim()
+        ticks = []
+        sim.add_probe(lambda _sim, t: ticks.append(t), interval_s=7.0)
+        sim.run(10.0)
+        sim.run(10.0)
+        continuous = make_sim()
+        continuous_ticks = []
+        continuous.add_probe(
+            lambda _sim, t: continuous_ticks.append(t), interval_s=7.0
+        )
+        continuous.run(20.0)
+        assert ticks == continuous_ticks
+
+    def test_interval_probe_on_fleet_path_matches_reference_path(self):
+        for use_fleet in (True, False):
+            sim = make_sim(n_servers=2)
+            sim.use_fleet_engine = use_fleet
+            ticks = []
+            sim.add_probe(lambda _sim, t: ticks.append(t), interval_s=4.0)
+            sim.run(20.0)
+            assert ticks == [pytest.approx(5.0), pytest.approx(9.0),
+                             pytest.approx(13.0), pytest.approx(17.0)]
+
+    def test_rejects_nonpositive_interval(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.add_probe(lambda _sim, t: None, interval_s=0.0)
+
+    def test_recording_property_reflects_warm_up(self):
+        sim = make_sim()
+        states = []
+        sim.add_probe(lambda s, t: states.append(s.recording))
+        sim.warm_up(2.0)
+        sim.run(2.0)
+        assert states == [False, False, True, True]
+
+
 class TestEvents:
     def test_scheduled_event_fires_at_time(self):
         sim = make_sim()

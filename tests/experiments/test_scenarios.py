@@ -9,11 +9,14 @@ from repro.experiments.scenarios import (
     build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
+    cooling_failure_scenario,
     diurnal_fleet_scenario,
+    flash_crowd_scenario,
     migration_scenario,
     migration_storm_scenario,
     random_scenario,
     random_scenarios,
+    thermal_cascade_scenario,
 )
 
 
@@ -173,3 +176,82 @@ class TestFleetScenarios:
             diurnal_fleet_scenario(n_servers=0)
         with pytest.raises(ConfigurationError):
             diurnal_fleet_scenario(vms_per_server=(3, 2))
+
+
+class TestControlStressScenarios:
+    """The three workloads the closed-loop control plane must survive."""
+
+    def test_cooling_failure_steps_the_room(self):
+        scenario = cooling_failure_scenario(
+            n_servers=8, failure_time_s=300.0, failure_delta_c=8.0,
+            recovery_time_s=900.0, duration_s=1200.0,
+        )
+        env = scenario.environment
+        assert env.temperature(0.0) == pytest.approx(22.0)
+        assert env.temperature(400.0) == pytest.approx(30.0)
+        assert env.temperature(1000.0) == pytest.approx(22.0)
+
+    def test_cooling_failure_pushes_only_hot_servers_over(self):
+        scenario = cooling_failure_scenario(
+            n_servers=8, failure_time_s=300.0, duration_s=2400.0
+        )
+        sim = build_fleet_simulation(scenario)
+        sim.run(2400.0)
+        temps = {s.name: s.thermal.cpu_temperature_c for s in sim.cluster.servers}
+        hot = [f"server-{i:03d}" for i in range(2)]
+        assert all(temps[name] > 75.0 for name in hot)
+        assert all(temps[name] < 65.0 for name in temps if name not in hot)
+
+    def test_cooling_failure_hot_servers_safe_before_failure(self):
+        scenario = cooling_failure_scenario(
+            n_servers=8, failure_time_s=2000.0, duration_s=2400.0
+        )
+        sim = build_fleet_simulation(scenario)
+        sim.run(1900.0)
+        assert all(
+            s.thermal.cpu_temperature_c < 75.0 for s in sim.cluster.servers
+        )
+
+    def test_thermal_cascade_concentrates_heat_in_rack_zero(self):
+        scenario = thermal_cascade_scenario(n_servers=8, duration_s=2400.0)
+        sim = build_fleet_simulation(scenario)
+        racks = sim.cluster.racks()
+        sim.run(2400.0)
+        hot_rack = {
+            name: sim.cluster.server(name).thermal.cpu_temperature_c
+            for name in racks["rack-0"]
+        }
+        cold = {
+            s.name: s.thermal.cpu_temperature_c
+            for s in sim.cluster.servers
+            if s.name not in hot_rack
+        }
+        assert all(temp > 75.0 for temp in hot_rack.values())
+        assert all(temp < 65.0 for temp in cold.values())
+
+    def test_flash_crowd_arrivals_land_mid_run(self):
+        scenario = flash_crowd_scenario(
+            n_servers=8, spike_time_s=300.0, duration_s=2400.0
+        )
+        sim = build_fleet_simulation(scenario)
+        target = sim.cluster.server("server-000")
+        baseline_vms = len(target.vms)
+        sim.run(250.0)
+        assert len(target.vms) == baseline_vms  # crowd not here yet
+        sim.run(2150.0)
+        assert len(target.vms) == baseline_vms + 4
+        assert target.thermal.cpu_temperature_c > 75.0
+
+    def test_stress_validation(self):
+        with pytest.raises(ConfigurationError):
+            cooling_failure_scenario(failure_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            cooling_failure_scenario(
+                failure_time_s=600.0, recovery_time_s=600.0
+            )
+        with pytest.raises(ConfigurationError):
+            cooling_failure_scenario(hot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            thermal_cascade_scenario(n_servers=4)
+        with pytest.raises(ConfigurationError):
+            flash_crowd_scenario(spike_time_s=5000.0, duration_s=3600.0)

@@ -16,6 +16,11 @@ class CountingPredictor:
         load = sum(vm.vcpus * vm.nominal_utilization for vm in record.vms)
         return 45.0 + 2.5 * load
 
+    def predict_many(self, records):
+        # The advisor scores all candidates through the batched what-if
+        # path; the stand-in mirrors the real predictor's batch API.
+        return [self.predict(record) for record in records]
+
 
 def cluster_with_hot_server():
     cluster = Cluster("adv")

@@ -1,5 +1,6 @@
 """Unit tests for hotspot detection."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -34,6 +35,44 @@ class TestDetection:
         detector = HotspotDetector(threshold_c=70.0)
         spots = detector.detect({"zeta": 80.0, "alpha": 80.0})
         assert [s.server_name for s in spots] == ["alpha", "zeta"]
+
+
+class TestDictFleetParity:
+    """``detect``/``headroom`` are adapters over the fleet-array core —
+    the two entry points must agree exactly, ties included."""
+
+    def test_detect_matches_detect_fleet(self):
+        detector = HotspotDetector(threshold_c=72.0)
+        temps = {"s0": 80.25, "s1": 64.0, "s2": 91.5, "s3": 72.0, "s4": 75.125}
+        via_dict = detector.detect(temps)
+        via_fleet = detector.detect_fleet(
+            list(temps), np.array(list(temps.values()))
+        )
+        assert via_dict == via_fleet
+
+    def test_equal_temperature_ties_order_identically(self):
+        # Insertion order differs from name order on purpose: both entry
+        # points must settle ties by server name, not input position.
+        detector = HotspotDetector(threshold_c=70.0)
+        temps = {"zeta": 80.0, "mid": 80.0, "alpha": 80.0, "beta": 75.0}
+        via_dict = detector.detect(temps)
+        via_fleet = detector.detect_fleet(
+            list(temps), np.array(list(temps.values()))
+        )
+        assert [s.server_name for s in via_dict] == ["alpha", "mid", "zeta", "beta"]
+        assert via_dict == via_fleet
+
+    def test_headroom_matches_headroom_fleet(self):
+        detector = HotspotDetector(threshold_c=75.0)
+        temps = {"a": 60.0, "b": 80.0, "c": 75.0}
+        via_dict = detector.headroom(temps)
+        via_fleet = detector.headroom_fleet(np.array(list(temps.values())))
+        assert list(via_dict.values()) == via_fleet.tolist()
+
+    def test_empty_mapping(self):
+        detector = HotspotDetector()
+        assert detector.detect({}) == []
+        assert detector.headroom({}) == {}
 
 
 class TestHelpers:

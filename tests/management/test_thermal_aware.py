@@ -73,9 +73,11 @@ class TestPlacement:
         scheduler = ThermalAwareScheduler(FakePredictor())
         scheduler.place(make_vm("new"), cluster)
         assert len(scheduler.decision_log) == 1
-        vm_name, host, temp = scheduler.decision_log[0]
-        assert vm_name == "new"
-        assert temp == pytest.approx(55.0)
+        decision = scheduler.decision_log[0]
+        assert decision.vm_name == "new"
+        assert decision.predicted_c == pytest.approx(55.0)
+        assert decision.degraded is False
+        assert scheduler.last_decision is decision
 
     def test_one_batched_call_per_placement(self):
         cluster = small_cluster(3)
@@ -112,6 +114,22 @@ class TestPlacement:
         )
         chosen = scheduler.place(make_vm("new"), cluster)
         assert chosen.name in {"s0", "s1"}
+        # The fallback is loud: the decision is flagged as degraded.
+        assert scheduler.last_decision.degraded is True
+        assert scheduler.last_decision.server_name == chosen.name
+
+    def test_degraded_flag_clear_when_detector_accepts(self):
+        cluster = small_cluster(2)
+        scheduler = ThermalAwareScheduler(
+            FakePredictor(), detector=HotspotDetector(threshold_c=75.0)
+        )
+        scheduler.place(make_vm("new"), cluster)
+        assert scheduler.last_decision.degraded is False
+
+    def test_last_decision_before_any_placement_raises(self):
+        scheduler = ThermalAwareScheduler(FakePredictor())
+        with pytest.raises(SchedulingError):
+            scheduler.last_decision
 
     def test_respects_capacity(self):
         cluster = small_cluster(2)

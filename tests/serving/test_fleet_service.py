@@ -180,6 +180,59 @@ class TestMembership:
         assert list(fleet.indices(["b", "a"])) == [1, 0]
 
 
+class TestForecastSnapshot:
+    def test_snapshot_masks_unforecast_servers(self, registry):
+        fleet = PredictionFleet(registry)
+        fleet.track(
+            ["a", "b"],
+            [make_record(psi=None), make_record(psi=None, n_vms=6)],
+            np.array([0.0, 0.0]),
+            np.array([40.0, 55.0]),
+        )
+        snapshot = fleet.forecast_snapshot()
+        assert snapshot.names == ("a", "b")
+        assert not snapshot.has_forecast.any()
+        assert snapshot.forecasts() == ([], pytest.approx([]))
+
+        fleet.predict_ahead(100.0, indices=[1])
+        snapshot = fleet.forecast_snapshot()
+        assert snapshot.has_forecast.tolist() == [False, True]
+        names, predicted = snapshot.forecasts()
+        assert names == ["b"]
+        assert predicted[0] == fleet.forecast_all()["b"]
+
+    def test_snapshot_is_decoupled_from_live_state(self, registry):
+        fleet = PredictionFleet(registry)
+        fleet.track(
+            ["a"], [make_record(psi=None)], np.array([0.0]), np.array([40.0])
+        )
+        fleet.predict_ahead(50.0)
+        snapshot = fleet.forecast_snapshot()
+        before = snapshot.predicted_c.copy()
+        fleet.observe(400.0, np.array([60.0]))
+        fleet.predict_ahead(400.0)
+        assert np.array_equal(snapshot.predicted_c, before)
+        assert snapshot.target_times_s[0] == pytest.approx(50.0 + fleet.config.prediction_gap_s)
+
+    def test_snapshot_matches_forecast_all(self, registry):
+        fleet = PredictionFleet(registry)
+        names = [f"s{i}" for i in range(4)]
+        fleet.track(
+            names,
+            [make_record(psi=None, n_vms=2 + i) for i in range(4)],
+            np.zeros(4),
+            np.full(4, 42.0),
+        )
+        fleet.observe(np.full(4, 200.0), np.linspace(45.0, 60.0, 4))
+        fleet.predict_ahead(np.full(4, 200.0))
+        snapshot = fleet.forecast_snapshot()
+        assert dict(zip(snapshot.names, snapshot.predicted_c.tolist())) == (
+            fleet.forecast_all()
+        )
+        assert snapshot.gamma.tolist() == fleet.gamma.tolist()
+        assert snapshot.n_servers == 4
+
+
 class TestHotspotWiring:
     def test_predicted_hotspots_uses_latest_forecasts(self, registry):
         fleet = PredictionFleet(registry)

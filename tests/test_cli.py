@@ -15,11 +15,33 @@ class TestParser:
     def test_fig_commands_exist(self):
         parser = build_parser()
         for command in (
-            "fig1a", "fig1b", "fig1c", "dataset", "fleet-predict", "fleet-train"
+            "fig1a", "fig1b", "fig1c", "dataset", "fleet-predict",
+            "fleet-train", "fleet-manage",
         ):
             args = parser.parse_args([command])
             assert args.command == command
             assert callable(args.handler)
+
+    def test_fleet_manage_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-manage", "--scenario", "thermal-cascade", "--policy",
+             "reactive", "--servers", "12", "--duration", "1800",
+             "--threshold", "72", "--margin", "3", "--interval", "30",
+             "--budget", "2", "--quick"]
+        )
+        assert args.scenario == "thermal-cascade"
+        assert args.policy == "reactive"
+        assert args.servers == 12
+        assert args.duration == 1800.0
+        assert args.threshold == 72.0
+        assert args.margin == 3.0
+        assert args.interval == 30.0
+        assert args.budget == 2
+        assert args.no_control is False
+
+    def test_fleet_manage_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet-manage", "--scenario", "heatwave"])
 
     def test_fleet_train_flags(self):
         args = build_parser().parse_args(
