@@ -18,6 +18,9 @@ every substrate the paper's testbed provided:
   what-if scoring path;
 * :mod:`repro.control` — the closed loop: predict → detect → plan →
   act → account on a control interval inside the co-simulation;
+* :mod:`repro.lifecycle` — the model loop: per-class drift detection
+  over the live fleet, sliding-window retraining in one lockstep
+  batched SMO round, and atomic hot-swaps into the versioned registry;
 * :mod:`repro.serving` — the method deployed as a fleet-scale service:
   model registry, cross-model batched SVR inference, and the vectorized
   :class:`~repro.serving.fleet.PredictionFleet`;
@@ -67,6 +70,13 @@ from repro.control import (
 )
 from repro.core.dynamic import replay_dynamic_prediction
 from repro.errors import ReproError
+from repro.lifecycle import (
+    DriftMonitor,
+    LifecycleConfig,
+    ModelLifecycle,
+    Retrainer,
+    RetrainPlanner,
+)
 from repro.experiments import (
     RecordDataset,
     build_fig1a,
@@ -94,11 +104,12 @@ from repro.training import (
     train_fleet_registry,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ControlPlane",
     "ControlPlaneConfig",
+    "DriftMonitor",
     "DynamicTemperaturePredictor",
     "EnergyAwareConsolidationPolicy",
     "EpsilonSVR",
@@ -109,6 +120,8 @@ __all__ = [
     "FleetProfile",
     "FleetTrainingConfig",
     "FleetTrainingReport",
+    "LifecycleConfig",
+    "ModelLifecycle",
     "ModelRegistry",
     "PredefinedCurve",
     "PredictionConfig",
@@ -118,6 +131,8 @@ __all__ = [
     "ReactiveEvictionPolicy",
     "RcFitBaseline",
     "RecordDataset",
+    "RetrainPlanner",
+    "Retrainer",
     "ReproError",
     "RngFactory",
     "RuntimeCalibrator",

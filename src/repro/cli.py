@@ -9,6 +9,7 @@ Usage (module form)::
     python -m repro.cli fleet-predict [--servers N] [--duration S] [--quick]
     python -m repro.cli fleet-train [--classes K] [--servers-per-class M] [--quick]
     python -m repro.cli fleet-manage [--scenario cooling-failure] [--quick]
+    python -m repro.cli fleet-lifecycle [--classes K] [--quick]
 
 ``--quick`` shrinks training sizes and CV folds so each figure completes
 in well under a minute (with looser accuracy); omit it for the
@@ -20,12 +21,18 @@ per server class in a single batched pass (:mod:`repro.training`), and
 serves the resulting registry against the same fleet end to end.
 ``fleet-manage`` closes the loop: train, serve, and run the thermal
 control plane (:mod:`repro.control`) against a stress scenario, printing
-the managed-vs-baseline hotspot and energy/PUE ledger.
+the managed-vs-baseline hotspot and energy/PUE ledger. ``fleet-lifecycle``
+closes the *model* loop: train a per-class registry, run the
+``model-drift`` scenario (seasonal ambient ramp + VM-flavor shift) once
+with the frozen registry and once under a drift-aware
+:class:`~repro.lifecycle.manager.ModelLifecycle` (detect → retrain →
+hot-swap), and print the retrained-vs-frozen scorecard.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 
@@ -191,25 +198,21 @@ def _cmd_fleet_predict(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet_train(args: argparse.Namespace) -> int:
+def _profile_and_train_registry(args: argparse.Namespace, n_classes: int,
+                                per_class: int, duration: float):
+    """Profile a class-balanced fleet and train its per-class registry.
+
+    The shared front half of ``fleet-train`` and ``fleet-lifecycle``
+    (same scenario seed, same quick-mode grids), so the two commands
+    cannot drift apart. Returns ``(scenario, report)``.
+    """
     from repro.experiments.scenarios import class_balanced_fleet_scenario
     from repro.training import (
         FleetTrainingConfig,
         profile_fleet,
-        server_class_key,
         train_fleet_registry,
     )
 
-    n_classes = args.classes if args.classes else (4 if args.quick else 16)
-    per_class = args.servers_per_class if args.servers_per_class else (
-        3 if args.quick else 8
-    )
-    duration = args.duration if args.duration else (900.0 if args.quick else 3600.0)
-    serve_s = args.serve_duration if args.serve_duration is not None else (
-        600.0 if args.quick else 1800.0
-    )
-
-    started = time.time()
     scenario = class_balanced_fleet_scenario(
         n_classes=n_classes,
         servers_per_class=per_class,
@@ -230,7 +233,25 @@ def _cmd_fleet_train(args: argparse.Namespace) -> int:
         min_class_records=min(3, per_class),
     )
     print("== training the per-class registry ==", file=sys.stderr)
-    report = train_fleet_registry(profile, config)
+    return scenario, train_fleet_registry(profile, config)
+
+
+def _cmd_fleet_train(args: argparse.Namespace) -> int:
+    from repro.training import server_class_key
+
+    n_classes = args.classes if args.classes else (4 if args.quick else 16)
+    per_class = args.servers_per_class if args.servers_per_class else (
+        3 if args.quick else 8
+    )
+    duration = args.duration if args.duration else (900.0 if args.quick else 3600.0)
+    serve_s = args.serve_duration if args.serve_duration is not None else (
+        600.0 if args.quick else 1800.0
+    )
+
+    started = time.time()
+    scenario, report = _profile_and_train_registry(
+        args, n_classes, per_class, duration
+    )
     print(report.summary())
     print("\nbest trials:")
     print(format_grid_search(report.grid, top=5))
@@ -385,6 +406,138 @@ def _cmd_fleet_manage(args: argparse.Namespace) -> int:
     return 0 if not sustained else 1
 
 
+def _cmd_fleet_lifecycle(args: argparse.Namespace) -> int:
+    import copy
+
+    from repro.control import ControlPlaneConfig, run_closed_loop
+    from repro.experiments.reporting import ascii_table
+    from repro.experiments.scenarios import model_drift_scenario
+    from repro.lifecycle import (
+        DriftMonitorConfig,
+        LifecycleConfig,
+        ModelLifecycle,
+        RetrainPlannerConfig,
+    )
+    from repro.management.hotspot import HotspotDetector
+    from repro.training import server_class_key
+
+    if args.mae_window < 1:
+        print(
+            f"fleet-lifecycle: --mae-window must be >= 1, got {args.mae_window}",
+            file=sys.stderr,
+        )
+        return 2
+    n_classes = args.classes if args.classes else (3 if args.quick else 4)
+    per_class = args.servers_per_class if args.servers_per_class else (
+        6 if args.quick else 8
+    )
+    duration = args.duration if args.duration else (5400.0 if args.quick else 7200.0)
+    train_s = args.train_duration if args.train_duration else (
+        1800.0 if args.quick else 3600.0
+    )
+    started = time.time()
+    _, report = _profile_and_train_registry(args, n_classes, per_class, train_s)
+    print(f"  {report.grid.summary()}", file=sys.stderr)
+    key_fn = lambda server: server_class_key(server.spec)  # noqa: E731
+
+    scenario = model_drift_scenario(
+        n_classes=n_classes, servers_per_class=per_class,
+        seed=args.seed * 1000, duration_s=duration,
+    )
+    detector = HotspotDetector(threshold_c=args.threshold)
+    config = ControlPlaneConfig(interval_s=args.interval)
+    lifecycle_config = LifecycleConfig(
+        drift=DriftMonitorConfig(gamma_threshold_c=args.gamma_threshold),
+        planner=RetrainPlannerConfig(
+            window_s=args.window,
+            # Clamped to the planner's floor (2): per_class may be 1.
+            min_class_records=max(2, min(3, per_class)),
+        ),
+    )
+
+    print(
+        f"== running {scenario.name} for {duration:.0f}s (frozen registry) ==",
+        file=sys.stderr,
+    )
+    frozen = run_closed_loop(
+        scenario, report.registry, policy=None, config=config,
+        detector=detector, key_fn=key_fn,
+    )
+    # The lifecycle arm mutates its registry (swaps publish new
+    # versions), so it runs against a deep copy of the trained one.
+    live_registry = copy.deepcopy(report.registry)
+    lifecycle = ModelLifecycle(live_registry, lifecycle_config)
+    print(
+        f"== running {scenario.name} for {duration:.0f}s (drift-aware "
+        f"lifecycle) ==",
+        file=sys.stderr,
+    )
+    managed = run_closed_loop(
+        scenario, live_registry, policy=None, config=config,
+        detector=detector, key_fn=key_fn, lifecycle=lifecycle,
+    )
+
+    window = args.mae_window
+    frozen_mae = frozen.ledger.windowed_forecast_error_c(window)
+    managed_mae = managed.ledger.windowed_forecast_error_c(window)
+    life_summary = lifecycle.summary()
+    rows = []
+    for label, result, windowed_mae, swapped in (
+        ("frozen", frozen, frozen_mae, 0),
+        ("lifecycle", managed, managed_mae,
+         int(life_summary["models_published"])),
+    ):
+        summary = result.ledger.summary()
+        rows.append(
+            (
+                label,
+                f"{windowed_mae:.3f}",
+                f"{summary['mean_forecast_error_c']:.3f}",
+                int(summary["sustained_hotspots"]),
+                swapped,
+                f"{summary['it_energy_kwh'] + summary['cooling_energy_kwh']:.1f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["run", f"MAE last {window} (degC)", "MAE all (degC)",
+             "sustained hs", "models swapped", "energy kWh"],
+            rows,
+        )
+    )
+    print(
+        f"\nlifecycle: {life_summary['rounds']:.0f} retrain rounds, "
+        f"{life_summary['models_published']:.0f} models published over "
+        f"{life_summary['classes_retrained']:.0f}/{n_classes} classes, "
+        f"{life_summary['retrain_seconds_total']:.2f}s retraining"
+    )
+    for round_ in lifecycle.rounds:
+        for outcome in round_.outcomes:
+            print(
+                f"  t={round_.time_s:6.0f}s  {outcome.action} {outcome.key} "
+                f"-> v{outcome.version} ({outcome.n_records} records, "
+                f"train MSE {outcome.train_mse:.3f})"
+            )
+    # Rounds that published nothing are diagnosable too: aggregate the
+    # publish-gate holds and planner skips with their reasons.
+    rejections: dict[tuple[str, str], int] = {}
+    for round_ in lifecycle.rounds:
+        for key, reason in (*round_.held, *round_.skipped):
+            rejections[(key, reason)] = rejections.get((key, reason), 0) + 1
+    if rejections:
+        print("retrains held or skipped:")
+        for (key, reason), count in sorted(rejections.items()):
+            times = f" (x{count})" if count > 1 else ""
+            print(f"  {key}: {reason}{times}")
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    if math.isnan(frozen_mae) or math.isnan(managed_mae):
+        # Nothing matured in the window on one side — not comparable,
+        # and certainly not evidence of a lifecycle regression.
+        print("note: windowed MAE not comparable (no matured forecasts)")
+        return 0
+    return 0 if managed_mae <= frozen_mae else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -509,6 +662,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the no-control baseline",
     )
     manage.set_defaults(handler=_cmd_fleet_manage)
+
+    lifecycle = commands.add_parser(
+        "fleet-lifecycle",
+        help="run drift detection -> retrain -> hot-swap on the "
+             "model-drift scenario (retrained-vs-frozen scorecard)",
+    )
+    _add_common(lifecycle)
+    lifecycle.add_argument(
+        "--classes", type=int, default=0,
+        help="hardware classes in the fleet (default: 4, or 3 with --quick)",
+    )
+    lifecycle.add_argument(
+        "--servers-per-class", type=int, default=0,
+        help="servers per class (default: 8, or 6 with --quick)",
+    )
+    lifecycle.add_argument(
+        "--duration", type=float, default=0.0,
+        help="drift-run seconds (default: 7200, or 5400 with --quick)",
+    )
+    lifecycle.add_argument(
+        "--train-duration", type=float, default=0.0,
+        help="profiling-campaign seconds (default: 3600, or 1800 with --quick)",
+    )
+    lifecycle.add_argument(
+        "--threshold", type=float, default=75.0,
+        help="hotspot threshold in degC (default 75)",
+    )
+    lifecycle.add_argument(
+        "--interval", type=float, default=60.0,
+        help="control/lifecycle interval in seconds (default 60)",
+    )
+    lifecycle.add_argument(
+        "--gamma-threshold", type=float, default=2.0,
+        help="per-class mean |gamma| that flags drift, degC (default 2)",
+    )
+    lifecycle.add_argument(
+        "--window", type=float, default=1800.0,
+        help="sliding telemetry window per retrain record, seconds "
+             "(default 1800)",
+    )
+    lifecycle.add_argument(
+        "--mae-window", type=int, default=20,
+        help="trailing control intervals scored in the headline MAE "
+             "(default 20)",
+    )
+    lifecycle.set_defaults(handler=_cmd_fleet_lifecycle)
     return parser
 
 

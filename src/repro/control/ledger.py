@@ -170,9 +170,24 @@ class ControlLedger:
 
     def mean_forecast_error_c(self) -> float:
         """Average act-time forecast error over intervals that scored one."""
+        return self.windowed_forecast_error_c(max(len(self.records), 1))
+
+    def windowed_forecast_error_c(self, intervals: int = 5) -> float:
+        """Mean act-time forecast error over the last ``intervals`` rows.
+
+        The lifecycle scorecard's headline: how well the *currently
+        served* models forecast at the end of a run, after any drift
+        and retraining have played out — unlike
+        :meth:`mean_forecast_error_c`, early (pre-drift or pre-swap)
+        intervals do not dilute the comparison. NaN rows (nothing
+        matured that interval) are skipped; returns NaN when no row in
+        the window scored.
+        """
+        if intervals < 1:
+            raise ConfigurationError(f"intervals must be >= 1, got {intervals}")
         errors = [
             record.forecast_error_c
-            for record in self.records
+            for record in self.records[-intervals:]
             if not math.isnan(record.forecast_error_c)
         ]
         return float(np.mean(errors)) if errors else float("nan")

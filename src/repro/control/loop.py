@@ -56,12 +56,16 @@ def run_closed_loop(
     key_fn=None,
     duration_s: float | None = None,
     use_fleet_engine: bool = True,
+    lifecycle=None,
 ) -> ClosedLoopResult:
     """Profile → serve → control one fleet scenario end to end.
 
     ``key_fn`` maps a server to its registry model key for *both* the
     prediction probe and the what-if scorer (per-class model farms);
-    ``policy=None`` keeps the loop observing/accounting but never acting.
+    ``policy=None`` keeps the loop observing/accounting but never
+    acting. ``lifecycle`` optionally attaches a
+    :class:`~repro.lifecycle.manager.ModelLifecycle` as the control
+    plane's sixth stage (drift → retrain → swap).
     """
     from repro.experiments.scenarios import build_fleet_simulation
 
@@ -79,6 +83,7 @@ def run_closed_loop(
         scorer=scorer,
         config=config,
         cooling=cooling,
+        lifecycle=lifecycle,
     )
     plane.attach(sim)  # after the probe: control sees this step's forecasts
     sim.run(duration_s if duration_s is not None else scenario.duration_s)

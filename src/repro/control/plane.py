@@ -21,7 +21,14 @@ steps):
    anti-thrash guards;
 5. **account** — the :class:`~repro.control.ledger.ControlLedger` gets
    one row (hotspot counts, moves, act-time forecast error) and the
-   interval's IT/cooling energy through the CRAC COP model.
+   interval's IT/cooling energy through the CRAC COP model;
+6. **lifecycle** (optional) — a
+   :class:`~repro.lifecycle.manager.ModelLifecycle` watches per-class
+   calibration drift and, when a class's γ saturates for long enough,
+   retrains it from live telemetry and atomically swaps the new model
+   version into the registry. Constructed without one (the default),
+   this stage does not exist and the loop is byte-for-byte the
+   five-stage loop.
 
 Run with ``policy=None`` the plane is a pure observer — the *no-control
 baseline* every mitigation run is compared against, with an identical
@@ -93,6 +100,10 @@ class ControlPlane:
         Act-stage knobs (interval, budget, cooldowns, link model).
     cooling:
         CRAC cooling model for the energy account.
+    lifecycle:
+        Optional :class:`~repro.lifecycle.manager.ModelLifecycle` run as
+        the sixth stage each interval; ``None`` keeps the historical
+        five-stage loop.
     """
 
     def __init__(
@@ -103,6 +114,7 @@ class ControlPlane:
         scorer: WhatIfScorer | None = None,
         config: ControlPlaneConfig | None = None,
         cooling: CoolingModel | None = None,
+        lifecycle=None,
     ) -> None:
         if policy is not None and scorer is None:
             raise ConfigurationError(
@@ -112,6 +124,7 @@ class ControlPlane:
         self.policy = policy
         self.detector = detector or HotspotDetector()
         self.scorer = scorer
+        self.lifecycle = lifecycle
         self.config = config or ControlPlaneConfig()
         self.ledger = ControlLedger(
             interval_s=self.config.interval_s,
@@ -219,6 +232,19 @@ class ControlPlane:
                 f"control: {len(predicted_spots)} predicted hotspots, "
                 f"{issued}/{len(planned)} mitigations issued",
             )
+
+        # 6. lifecycle (optional) — drift detection and, when warranted,
+        # a retrain → atomic-swap round. Runs last so retraining sees
+        # this interval's accounting and never delays actuation.
+        if self.lifecycle is not None:
+            round_ = self.lifecycle.step(sim, time_s, self.fleet)
+            if round_ is not None and round_.n_retrained:
+                sim.log(
+                    time_s,
+                    "lifecycle: retrained "
+                    f"{round_.n_retrained} class models "
+                    f"({', '.join(round_.keys)})",
+                )
 
     # -- act-stage guards ----------------------------------------------------
 

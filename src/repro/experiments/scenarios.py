@@ -390,6 +390,71 @@ def diurnal_fleet_scenario(
     )
 
 
+def _hardware_class_combos(
+    factory: RngFactory, n_classes: int
+) -> list[tuple[int, float, float, int]]:
+    """Draw ``n_classes`` distinct (cores, ghz, memory, fans) combinations.
+
+    The draw consumes the factory's ``"classes"`` stream exactly as the
+    class-balanced builder always did, so any scenario built from the
+    same seed gets the same hardware classes — which is how the
+    model-drift scenario guarantees its fleet matches the class keys of
+    the profiling campaign a registry was trained on.
+    """
+    combos = [
+        (cores, ghz, memory, fans)
+        for cores in CORE_OPTIONS
+        for ghz in GHZ_OPTIONS
+        for memory in MEMORY_OPTIONS
+        for fans in FAN_COUNT_OPTIONS
+    ]
+    if n_classes > len(combos):
+        raise ConfigurationError(
+            f"n_classes must be <= {len(combos)} distinct hardware "
+            f"combinations, got {n_classes}"
+        )
+    class_rng = factory.stream("classes")
+    class_rng.shuffle(combos)
+    return combos[:n_classes]
+
+
+def _class_fleet_specs(
+    factory: RngFactory,
+    combos: list[tuple[int, float, float, int]],
+    servers_per_class: int,
+    lo: int,
+    hi: int,
+) -> tuple[list[ServerSpec], list[tuple[VmSpec, ...]]]:
+    """Server specs + initial placements for a class-balanced fleet.
+
+    Consumes the factory's ``"hardware"`` and ``"vms/<i>"`` streams in
+    the canonical order (one fan-speed draw, then one VM-mix draw, per
+    server). Shared by :func:`class_balanced_fleet_scenario` and
+    :func:`model_drift_scenario` so equal seeds yield **bit-identical**
+    fleets — the load-bearing guarantee that a registry trained on the
+    calm campaign serves the drift fleet with matching class keys.
+    """
+    hw = factory.stream("hardware")
+    specs: list[ServerSpec] = []
+    placements: list[tuple[VmSpec, ...]] = []
+    index = 0
+    for cores, ghz, memory, fans in combos:
+        for _ in range(servers_per_class):
+            specs.append(
+                ServerSpec(
+                    name=f"server-{index:03d}",
+                    capacity=ResourceCapacity(
+                        cpu_cores=cores, ghz_per_core=ghz, memory_gb=memory
+                    ),
+                    fan_count=fans,
+                    fan_speed=hw.uniform(0.5, 0.9),
+                )
+            )
+            placements.append(_diurnal_vm_specs(factory, index, lo, hi))
+            index += 1
+    return specs, placements
+
+
 def class_balanced_fleet_scenario(
     n_classes: int = 16,
     servers_per_class: int = 8,
@@ -416,40 +481,11 @@ def class_balanced_fleet_scenario(
     lo, hi = vms_per_server
     if not 1 <= lo <= hi:
         raise ConfigurationError(f"invalid vms_per_server {vms_per_server}")
-    combos = [
-        (cores, ghz, memory, fans)
-        for cores in CORE_OPTIONS
-        for ghz in GHZ_OPTIONS
-        for memory in MEMORY_OPTIONS
-        for fans in FAN_COUNT_OPTIONS
-    ]
-    if n_classes > len(combos):
-        raise ConfigurationError(
-            f"n_classes must be <= {len(combos)} distinct hardware "
-            f"combinations, got {n_classes}"
-        )
     factory = RngFactory(seed)
-    class_rng = factory.stream("classes")
-    class_rng.shuffle(combos)
-    hw = factory.stream("hardware")
-    specs = []
-    placements = []
-    index = 0
-    for class_index in range(n_classes):
-        cores, ghz, memory, fans = combos[class_index]
-        for _ in range(servers_per_class):
-            specs.append(
-                ServerSpec(
-                    name=f"server-{index:03d}",
-                    capacity=ResourceCapacity(
-                        cpu_cores=cores, ghz_per_core=ghz, memory_gb=memory
-                    ),
-                    fan_count=fans,
-                    fan_speed=hw.uniform(0.5, 0.9),
-                )
-            )
-            placements.append(_diurnal_vm_specs(factory, index, lo, hi))
-            index += 1
+    combos = _hardware_class_combos(factory, n_classes)
+    specs, placements = _class_fleet_specs(
+        factory, combos, servers_per_class, lo, hi
+    )
     return FleetScenario(
         name=f"class-balanced-fleet-{n_classes}x{servers_per_class}",
         server_specs=tuple(specs),
@@ -459,6 +495,177 @@ def class_balanced_fleet_scenario(
         ),
         duration_s=duration_s,
         seed=seed,
+    )
+
+
+def model_drift_scenario(
+    n_classes: int = 4,
+    servers_per_class: int = 8,
+    seed: int = 92_000,
+    vms_per_server: tuple[int, int] = (2, 5),
+    duration_s: float = 7200.0,
+    ramp_start_s: float | None = None,
+    ramp_delta_c: float = 6.0,
+    n_ramp_steps: int = 6,
+    ramp_step_s: float | None = None,
+    shift_fraction: float = 0.5,
+    shift_start_s: float | None = None,
+    shift_window_s: float | None = None,
+    second_wave_start_s: float | None = None,
+    second_wave_window_s: float | None = None,
+    second_wave: bool = True,
+) -> FleetScenario:
+    """A regime shift that silently degrades a frozen ψ_stable model.
+
+    The fleet's hardware classes and initial VM placements reproduce
+    :func:`class_balanced_fleet_scenario` at the same ``seed`` **bit for
+    bit** (same named RNG streams), so a registry trained on that
+    campaign serves this fleet with matching class keys — and then the
+    regime it was trained in goes away:
+
+    * a **seasonal ambient ramp**: the room steps from 22 °C up by
+      ``ramp_delta_c`` in ``n_ramp_steps`` increments starting at
+      ``ramp_start_s`` — δ_env leaves the training range, pushing the
+      SVR into extrapolation;
+    * a **VM-flavor shift**: ``shift_fraction`` of every class's servers
+      receive a heavier new-generation VM (staggered over
+      ``shift_window_s`` from ``shift_start_s``), changing the ξ_VM mix
+      the model was fitted on; an optional **second wave** lands after a
+      drift-aware lifecycle would have retrained, so retrained-vs-frozen
+      forecast quality shows up in the post-wave retarget transients.
+
+    Flavor-shift arrivals are only scheduled on servers whose initial
+    placement leaves static headroom for them (memory is a hard
+    admission constraint), so the scenario can never capacity-fault
+    mid-run.
+
+    Event timing defaults scale with ``duration_s`` (ramp from 1/6
+    through ~2/3 of the run, first wave at 1/3, second wave at 3/4), so
+    shortened runs keep the same drama; pass explicit times to override,
+    or ``second_wave=False`` to drop the post-retrain wave.
+    """
+    if ramp_start_s is None:
+        ramp_start_s = duration_s / 6.0
+    if ramp_step_s is None:
+        ramp_step_s = duration_s / 12.0
+    if shift_start_s is None:
+        shift_start_s = duration_s / 3.0
+    if shift_window_s is None:
+        shift_window_s = duration_s / 12.0
+    if second_wave_window_s is None:
+        second_wave_window_s = duration_s / 12.0
+    if not second_wave:
+        second_wave_start_s = None  # the off-switch wins over explicit times
+    elif second_wave_start_s is None:
+        second_wave_start_s = duration_s * 0.75
+    if n_classes < 1 or servers_per_class < 1:
+        raise ConfigurationError(
+            f"need at least one server, got {n_classes} classes x "
+            f"{servers_per_class}"
+        )
+    lo, hi = vms_per_server
+    if not 1 <= lo <= hi:
+        raise ConfigurationError(f"invalid vms_per_server {vms_per_server}")
+    if not 0.0 <= shift_fraction <= 1.0:
+        raise ConfigurationError(
+            f"shift_fraction must be in [0, 1], got {shift_fraction}"
+        )
+    if not 0.0 < ramp_start_s < duration_s:
+        raise ConfigurationError(
+            f"ramp_start_s must fall inside the run, got {ramp_start_s}"
+        )
+    if n_ramp_steps < 1 or ramp_step_s <= 0:
+        raise ConfigurationError("ramp needs >= 1 steps of positive spacing")
+    last_ramp_step_s = ramp_start_s + (n_ramp_steps - 1) * ramp_step_s
+    if last_ramp_step_s >= duration_s:
+        raise ConfigurationError(
+            f"last ambient ramp step at {last_ramp_step_s}s would never "
+            f"apply inside the {duration_s}s run"
+        )
+    if not 0.0 < shift_start_s < duration_s:
+        raise ConfigurationError(
+            f"shift_start_s must fall inside the run, got {shift_start_s}"
+        )
+    if shift_window_s < 0 or second_wave_window_s < 0:
+        raise ConfigurationError(
+            "wave windows must be >= 0, got "
+            f"shift={shift_window_s}, second={second_wave_window_s}"
+        )
+    if shift_start_s + shift_window_s >= duration_s:
+        raise ConfigurationError(
+            f"flavor-shift wave [{shift_start_s}, "
+            f"{shift_start_s + shift_window_s}] must finish strictly inside "
+            f"the {duration_s}s run — late arrivals would silently never land"
+        )
+    if second_wave_start_s is not None:
+        if not shift_start_s < second_wave_start_s < duration_s:
+            raise ConfigurationError(
+                "second_wave_start_s must follow shift_start_s inside the run"
+            )
+        if second_wave_start_s + second_wave_window_s >= duration_s:
+            raise ConfigurationError(
+                f"second wave [{second_wave_start_s}, "
+                f"{second_wave_start_s + second_wave_window_s}] must finish "
+                f"strictly inside the {duration_s}s run"
+            )
+
+    factory = RngFactory(seed)
+    combos = _hardware_class_combos(factory, n_classes)
+    specs, placements = _class_fleet_specs(
+        factory, combos, servers_per_class, lo, hi
+    )
+
+    # Flavor-shift arrivals: the first shift_fraction of each class's
+    # servers, skipping any without static headroom for the heavy VMs.
+    n_shift = round(servers_per_class * shift_fraction)
+    waves = [(shift_start_s, shift_window_s)]
+    if second_wave_start_s is not None:
+        waves.append((second_wave_start_s, second_wave_window_s))
+    shifted: list[int] = []
+    for i, (spec, vms) in enumerate(zip(specs, placements)):
+        if i % servers_per_class >= n_shift:
+            continue
+        used_vcpus = sum(vm.vcpus for vm in vms)
+        used_memory = sum(vm.memory_gb for vm in vms)
+        vcpu_limit = spec.capacity.cpu_cores * spec.cpu_overcommit
+        if used_vcpus + 2 * len(waves) > vcpu_limit:
+            continue
+        if used_memory + 6.0 * len(waves) + 1.0 > spec.capacity.memory_gb:
+            continue
+        shifted.append(i)
+    arrivals: list[tuple[float, str, VmSpec]] = []
+    for rank, i in enumerate(shifted):
+        rng = factory.stream(f"flavor-shift/{i}")
+        for wave, (start_s, window_s) in enumerate(waves):
+            time_s = start_s + window_s * (rank / max(len(shifted) - 1, 1))
+            heavy = VmSpec(
+                name=f"shift-{i:03d}-w{wave}",
+                vcpus=2,
+                memory_gb=rng.uniform(3.0, 6.0),
+                tasks=(
+                    ConstantTask(level=rng.uniform(0.55, 0.8)),
+                    ConstantTask(level=rng.uniform(0.55, 0.8)),
+                ),
+            )
+            arrivals.append((time_s, specs[i].name, heavy))
+    arrivals.sort(key=lambda entry: entry[0])
+
+    steps = tuple(
+        (
+            ramp_start_s + i * ramp_step_s,
+            22.0 + ramp_delta_c * (i + 1) / n_ramp_steps,
+        )
+        for i in range(n_ramp_steps)
+    )
+    return FleetScenario(
+        name=f"model-drift-{n_classes}x{servers_per_class}",
+        server_specs=tuple(specs),
+        vm_specs=tuple(placements),
+        environment=SteppedEnvironment(initial_c=22.0, steps=steps),
+        duration_s=duration_s,
+        seed=seed,
+        arrivals=tuple(arrivals),
+        servers_per_rack=max(1, (n_classes * servers_per_class) // 4),
     )
 
 

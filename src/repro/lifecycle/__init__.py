@@ -1,0 +1,60 @@
+"""Model lifecycle: drift detection → retraining → atomic hot-swap.
+
+The last open loop of the ROADMAP north-star. The serving layer
+(:mod:`repro.serving`) predicts, the control plane (:mod:`repro.control`)
+acts, and this package keeps the *models themselves* honest while the
+fleet runs:
+
+* :mod:`repro.lifecycle.drift` — :class:`DriftMonitor`, windowed
+  per-class γ-saturation and forecast-error statistics over the live
+  :class:`~repro.serving.fleet.PredictionFleet`;
+* :mod:`repro.lifecycle.planner` — :class:`RetrainPlanner`, sliding-window
+  labelled record sets harvested from telemetry for the stale classes;
+* :mod:`repro.lifecycle.retrainer` — :class:`Retrainer`, one lockstep
+  batched SMO round per lifecycle round, published through the
+  registry's atomic version APIs (swap / promote / register);
+* :mod:`repro.lifecycle.manager` — :class:`ModelLifecycle`, the optional
+  sixth control-plane stage tying the three together under a retrain
+  cooldown.
+
+See the "Lifecycle path" section of ``docs/architecture.md``, the
+``fleet-lifecycle`` CLI, and ``benchmarks/test_lifecycle.py`` for the
+throughput and parity contract.
+"""
+
+from repro.lifecycle.drift import (
+    ClassDriftSignal,
+    DriftIntervalRecord,
+    DriftMonitor,
+    DriftMonitorConfig,
+)
+from repro.lifecycle.manager import LifecycleConfig, ModelLifecycle
+from repro.lifecycle.planner import (
+    ClassRecordSet,
+    RetrainPlan,
+    RetrainPlanner,
+    RetrainPlannerConfig,
+)
+from repro.lifecycle.retrainer import (
+    ClassRetrainOutcome,
+    Retrainer,
+    RetrainerConfig,
+    RetrainRound,
+)
+
+__all__ = [
+    "ClassDriftSignal",
+    "ClassRecordSet",
+    "ClassRetrainOutcome",
+    "DriftIntervalRecord",
+    "DriftMonitor",
+    "DriftMonitorConfig",
+    "LifecycleConfig",
+    "ModelLifecycle",
+    "RetrainPlan",
+    "RetrainPlanner",
+    "RetrainPlannerConfig",
+    "Retrainer",
+    "RetrainerConfig",
+    "RetrainRound",
+]

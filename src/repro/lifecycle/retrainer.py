@@ -1,0 +1,264 @@
+"""Batched retraining: one lockstep SMO round, a CV gate, atomic swaps.
+
+A lifecycle round typically retrains several server classes at once
+(drift — an ambient shift, a new VM generation — rarely respects class
+boundaries), and a production registry must not blindly publish
+whatever a refit produces: the fresh model has to *prove* it beats the
+deployed one before it serves traffic. Both needs meet in one batched
+solve. For every stale class the round assembles its k-fold validation
+problems **and** its full refit, stacks all of them — every fold of
+every class — into a single :func:`~repro.svm.smo.solve_svr_dual_batch`
+call, and runs them in lockstep. This box has one core, so that
+batching is the whole speedup lever (bit-identical per problem, ≥4×
+over sequential cold trains — ``benchmarks/test_lifecycle.py``); the
+fold problems come along for nearly free because the batch's wall time
+is governed by its *longest* member, not its width.
+
+The **publish gate** then compares each class's fresh k-fold CV MSE on
+the harvested records against the deployed model's MSE on those same
+records: genuinely drifted classes pass by a wide margin (the deployed
+model is wrong in the new regime), while a false-alarm retrain — fresh
+data the old model still explains — is *held*, leaving the registry
+untouched.
+
+Each class keeps its deployed hyper-parameters and its frozen
+svm-scale map: features are extracted and scaled by the *current
+entry's* extractor/scaler, fold Grams are computed on the row subsets
+(never sliced from a bigger Gram — BLAS slicing is not bit-stable), and
+the refit reuses the entry's kernel γ, C and ε. Published models go
+through the registry's atomic version APIs —
+:meth:`~repro.serving.registry.ModelRegistry.swap_model` for existing
+model keys, :meth:`~repro.serving.registry.ModelRegistry.promote` for
+classes aliased to the default at campaign time, and
+:meth:`~repro.serving.registry.ModelRegistry.register_model` for
+classes the campaign never saw.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lifecycle.planner import RetrainPlan
+from repro.serving.registry import ModelRegistry
+from repro.svm.cv import KFold
+from repro.svm.metrics import mean_squared_error
+from repro.svm.smo import solve_svr_dual_batch
+
+
+@dataclass(frozen=True)
+class RetrainerConfig:
+    """Knobs of the lockstep retraining round."""
+
+    #: SMO iteration budget per problem (folds and refits).
+    max_iter: int = 50_000
+    #: Forwarded to the solver (``"warn"``, ``"raise"``, ``"ignore"``).
+    on_no_convergence: str = "warn"
+    #: k of the publish gate's k-fold CV (capped at the class's record
+    #: count; 0 disables the gate and publishes unconditionally).
+    validation_splits: int = 5
+    #: Publish when ``fresh_cv_mse <= publish_margin * deployed_mse``;
+    #: 1.0 demands the fresh model be at least as good out-of-sample as
+    #: the incumbent is on the same fresh records.
+    publish_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {self.max_iter}")
+        if self.validation_splits < 0 or self.validation_splits == 1:
+            raise ConfigurationError(
+                "validation_splits must be 0 (gate disabled) or >= 2, got "
+                f"{self.validation_splits}"
+            )
+        if self.publish_margin <= 0:
+            raise ConfigurationError(
+                f"publish_margin must be > 0, got {self.publish_margin}"
+            )
+
+
+@dataclass(frozen=True)
+class ClassRetrainOutcome:
+    """One class's published retrain result."""
+
+    key: str
+    n_records: int
+    #: Registry version now serving the class.
+    version: int
+    #: Training MSE of the fresh model on its own record set.
+    train_mse: float
+    #: Fresh model's k-fold CV MSE on the record set (NaN: gate disabled).
+    cv_mse: float
+    #: Deployed model's MSE on the same fresh records (NaN: gate disabled).
+    deployed_mse: float
+    #: How the model was published: "swap", "promote", or "register".
+    action: str
+
+
+@dataclass(frozen=True)
+class RetrainRound:
+    """Everything one lifecycle retraining round did."""
+
+    time_s: float
+    outcomes: tuple[ClassRetrainOutcome, ...]
+    #: Carried over from the plan: classes with no usable record set.
+    skipped: tuple[tuple[str, str], ...]
+    #: Classes whose fresh model failed the publish gate (key, reason) —
+    #: the registry keeps serving the incumbent.
+    held: tuple[tuple[str, str], ...]
+    #: Wall-clock seconds spent solving, validating, and publishing.
+    duration_s: float
+
+    @property
+    def n_retrained(self) -> int:
+        """Number of classes that received a new model this round."""
+        return len(self.outcomes)
+
+    @property
+    def keys(self) -> list[str]:
+        """Retrained class keys, in round order."""
+        return [outcome.key for outcome in self.outcomes]
+
+
+class Retrainer:
+    """Refits stale classes in one lockstep batch and publishes atomically."""
+
+    def __init__(
+        self, registry: ModelRegistry, config: RetrainerConfig | None = None
+    ) -> None:
+        self.registry = registry
+        self.config = config or RetrainerConfig()
+
+    def retrain(self, plan: RetrainPlan) -> RetrainRound:
+        """Execute a :class:`~repro.lifecycle.planner.RetrainPlan`.
+
+        One :func:`~repro.svm.smo.solve_svr_dual_batch` call solves
+        every planned class's CV folds and full refit at its deployed
+        (C, γ, ε); classes whose fresh model passes the publish gate are
+        wrapped in a fresh :class:`~repro.svm.svr.EpsilonSVR` and
+        published as the class's next registry version, the rest are
+        held. In-flight serving state (calibration γ, Δ_update
+        deadlines) is never touched — new models take effect at the
+        next ψ_stable query.
+        """
+        started = time.perf_counter()
+        config = self.config
+
+        def finish(outcomes, held):
+            return RetrainRound(
+                time_s=plan.time_s,
+                outcomes=tuple(outcomes),
+                skipped=plan.skipped,
+                held=tuple(held),
+                duration_s=time.perf_counter() - started,
+            )
+
+        if not plan.classes:
+            return finish((), ())
+        entries = [self.registry.resolve(rs.key) for rs in plan.classes]
+
+        # Assemble every problem of the round — per class, the CV folds
+        # (train rows only) then the full refit — for one lockstep batch.
+        xs, ys, folds = [], [], []
+        grams, targets, cs, epsilons = [], [], [], []
+        for record_set, entry in zip(plan.classes, entries):
+            records = list(record_set.records)
+            x = entry.scaler.transform(entry.extractor.matrix(records))
+            y = entry.extractor.targets(records)
+            xs.append(x)
+            ys.append(y)
+            n = y.shape[0]
+            splits = min(config.validation_splits, n)
+            class_folds = (
+                list(KFold(splits, rng=None).split(n)) if splits >= 2 else []
+            )
+            folds.append(class_folds)
+            kernel = entry.model.kernel
+            for train_idx, _ in class_folds:
+                x_train = x[train_idx]
+                grams.append(kernel.gram(x_train, x_train))
+                targets.append(y[train_idx])
+                cs.append(entry.model.c)
+                epsilons.append(entry.model.epsilon)
+            grams.append(kernel.gram(x, x))
+            targets.append(y)
+            cs.append(entry.model.c)
+            epsilons.append(entry.model.epsilon)
+        solutions = solve_svr_dual_batch(
+            grams,
+            targets,
+            c=cs,
+            epsilon=epsilons,
+            max_iter=config.max_iter,
+            on_no_convergence=config.on_no_convergence,
+        )
+
+        outcomes = []
+        held = []
+        cursor = 0
+        for record_set, entry, x, y, class_folds in zip(
+            plan.classes, entries, xs, ys, folds
+        ):
+            # Publish gate: pooled held-out squared error of the fold
+            # models vs the incumbent's error on the same fresh records.
+            cv_mse = float("nan")
+            deployed_mse = float("nan")
+            if class_folds:
+                squared_sum = 0.0
+                for train_idx, val_idx in class_folds:
+                    fold_model = entry.model.clone()
+                    fold_model.adopt_solution(x[train_idx], solutions[cursor])
+                    cursor += 1
+                    residual = (
+                        np.atleast_1d(fold_model.predict(x[val_idx]))
+                        - y[val_idx]
+                    )
+                    squared_sum += float(residual @ residual)
+                cv_mse = squared_sum / y.shape[0]
+                deployed = np.atleast_1d(entry.model.predict(x))
+                deployed_mse = mean_squared_error(
+                    y.tolist(), deployed.tolist()
+                )
+            refit_solution = solutions[cursor]
+            cursor += 1
+            key = record_set.key
+            if class_folds and cv_mse > config.publish_margin * deployed_mse:
+                held.append(
+                    (
+                        key,
+                        f"fresh CV MSE {cv_mse:.3f} not better than deployed "
+                        f"{deployed_mse:.3f} (margin {config.publish_margin:g})",
+                    )
+                )
+                continue
+            model = entry.model.clone()
+            model.max_iter = config.max_iter
+            model.adopt_solution(x, refit_solution)
+            if key not in self.registry:
+                action = "register"
+                published = self.registry.register_model(
+                    key, model, scaler=entry.scaler, extractor=entry.extractor
+                )
+            elif self.registry.is_alias(key):
+                action = "promote"
+                published = self.registry.promote(key, model)
+            else:
+                action = "swap"
+                published = self.registry.swap_model(key, model)
+            predictions = np.atleast_1d(model.predict(x))
+            outcomes.append(
+                ClassRetrainOutcome(
+                    key=key,
+                    n_records=record_set.n_records,
+                    version=published.version,
+                    train_mse=mean_squared_error(
+                        y.tolist(), predictions.tolist()
+                    ),
+                    cv_mse=cv_mse,
+                    deployed_mse=deployed_mse,
+                    action=action,
+                )
+            )
+        return finish(outcomes, held)

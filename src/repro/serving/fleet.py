@@ -354,6 +354,16 @@ class PredictionFleet:
         return self._gamma.copy()
 
     @property
+    def model_keys(self) -> list[str]:
+        """Registry model key per tracked server, in array order.
+
+        The key each server was tracked with (the *requested* key; the
+        registry may serve it via an alias or the default fallback) —
+        what the lifecycle's drift monitor groups servers by.
+        """
+        return list(self._keys)
+
+    @property
     def retarget_log(self) -> list[tuple[str, float, float, float]]:
         """(server, time, measured φ, new ψ_stable) for every retarget."""
         return list(self._retarget_log)

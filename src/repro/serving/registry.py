@@ -11,10 +11,29 @@ such as ``"rack-a/16-core"`` — to :class:`ModelEntry` triples
 ``(extractor, scaler, svr)``. Lookups fall back to the ``"default"``
 entry when a key is unknown, so a fleet can run with one global model
 and specialize per class incrementally.
+
+Entries are **immutable versions**. Registration snapshots the fitted
+extractor/scaler/SVR state (components passed by reference would let a
+later in-place ``fit`` of the same objects silently mutate live serving
+— the stale-model family of bugs), and :meth:`ModelRegistry.swap`
+publishes a retrained model as a *new* version of an existing key in
+one atomic step. Aliases bind to the target *key*, not to one of its
+entries, so they always follow the target's current version across
+swaps. Callers that resolved an entry before a swap keep a fully
+functional (superseded) model — mid-batch readers never observe a
+half-published state.
+
+Snapshots are deduplicated by source object: registering ten class
+models that share one live scaler produces ten entries sharing one
+frozen scaler copy, and passing a registry-owned component back (e.g.
+``base.scaler``) shares it as-is.
 """
 
 from __future__ import annotations
 
+import copy
+import pickle
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,14 +53,17 @@ DEFAULT_KEY = "default"
 class ModelEntry:
     """One deployable stable-temperature model: extractor → scaler → SVR.
 
-    Entries are value objects; registering the same entry under several
-    keys (see :meth:`ModelRegistry.alias`) shares the extractor, the
-    scaler, and the support vectors between those keys.
+    Entries are immutable value objects owned by the registry — their
+    components are frozen snapshots of the fitted state they were
+    registered from, so refitting the source objects cannot change what
+    an entry serves. ``version`` counts swaps of the entry's key,
+    starting at 1.
     """
 
     extractor: FeatureExtractor
     scaler: MinMaxScaler
     model: EpsilonSVR
+    version: int = 1
 
     def predict_records(self, records: list[ExperimentRecord]) -> np.ndarray:
         """ψ_stable forecasts for a batch of Eq. (2) records.
@@ -64,20 +86,130 @@ class ModelRegistry:
 
         registry = ModelRegistry()
         registry.register("default", trained_predictor)
-        registry.alias("rack-a/16-core", "default")   # shared entry
+        registry.alias("rack-a/16-core", "default")   # follows "default"
         psi = registry.resolve("rack-b/unknown").predict_records(records)
+        registry.swap("default", retrained_predictor)  # version 2, atomic
     """
 
     def __init__(self) -> None:
-        self._entries: dict[str, ModelEntry] = {}
+        #: Canonical key → version list; the last element is current.
+        self._models: dict[str, list[ModelEntry]] = {}
+        #: Alias key → target key (possibly itself an alias).
+        self._aliases: dict[str, str] = {}
+        #: id(source component) → (weakref to source, frozen snapshot,
+        #: fingerprint of the source's state when frozen). Lets many
+        #: keys registered from one live scaler/extractor/SVR share a
+        #: single frozen copy, and makes passing a registry-owned
+        #: component back a no-op share. Sources are held *weakly* so
+        #: single-use sources (e.g. a retrainer's throwaway refits) do
+        #: not pile up over a long-running lifecycle — dead entries are
+        #: pruned on each freeze, and a dead weakref also neutralises
+        #: the id-reuse hazard (the stale key is discarded, never
+        #: matched). The fingerprint guards the dedup against in-place
+        #: mutation: a source refit *after* it was frozen must produce
+        #: a fresh snapshot, not the stale cached one.
+        self._snapshots: dict[
+            int, tuple[weakref.ref, object, bytes | None]
+        ] = {}
+
+    # -- snapshotting --------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(component) -> bytes | None:
+        """Serialized state used to detect in-place mutation of a cached
+        source; ``None`` (unpicklable component) disables dedup for it —
+        conservative: every use then freezes a fresh copy."""
+        try:
+            return pickle.dumps(component, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # pragma: no cover - exotic custom components
+            return None
+
+    def _prune_snapshots(self) -> None:
+        """Drop cache entries whose source has been garbage collected."""
+        dead = [key for key, (ref, _, _) in self._snapshots.items() if ref() is None]
+        for key in dead:
+            del self._snapshots[key]
+
+    def _freeze(self, component):
+        """Frozen, registry-owned copy of a fitted component.
+
+        Deduplicated by source object *and* fitted state: a cache hit is
+        honoured only while the source is alive and still carries the
+        state it had when frozen, so refitting a registered object in
+        place and passing it to :meth:`swap_model` publishes the refit
+        state, not the stale snapshot.
+        """
+        self._prune_snapshots()
+        fingerprint = self._fingerprint(component)
+        cached = self._snapshots.get(id(component))
+        if (
+            cached is not None
+            and cached[0]() is component
+            and fingerprint is not None
+            and cached[2] == fingerprint
+        ):
+            # Slot 1 is None for a self-entry: the component IS the
+            # registry-owned snapshot, shared as-is.
+            return cached[1] if cached[1] is not None else component
+        snapshot = copy.deepcopy(component)
+        self._snapshots[id(component)] = (
+            weakref.ref(component),
+            snapshot,
+            fingerprint,
+        )
+        # The snapshot itself is registry-owned: passing it back (e.g.
+        # ``base.scaler`` from a previous entry) shares it as-is. The
+        # self-entry holds the snapshot only weakly (slot 1 None), so it
+        # lives exactly as long as some version retains the snapshot —
+        # then the weakref dies and the entry is pruned. The source's
+        # fingerprint doubles as the snapshot's (it is a fresh deepcopy
+        # of that exact state); a benign serialization difference would
+        # only cost one extra copy on a later pass-back, never a stale
+        # share.
+        self._snapshots[id(snapshot)] = (
+            weakref.ref(snapshot),
+            None,
+            fingerprint,
+        )
+        return snapshot
+
+    def __deepcopy__(self, memo) -> "ModelRegistry":
+        """Deep copy with a rebuilt snapshot cache.
+
+        A naive deepcopy would carry over cache keys holding the
+        *originals'* ids while pinning only the copies — once the
+        originals are garbage collected those integer keys can alias
+        recycled addresses of unrelated objects. The copy instead
+        re-owns its own components: entries (and their sharing
+        structure, via ``memo``) are deep-copied, and the cache is
+        rebuilt to self-map exactly the copied components.
+        """
+        clone = ModelRegistry()
+        memo[id(self)] = clone
+        clone._models = {
+            key: [copy.deepcopy(entry, memo) for entry in versions]
+            for key, versions in self._models.items()
+        }
+        clone._aliases = dict(self._aliases)
+        for versions in clone._models.values():
+            for entry in versions:
+                for component in (entry.extractor, entry.scaler, entry.model):
+                    if id(component) not in clone._snapshots:
+                        clone._snapshots[id(component)] = (
+                            weakref.ref(component),
+                            None,  # self-entry: the component is the snapshot
+                            clone._fingerprint(component),
+                        )
+        return clone
 
     # -- registration -------------------------------------------------------
 
     def register(self, key: str, predictor: StableTemperaturePredictor) -> ModelEntry:
         """Register a fitted :class:`StableTemperaturePredictor` under ``key``.
 
-        The predictor's fitted extractor/scaler/SVR are captured by
-        reference (no copy); raises
+        The predictor's fitted extractor/scaler/SVR are **snapshotted**
+        at registration — refitting ``predictor`` in place afterwards
+        leaves the served entry untouched. Raises
         :class:`~repro.errors.NotFittedError` when the predictor has not
         been trained and :class:`~repro.errors.ServingError` on duplicate
         keys.
@@ -96,67 +228,192 @@ class ModelRegistry:
         scaler: MinMaxScaler,
         extractor: FeatureExtractor | None = None,
     ) -> ModelEntry:
-        """Register raw fitted components under ``key``.
+        """Register raw fitted components under ``key`` (version 1).
 
-        Passing another entry's ``scaler`` (or ``extractor``) shares it,
-        which is how per-class models trained on one svm-scale map are
-        deployed.
+        Components are snapshotted (deduplicated by source object):
+        passing another entry's ``scaler`` (or ``extractor``) shares the
+        frozen copy, which is how per-class models trained on one
+        svm-scale map are deployed.
         """
         if not key:
             raise ServingError("model key must be non-empty")
-        if key in self._entries:
+        if key in self:
             raise ServingError(f"model key {key!r} already registered")
         entry = ModelEntry(
-            extractor=extractor or FeatureExtractor(),
-            scaler=scaler,
-            model=model,
+            extractor=self._freeze(extractor or FeatureExtractor()),
+            scaler=self._freeze(scaler),
+            model=self._freeze(model),
+            version=1,
         )
-        self._entries[key] = entry
+        self._models[key] = [entry]
         return entry
 
+    def swap(self, key: str, predictor: StableTemperaturePredictor) -> ModelEntry:
+        """Atomically publish a retrained predictor as ``key``'s next version."""
+        return self.swap_model(
+            key,
+            predictor.svr,
+            scaler=predictor.scaler,
+            extractor=predictor.extractor,
+        )
+
+    def swap_model(
+        self,
+        key: str,
+        model: EpsilonSVR,
+        scaler: MinMaxScaler | None = None,
+        extractor: FeatureExtractor | None = None,
+    ) -> ModelEntry:
+        """Atomically publish raw fitted components as ``key``'s next version.
+
+        ``key`` must name a registered model (swap an alias's *target*,
+        not the alias — aliases re-resolve on their own). Omitting
+        ``scaler``/``extractor`` carries the current version's frozen
+        components forward, preserving the deployed svm-scale map. The
+        new entry is snapshotted first and published with one list
+        append, so concurrent readers see either the old or the new
+        version, never an intermediate; superseded entries stay valid
+        for callers that already resolved them.
+        """
+        if key in self._aliases:
+            raise ServingError(
+                f"cannot swap alias {key!r}; swap its target "
+                f"{self._canonical(key)!r} instead"
+            )
+        versions = self._models.get(key)
+        if versions is None:
+            raise ServingError(
+                f"cannot swap unregistered key {key!r}; "
+                f"registered keys: {self.keys()}"
+            )
+        current = versions[-1]
+        entry = ModelEntry(
+            extractor=(
+                current.extractor if extractor is None else self._freeze(extractor)
+            ),
+            scaler=current.scaler if scaler is None else self._freeze(scaler),
+            model=self._freeze(model),
+            version=current.version + 1,
+        )
+        versions.append(entry)
+        return entry
+
+    def promote(
+        self,
+        key: str,
+        model: EpsilonSVR,
+        scaler: MinMaxScaler | None = None,
+        extractor: FeatureExtractor | None = None,
+    ) -> ModelEntry:
+        """Give alias ``key`` its own model (version 1), atomically.
+
+        The lifecycle path for a class that was aliased to the default
+        at campaign time (too few records) and has since drifted enough
+        to earn its own model: the alias binding is replaced by a fresh
+        version-1 entry. Omitted ``scaler``/``extractor`` inherit the
+        old target's frozen components, preserving the deployed
+        svm-scale map. Raises on keys that are not aliases.
+        """
+        target = self._aliases.get(key)
+        if target is None:
+            raise ServingError(
+                f"cannot promote {key!r}: not an alias"
+                + (" (already a model key)" if key in self._models else "")
+            )
+        current = self._require(target)
+        entry = ModelEntry(
+            extractor=(
+                current.extractor if extractor is None else self._freeze(extractor)
+            ),
+            scaler=current.scaler if scaler is None else self._freeze(scaler),
+            model=self._freeze(model),
+            version=1,
+        )
+        # Publish, then drop the alias binding: a reader between the two
+        # statements still resolves through the (now shadowed) alias to
+        # a valid entry.
+        self._models[key] = [entry]
+        del self._aliases[key]
+        return entry
+
+    def is_alias(self, key: str) -> bool:
+        """Whether ``key`` is an alias binding (not its own model)."""
+        return key in self._aliases
+
     def alias(self, key: str, existing_key: str) -> ModelEntry:
-        """Serve ``key`` with the entry already registered as ``existing_key``."""
-        if key in self._entries:
+        """Serve ``key`` with whatever ``existing_key`` currently resolves to.
+
+        The alias binds to the *key*, not to its current entry: after a
+        :meth:`swap` of ``existing_key`` (before or after the alias was
+        created) the alias follows the new version. Returns the target's
+        current entry.
+        """
+        if key in self:
             raise ServingError(f"model key {key!r} already registered")
         entry = self._require(existing_key)
-        self._entries[key] = entry
+        self._aliases[key] = existing_key
         return entry
 
     # -- lookup --------------------------------------------------------------
 
+    def _canonical(self, key: str) -> str:
+        """Follow alias indirection to the canonical model key."""
+        seen = set()
+        while key in self._aliases:
+            if key in seen:  # unreachable via the public API; defensive
+                raise ServingError(f"alias cycle at {key!r}")
+            seen.add(key)
+            key = self._aliases[key]
+        return key
+
     def _require(self, key: str) -> ModelEntry:
-        if key not in self._entries:
+        versions = self._models.get(self._canonical(key))
+        if versions is None:
             raise ServingError(
-                f"unknown model key {key!r}; registered keys: {sorted(self._entries)}"
+                f"unknown model key {key!r}; registered keys: {self.keys()}"
             )
-        return self._entries[key]
+        return versions[-1]
 
     def resolve(self, key: str) -> ModelEntry:
-        """Entry for ``key``, falling back to ``"default"`` when unknown.
+        """Current entry for ``key``, falling back to ``"default"``.
 
-        Raises :class:`~repro.errors.ServingError` when neither ``key``
-        nor the default entry exists.
+        Aliases follow their target key's *current* version. Raises
+        :class:`~repro.errors.ServingError` when neither ``key`` nor the
+        default entry exists.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            return entry
-        entry = self._entries.get(DEFAULT_KEY)
-        if entry is not None:
-            return entry
+        versions = self._models.get(self._canonical(key))
+        if versions is not None:
+            return versions[-1]
+        versions = self._models.get(self._canonical(DEFAULT_KEY))
+        if versions is not None:
+            return versions[-1]
         raise ServingError(
             f"unknown model key {key!r} and no {DEFAULT_KEY!r} fallback; "
-            f"registered keys: {sorted(self._entries)}"
+            f"registered keys: {self.keys()}"
         )
 
+    def versions(self, key: str) -> list[ModelEntry]:
+        """All versions of ``key`` (aliases follow their target), oldest first."""
+        versions = self._models.get(self._canonical(key))
+        if versions is None:
+            raise ServingError(
+                f"unknown model key {key!r}; registered keys: {self.keys()}"
+            )
+        return list(versions)
+
+    def current_version(self, key: str) -> int:
+        """Version number currently served for ``key``."""
+        return self._require(key).version
+
     def keys(self) -> list[str]:
-        """All registered keys, sorted."""
-        return sorted(self._entries)
+        """All registered keys (models and aliases), sorted."""
+        return sorted([*self._models, *self._aliases])
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        return key in self._models or key in self._aliases
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._models) + len(self._aliases)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ModelRegistry(keys={self.keys()})"

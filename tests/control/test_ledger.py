@@ -110,6 +110,36 @@ class TestSummary:
         assert math.isnan(summary["pue"])
 
 
+class TestWindowedForecastError:
+    def test_scores_only_the_trailing_window(self):
+        ledger = ControlLedger(interval_s=60.0)
+        for i, error in enumerate([9.0, 9.0, 1.0, 2.0, 3.0]):
+            record(ledger, 60.0 * (i + 1), error=error, scored=1)
+        assert ledger.windowed_forecast_error_c(3) == pytest.approx(2.0)
+        # Early rows do not dilute the window; the full mean does see them.
+        assert ledger.mean_forecast_error_c() == pytest.approx(4.8)
+
+    def test_window_longer_than_run_uses_all_rows(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, error=2.0, scored=1)
+        assert ledger.windowed_forecast_error_c(10) == pytest.approx(2.0)
+
+    def test_nan_rows_skipped_and_all_nan_window_is_nan(self):
+        ledger = ControlLedger(interval_s=60.0)
+        record(ledger, 60.0, error=5.0, scored=1)
+        record(ledger, 120.0)  # unscored interval: NaN error
+        record(ledger, 180.0, error=1.0, scored=1)
+        assert ledger.windowed_forecast_error_c(2) == pytest.approx(1.0)
+        empty = ControlLedger(interval_s=60.0)
+        record(empty, 60.0)
+        assert math.isnan(empty.windowed_forecast_error_c(3))
+
+    def test_rejects_bad_window(self):
+        ledger = ControlLedger(interval_s=60.0)
+        with pytest.raises(ConfigurationError):
+            ledger.windowed_forecast_error_c(0)
+
+
 class TestForecastErrorAt:
     def test_scores_matured_forecasts(self):
         telemetry = TelemetryCollector()

@@ -192,6 +192,72 @@ class TestActStage:
             ControlPlaneConfig(server_cooldown_s=-1.0)
 
 
+class TestPreForecastEdges:
+    """The interval probe may fire before any forecast exists — the loop
+    must account an (empty) interval rather than crash."""
+
+    def test_tick_with_untracked_fleet_records_empty_interval(self):
+        sim = build_sim(n=3, hot=("s0",))
+        plane = build_plane()  # fleet tracks nothing: zero forecasts
+        plane._on_step(sim, 60.0)
+        assert plane.ledger.n_intervals == 1
+        record = plane.ledger.records[0]
+        assert record.n_tracked == 0
+        assert record.forecasts_scored == 0
+        assert np.isnan(record.forecast_error_c)
+        # Measured detection still works without forecasts.
+        assert record.measured_hotspots == 1
+        assert record.predicted_hotspots == 0
+        assert np.isnan(plane.ledger.windowed_forecast_error_c())
+
+    def test_tick_with_tracked_but_unforecast_servers(self):
+        from tests.conftest import make_record
+
+        sim = build_sim(n=3, hot=("s0",))
+        plane = build_plane()
+        plane.fleet.track(
+            ["s0", "s1"],
+            [make_record(psi=None), make_record(psi=None, n_vms=5)],
+            np.zeros(2),
+            np.full(2, 40.0),
+        )  # tracked, but predict_ahead never ran: all-NaN forecasts
+        plane._on_step(sim, 60.0)
+        record = plane.ledger.records[0]
+        assert record.n_tracked == 2
+        assert record.predicted_hotspots == 0
+        assert record.forecasts_scored == 0
+
+
+class StubLifecycle:
+    """Duck-typed sixth stage: records the ticks it was handed."""
+
+    def __init__(self):
+        self.ticks = []
+
+    def step(self, sim, time_s, fleet):
+        self.ticks.append((time_s, fleet.n_servers))
+        return None
+
+
+class TestLifecycleStage:
+    def test_lifecycle_stage_runs_after_account(self):
+        sim = build_sim(n=3, hot=("s0",))
+        fleet = PredictionFleet(EchoRegistry())
+        lifecycle = StubLifecycle()
+        plane = ControlPlane(
+            fleet,
+            detector=HotspotDetector(threshold_c=75.0),
+            lifecycle=lifecycle,
+        )
+        plane._on_step(sim, 60.0)
+        assert lifecycle.ticks == [(60.0, 0)]
+        assert plane.ledger.n_intervals == 1  # account ran before lifecycle
+
+    def test_no_lifecycle_is_the_default(self):
+        plane = build_plane()
+        assert plane.lifecycle is None
+
+
 class TestRoundTrip:
     def test_issued_migration_completes_and_reservation_clears(self):
         sim = build_sim(n=3, hot=("s0",), vms_per_hot=1)

@@ -9,11 +9,13 @@ from repro.experiments.scenarios import (
     build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
+    class_balanced_fleet_scenario,
     cooling_failure_scenario,
     diurnal_fleet_scenario,
     flash_crowd_scenario,
     migration_scenario,
     migration_storm_scenario,
+    model_drift_scenario,
     random_scenario,
     random_scenarios,
     thermal_cascade_scenario,
@@ -176,6 +178,61 @@ class TestFleetScenarios:
             diurnal_fleet_scenario(n_servers=0)
         with pytest.raises(ConfigurationError):
             diurnal_fleet_scenario(vms_per_server=(3, 2))
+
+
+class TestModelDriftScenario:
+    """The lifecycle's regime-shift workload."""
+
+    def test_fleet_is_bit_identical_to_class_balanced_at_same_seed(self):
+        """The load-bearing guarantee: a registry trained on the calm
+        class-balanced campaign serves the drift fleet with matching
+        class keys, because both draw identical hardware + initial
+        placements from the same seed."""
+        calm = class_balanced_fleet_scenario(
+            n_classes=3, servers_per_class=4, seed=87_000
+        )
+        drift = model_drift_scenario(
+            n_classes=3, servers_per_class=4, seed=87_000, duration_s=3600.0
+        )
+        assert drift.server_specs == calm.server_specs
+        assert drift.vm_specs == calm.vm_specs
+
+    def test_ambient_ramps_and_waves_are_scheduled(self):
+        scenario = model_drift_scenario(
+            n_classes=2, servers_per_class=4, seed=87_000, duration_s=7200.0,
+            ramp_delta_c=6.0,
+        )
+        env = scenario.environment
+        assert env.temperature(0.0) == pytest.approx(22.0)
+        assert env.temperature(7200.0) == pytest.approx(28.0)
+        assert len(scenario.arrivals) > 0
+        times = [t for t, _, _ in scenario.arrivals]
+        assert times == sorted(times)
+        # Two waves: some arrivals before 60% of the run, some after.
+        assert min(times) < 0.6 * 7200.0 < max(times)
+
+    def test_single_wave_option(self):
+        scenario = model_drift_scenario(
+            n_classes=2, servers_per_class=4, seed=87_000, duration_s=3600.0,
+            second_wave=False,
+        )
+        names = {vm.name for _, _, vm in scenario.arrivals}
+        assert all(name.endswith("-w0") for name in names)
+
+    def test_arrivals_respect_static_capacity(self):
+        scenario = model_drift_scenario(
+            n_classes=3, servers_per_class=4, seed=87_000, duration_s=3600.0
+        )
+        sim = build_fleet_simulation(scenario)
+        sim.run(3600.0)  # a capacity fault would raise mid-run
+        hosted = sum(len(s.vms) for s in sim.cluster.servers)
+        assert hosted == scenario.n_vms + len(scenario.arrivals)
+
+    def test_rejects_bad_timing(self):
+        with pytest.raises(ConfigurationError):
+            model_drift_scenario(duration_s=1000.0, ramp_start_s=2000.0)
+        with pytest.raises(ConfigurationError):
+            model_drift_scenario(shift_fraction=1.5)
 
 
 class TestControlStressScenarios:

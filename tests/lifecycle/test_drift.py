@@ -1,0 +1,128 @@
+"""Unit tests for the γ-saturation drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lifecycle import DriftMonitor, DriftMonitorConfig
+
+
+class FakeFleet:
+    """Just enough of a PredictionFleet for the monitor: names/keys/γ."""
+
+    def __init__(self, names, keys, gamma):
+        self.names = list(names)
+        self.model_keys = list(keys)
+        self.gamma = np.asarray(gamma, dtype=float)
+
+
+def fleet(gamma_by_class):
+    names, keys, gamma = [], [], []
+    for key, values in gamma_by_class.items():
+        for i, value in enumerate(values):
+            names.append(f"{key}-s{i}")
+            keys.append(key)
+            gamma.append(value)
+    return FakeFleet(names, keys, gamma)
+
+
+def feed(monitor, gamma_by_class, times):
+    for t in times:
+        monitor.observe_fleet(t, fleet(gamma_by_class))
+
+
+class TestSignals:
+    def test_groups_by_class_and_aggregates_gamma(self):
+        monitor = DriftMonitor(DriftMonitorConfig(warmup_intervals=0))
+        record = monitor.observe_fleet(
+            60.0, fleet({"a": [1.0, -3.0], "b": [0.5]})
+        )
+        assert [s.key for s in record.signals] == ["a", "b"]
+        sig_a = record.signal("a")
+        assert sig_a.n_servers == 2
+        assert sig_a.mean_abs_gamma_c == pytest.approx(2.0)
+        assert sig_a.max_abs_gamma_c == pytest.approx(3.0)
+        assert record.signal("missing") is None
+
+    def test_without_telemetry_error_columns_are_nan(self):
+        monitor = DriftMonitor(DriftMonitorConfig(warmup_intervals=0))
+        record = monitor.observe_fleet(60.0, fleet({"a": [1.0]}))
+        assert np.isnan(record.signal("a").forecast_mae_c)
+        assert record.signal("a").forecasts_scored == 0
+
+    def test_class_history(self):
+        monitor = DriftMonitor(DriftMonitorConfig(warmup_intervals=0))
+        feed(monitor, {"a": [1.0], "b": [0.1]}, [60.0, 120.0])
+        history = monitor.class_history("a")
+        assert len(history) == 2
+        assert all(s.key == "a" for s in history)
+
+
+class TestStaleness:
+    def test_sustained_saturation_flags_class(self):
+        monitor = DriftMonitor(
+            DriftMonitorConfig(
+                gamma_threshold_c=2.0, sustain_intervals=3, warmup_intervals=0
+            )
+        )
+        feed(monitor, {"hot": [3.0, 2.5], "cool": [0.2, 0.1]}, [60, 120, 180])
+        assert monitor.stale_classes() == ["hot"]
+
+    def test_single_spike_is_not_stale(self):
+        monitor = DriftMonitor(
+            DriftMonitorConfig(sustain_intervals=3, warmup_intervals=0)
+        )
+        feed(monitor, {"a": [0.1]}, [60, 120])
+        monitor.observe_fleet(180, fleet({"a": [5.0]}))
+        assert monitor.stale_classes() == []
+
+    def test_fewer_records_than_sustain_window(self):
+        monitor = DriftMonitor(
+            DriftMonitorConfig(sustain_intervals=3, warmup_intervals=0)
+        )
+        feed(monitor, {"a": [5.0]}, [60, 120])
+        assert monitor.stale_classes() == []
+
+    def test_warmup_intervals_never_count(self):
+        # Saturated from the very first interval, but the first two
+        # records are warm-up: staleness needs warmup + sustain records.
+        monitor = DriftMonitor(
+            DriftMonitorConfig(sustain_intervals=2, warmup_intervals=2)
+        )
+        feed(monitor, {"a": [5.0]}, [60, 120, 180])
+        assert monitor.stale_classes() == []
+        monitor.observe_fleet(240, fleet({"a": [5.0]}))
+        assert monitor.stale_classes() == ["a"]
+
+    def test_min_servers_suppresses_tiny_classes(self):
+        monitor = DriftMonitor(
+            DriftMonitorConfig(
+                sustain_intervals=2, warmup_intervals=0, min_servers=2
+            )
+        )
+        feed(monitor, {"tiny": [9.0], "big": [3.0, 3.0]}, [60, 120])
+        assert monitor.stale_classes() == ["big"]
+
+    def test_recovered_class_unflags(self):
+        monitor = DriftMonitor(
+            DriftMonitorConfig(sustain_intervals=2, warmup_intervals=0)
+        )
+        feed(monitor, {"a": [5.0]}, [60, 120])
+        assert monitor.stale_classes() == ["a"]
+        feed(monitor, {"a": [0.1]}, [180])
+        assert monitor.stale_classes() == []
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gamma_threshold_c": 0.0},
+            {"sustain_intervals": 0},
+            {"min_servers": 0},
+            {"warmup_intervals": -1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DriftMonitorConfig(**kwargs)

@@ -1,0 +1,141 @@
+"""Integration: drift → retrain → hot-swap against the model-drift scenario.
+
+The PR's headline acceptance at test scale: on a fleet whose training
+regime goes away mid-run (seasonal ambient ramp + VM-flavor shift), the
+drift-aware lifecycle detects γ saturation, retrains every class from
+live telemetry windows, hot-swaps the new versions — and ends the run
+with strictly lower windowed forecast MAE than the frozen-model
+baseline, with no more sustained hotspots. Both arms run without a
+mitigation policy, so their physical trajectories are identical and
+the comparison isolates pure forecast quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import run_closed_loop
+from repro.experiments.scenarios import (
+    class_balanced_fleet_scenario,
+    model_drift_scenario,
+)
+from repro.lifecycle import ModelLifecycle
+from repro.training import (
+    FleetTrainingConfig,
+    profile_fleet,
+    server_class_key,
+    train_fleet_registry,
+)
+
+SEED = 92_000
+N_CLASSES = 3
+PER_CLASS = 6
+
+
+def key_fn(server):
+    return server_class_key(server.spec)
+
+
+def train_registry():
+    scenario = class_balanced_fleet_scenario(
+        n_classes=N_CLASSES,
+        servers_per_class=PER_CLASS,
+        seed=SEED,
+        duration_s=3600.0,
+    )
+    config = FleetTrainingConfig(
+        n_splits=3,
+        c_grid=(8.0, 64.0),
+        gamma_grid=(0.03125, 0.125),
+        epsilon_grid=(0.125,),
+        min_class_records=3,
+    )
+    return train_fleet_registry(profile_fleet(scenario), config).registry
+
+
+@pytest.fixture(scope="module")
+def drift_runs():
+    """One frozen and one lifecycle-managed run of the same drift."""
+    scenario = model_drift_scenario(
+        n_classes=N_CLASSES, servers_per_class=PER_CLASS, seed=SEED,
+        duration_s=7200.0,
+    )
+    frozen = run_closed_loop(
+        scenario, train_registry(), policy=None, key_fn=key_fn
+    )
+    live_registry = train_registry()
+    lifecycle = ModelLifecycle(live_registry)
+    managed = run_closed_loop(
+        scenario, live_registry, policy=None, key_fn=key_fn,
+        lifecycle=lifecycle,
+    )
+    return frozen, managed, lifecycle
+
+
+class TestDriftDetection:
+    def test_drift_monitor_flags_every_class(self, drift_runs):
+        _, _, lifecycle = drift_runs
+        flagged = {
+            signal.key
+            for record in lifecycle.monitor.records
+            for signal in record.signals
+            if signal.mean_abs_gamma_c
+            >= lifecycle.config.drift.gamma_threshold_c
+        }
+        assert len(flagged) == N_CLASSES
+
+    def test_gamma_saturates_after_the_ramp(self, drift_runs):
+        _, _, lifecycle = drift_runs
+        # Pre-ramp (post-warm-up) γ is small; deep into the ramp it is not.
+        early = lifecycle.monitor.records[15]
+        late = next(
+            r for r in lifecycle.monitor.records if r.time_s >= 4200.0
+        )
+        assert max(s.mean_abs_gamma_c for s in early.signals) < 2.0
+        assert max(s.mean_abs_gamma_c for s in late.signals) >= 2.0
+
+
+class TestRetraining:
+    def test_every_class_retrained_and_swapped(self, drift_runs):
+        _, _, lifecycle = drift_runs
+        assert lifecycle.n_rounds > 0
+        assert lifecycle.n_swaps >= N_CLASSES
+        assert len(lifecycle.retrained_keys()) == N_CLASSES
+        registry = lifecycle.registry
+        for key in lifecycle.retrained_keys():
+            assert registry.current_version(key) >= 2
+
+    def test_frozen_arm_registry_untouched(self, drift_runs):
+        frozen, _, _ = drift_runs
+        registry = frozen.fleet.registry
+        for key in registry.keys():
+            if not registry.is_alias(key):
+                assert registry.current_version(key) == 1
+
+    def test_rounds_used_full_windows(self, drift_runs):
+        _, _, lifecycle = drift_runs
+        for round_ in lifecycle.rounds:
+            assert round_.time_s >= lifecycle.config.planner.window_s
+
+
+class TestAcceptance:
+    def test_lifecycle_ends_with_strictly_lower_windowed_mae(self, drift_runs):
+        frozen, managed, _ = drift_runs
+        for window in (20, 30):
+            frozen_mae = frozen.ledger.windowed_forecast_error_c(window)
+            managed_mae = managed.ledger.windowed_forecast_error_c(window)
+            assert np.isfinite(frozen_mae) and np.isfinite(managed_mae)
+            assert managed_mae < frozen_mae
+
+    def test_no_more_sustained_hotspots_than_frozen(self, drift_runs):
+        frozen, managed, _ = drift_runs
+        assert len(managed.ledger.sustained_hotspots()) <= len(
+            frozen.ledger.sustained_hotspots()
+        )
+
+    def test_identical_physics_without_actuation(self, drift_runs):
+        """policy=None in both arms: the lifecycle only changes models,
+        so the measured thermal trajectories are bit-equal."""
+        frozen, managed, _ = drift_runs
+        assert frozen.measured_temperatures() == managed.measured_temperatures()
+        assert frozen.ledger.moves_issued == 0
+        assert managed.ledger.moves_issued == 0

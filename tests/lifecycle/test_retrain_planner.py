@@ -1,0 +1,169 @@
+"""Unit tests for the sliding-window retrain planner."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.vm import Vm, VmSpec
+from repro.datacenter.workload import ConstantTask
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import FleetScenario, build_fleet_simulation
+from repro.lifecycle import RetrainPlanner, RetrainPlannerConfig
+from repro.thermal.environment import ConstantEnvironment
+from tests.conftest import make_server_spec
+
+
+class FakeFleet:
+    def __init__(self, names, keys, retarget_log=()):
+        self.names = list(names)
+        self.model_keys = list(keys)
+        self.retarget_log = list(retarget_log)
+
+
+def small_sim(n=4, duration_s=900.0):
+    specs = tuple(make_server_spec(name=f"s{i}") for i in range(n))
+    placements = tuple(
+        (
+            VmSpec(
+                name=f"vm-{i}",
+                vcpus=2,
+                memory_gb=4.0,
+                tasks=(ConstantTask(level=0.4 + 0.1 * i),),
+            ),
+        )
+        for i in range(n)
+    )
+    scenario = FleetScenario(
+        name="planner-fixture",
+        server_specs=specs,
+        vm_specs=placements,
+        environment=ConstantEnvironment(22.0),
+        duration_s=duration_s,
+        seed=5,
+    )
+    sim = build_fleet_simulation(scenario)
+    sim.run(duration_s)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return small_sim()
+
+
+class TestPlanning:
+    def test_harvests_one_labelled_record_per_server(self, sim):
+        planner = RetrainPlanner(
+            RetrainPlannerConfig(window_s=600.0, min_class_records=2)
+        )
+        fleet = FakeFleet([f"s{i}" for i in range(4)], ["k"] * 4)
+        plan = planner.plan(900.0, ["k"], sim, fleet)
+        assert plan.keys == ["k"]
+        assert plan.skipped == ()
+        record_set = plan.classes[0]
+        assert record_set.server_names == ("s0", "s1", "s2", "s3")
+        assert plan.n_records == 4
+        for name, record in zip(record_set.server_names, record_set.records):
+            # Label is the Eq. (1) window mean of the sampled series.
+            series = sim.telemetry.for_server(name).cpu_temperature
+            expected = series.window(300.0, 900.0 + 1e-9).mean()
+            assert record.psi_stable_c == expected
+            assert record.delta_env_c == pytest.approx(22.0)
+            assert record.n_vms == 1
+            assert record.metadata["retrain_window_s"] == 600.0
+
+    def test_partial_window_refuses_to_plan(self, sim):
+        planner = RetrainPlanner(RetrainPlannerConfig(window_s=1800.0))
+        fleet = FakeFleet(["s0"], ["k"])
+        plan = planner.plan(900.0, ["k"], sim, fleet)
+        assert plan.classes == ()
+        assert plan.skipped[0][0] == "k"
+        assert "window not yet full" in plan.skipped[0][1]
+
+    def test_untracked_class_skipped(self, sim):
+        planner = RetrainPlanner(RetrainPlannerConfig(window_s=600.0))
+        fleet = FakeFleet(["s0"], ["k"])
+        plan = planner.plan(900.0, ["other"], sim, fleet)
+        assert plan.classes == ()
+        assert plan.skipped == (("other", "no tracked servers"),)
+
+    def test_min_class_records_skips_thin_classes(self, sim):
+        planner = RetrainPlanner(
+            RetrainPlannerConfig(window_s=600.0, min_class_records=5)
+        )
+        fleet = FakeFleet([f"s{i}" for i in range(4)], ["k"] * 4)
+        plan = planner.plan(900.0, ["k"], sim, fleet)
+        assert plan.classes == ()
+        assert "4 clean records" in plan.skipped[0][1]
+
+    def test_vm_churn_inside_window_disqualifies_server(self):
+        sim = small_sim(n=3, duration_s=600.0)
+        sim.cluster.server("s1").host_vm(
+            Vm(
+                VmSpec(
+                    name="late-arrival",
+                    vcpus=1,
+                    memory_gb=2.0,
+                    tasks=(ConstantTask(level=0.5),),
+                )
+            ),
+            time_s=600.0,
+        )
+        sim.run(900.0)
+        planner = RetrainPlanner(
+            RetrainPlannerConfig(window_s=600.0, min_class_records=2)
+        )
+        fleet = FakeFleet(["s0", "s1", "s2"], ["k"] * 3)
+        plan = planner.plan(900.0, ["k"], sim, fleet)
+        assert plan.classes[0].server_names == ("s0", "s2")
+        # With the churn guard off, s1 contributes (a mislabelled) record.
+        loose = RetrainPlanner(
+            RetrainPlannerConfig(
+                window_s=600.0, min_class_records=2, require_stable_vm_set=False
+            )
+        )
+        plan = loose.plan(900.0, ["k"], sim, fleet)
+        assert "s1" in plan.classes[0].server_names
+
+    def test_retarget_inside_window_disqualifies_server(self, sim):
+        """Offsetting add+remove churn keeps the VM *count* flat but
+        still retargets the curve — the retarget log must catch it."""
+        planner = RetrainPlanner(
+            RetrainPlannerConfig(window_s=600.0, min_class_records=2)
+        )
+        fleet = FakeFleet(
+            [f"s{i}" for i in range(4)],
+            ["k"] * 4,
+            retarget_log=[
+                ("s2", 700.0, 50.0, 55.0),   # inside [300, 900]
+                ("s3", 200.0, 48.0, 52.0),   # before the window: fine
+            ],
+        )
+        plan = planner.plan(900.0, ["k"], sim, fleet)
+        assert plan.classes[0].server_names == ("s0", "s1", "s3")
+
+    def test_record_uses_current_vm_set(self):
+        sim = small_sim(n=2, duration_s=1200.0)
+        planner = RetrainPlanner(
+            RetrainPlannerConfig(
+                window_s=600.0, min_class_records=2, require_stable_vm_set=False
+            )
+        )
+        fleet = FakeFleet(["s0", "s1"], ["k"] * 2)
+        plan = planner.plan(1200.0, ["k"], sim, fleet)
+        for record in plan.classes[0].records:
+            assert record.n_vms == 1
+            assert record.theta_cpu_cores == 16
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_s": 0.0},
+            {"min_samples": 0},
+            {"min_class_records": 1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetrainPlannerConfig(**kwargs)

@@ -1,0 +1,181 @@
+"""Unit tests for the lockstep batched retrainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.stable import StableTemperaturePredictor
+from repro.lifecycle import Retrainer, RetrainerConfig
+from repro.lifecycle.planner import ClassRecordSet, RetrainPlan
+from repro.serving import ModelRegistry
+from repro.svm.svr import EpsilonSVR
+from tests.conftest import make_record
+
+
+def training_records(offset=0.0, slope=2.5):
+    return [
+        make_record(
+            psi=40.0 + offset + slope * i,
+            n_vms=2 + i % 6,
+            util=0.2 + 0.05 * i,
+        )
+        for i in range(12)
+    ]
+
+
+def fresh_records(offset, n=20):
+    """A drifted record set: a smooth, learnable ψ(util, n_vms) mapping
+    shifted ``offset`` degrees away from the deployed model's regime."""
+    records = []
+    for i in range(n):
+        util = 0.2 + 0.03 * i
+        n_vms = 2 + i % 6
+        records.append(
+            make_record(
+                psi=34.0 + offset + 22.0 * util + 1.8 * n_vms,
+                n_vms=n_vms,
+                util=util,
+            )
+        )
+    return tuple(records)
+
+
+@pytest.fixture()
+def registry():
+    reg = ModelRegistry()
+    predictor = StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1)
+    predictor.fit(training_records())
+    reg.register("default", predictor)
+    reg.register("class-a", predictor)
+    reg.register("class-b", predictor)
+    reg.alias("class-small", "default")
+    return reg
+
+
+def plan_for(keys_and_records, time_s=3600.0):
+    return RetrainPlan(
+        time_s=time_s,
+        window_s=1800.0,
+        classes=tuple(
+            ClassRecordSet(
+                key=key,
+                server_names=tuple(f"{key}-s{i}" for i in range(len(records))),
+                records=records,
+            )
+            for key, records in keys_and_records
+        ),
+        skipped=(),
+    )
+
+
+class TestRetrainRound:
+    def test_swap_publishes_next_version(self, registry):
+        old = registry.resolve("class-a")
+        round_ = Retrainer(registry).retrain(
+            plan_for([("class-a", fresh_records(3.0))])
+        )
+        assert round_.n_retrained == 1
+        assert round_.held == ()
+        outcome = round_.outcomes[0]
+        assert outcome.action == "swap"
+        assert outcome.version == 2
+        assert outcome.n_records == 20
+        assert np.isfinite(outcome.train_mse)
+        # The gate saw a real improvement: deployed badly wrong on the
+        # drifted records, fresh model's CV much better.
+        assert outcome.cv_mse < outcome.deployed_mse
+        new = registry.resolve("class-a")
+        assert new is not old
+        assert new.version == 2
+        assert new.scaler is old.scaler  # svm-scale map carried forward
+        assert registry.resolve("default").version == 1  # untouched
+
+    def test_batched_round_matches_sequential_fits(self, registry):
+        """One lockstep round is bit-identical to refitting each class
+        alone with EpsilonSVR.fit at the same hyper-parameters."""
+        sets = [
+            ("class-a", fresh_records(3.0)),
+            ("class-b", fresh_records(-2.0)),
+        ]
+        expected = {}
+        for key, records in sets:
+            entry = registry.resolve(key)
+            x = entry.scaler.transform(entry.extractor.matrix(list(records)))
+            y = entry.extractor.targets(list(records))
+            solo = EpsilonSVR(
+                kernel=entry.model.kernel,
+                c=entry.model.c,
+                epsilon=entry.model.epsilon,
+                max_iter=50_000,
+            ).fit(x, y)
+            expected[key] = np.atleast_1d(solo.predict(x))
+
+        Retrainer(registry).retrain(plan_for(sets))
+        for key, records in sets:
+            entry = registry.resolve(key)
+            assert entry.version == 2
+            x = entry.scaler.transform(entry.extractor.matrix(list(records)))
+            assert np.array_equal(
+                np.atleast_1d(entry.model.predict(x)), expected[key]
+            )
+
+    def test_aliased_class_is_promoted(self, registry):
+        round_ = Retrainer(registry).retrain(
+            plan_for([("class-small", fresh_records(5.0))])
+        )
+        outcome = round_.outcomes[0]
+        assert outcome.action == "promote"
+        assert outcome.version == 1
+        assert not registry.is_alias("class-small")
+        assert registry.resolve("class-small") is not registry.resolve("default")
+        assert (
+            registry.resolve("class-small").scaler
+            is registry.resolve("default").scaler
+        )
+
+    def test_unknown_class_is_registered(self, registry):
+        round_ = Retrainer(registry).retrain(
+            plan_for([("class-new", fresh_records(1.0))])
+        )
+        outcome = round_.outcomes[0]
+        assert outcome.action == "register"
+        assert outcome.version == 1
+        assert "class-new" in registry
+        assert registry.resolve("class-new").version == 1
+
+    def test_gate_holds_when_deployed_model_still_fits(self, registry):
+        """False-alarm retrain: fresh records the incumbent explains are
+        held — the registry keeps serving the deployed version."""
+        round_ = Retrainer(registry).retrain(
+            plan_for([("class-a", tuple(training_records()))])
+        )
+        assert round_.n_retrained == 0
+        key, reason = round_.held[0]
+        assert key == "class-a"
+        assert "not better than deployed" in reason
+        assert registry.resolve("class-a").version == 1
+
+    def test_gate_disabled_publishes_unconditionally(self, registry):
+        round_ = Retrainer(
+            registry, RetrainerConfig(validation_splits=0)
+        ).retrain(plan_for([("class-a", tuple(training_records()))]))
+        assert round_.n_retrained == 1
+        assert np.isnan(round_.outcomes[0].cv_mse)
+        assert registry.resolve("class-a").version == 2
+
+    def test_empty_plan_is_a_noop_round(self, registry):
+        plan = RetrainPlan(
+            time_s=100.0, window_s=1800.0, classes=(),
+            skipped=(("class-a", "why not"),),
+        )
+        round_ = Retrainer(registry).retrain(plan)
+        assert round_.n_retrained == 0
+        assert round_.skipped == (("class-a", "why not"),)
+        assert registry.resolve("class-a").version == 1
+
+    def test_round_report_fields(self, registry):
+        round_ = Retrainer(
+            registry, RetrainerConfig(max_iter=20_000)
+        ).retrain(plan_for([("class-a", fresh_records(2.0))]))
+        assert round_.time_s == 3600.0
+        assert round_.keys == ["class-a"]
+        assert round_.duration_s >= 0.0

@@ -233,6 +233,58 @@ class TestForecastSnapshot:
         assert snapshot.n_servers == 4
 
 
+class TestEmptyFleetEdges:
+    """Zero-server and zero-forecast edges of the snapshot read path.
+
+    The control plane's interval probe can legitimately fire before the
+    prediction probe has tracked anything (short intervals, sparse
+    sensors) and policies consume whatever the snapshot returns — every
+    read API must degrade to empty results, never crash."""
+
+    def test_empty_fleet_snapshot_and_detection(self, registry):
+        fleet = PredictionFleet(registry)
+        snapshot = fleet.forecast_snapshot()
+        assert snapshot.n_servers == 0
+        assert snapshot.forecast_names() == []
+        names, predicted = snapshot.forecasts()
+        assert names == [] and predicted.shape == (0,)
+        assert HotspotDetector().detect_fleet(names, predicted) == []
+        assert fleet.predicted_hotspots(HotspotDetector()) == []
+        assert fleet.forecast_all() == {}
+        assert fleet.model_keys == []
+
+    def test_empty_fleet_online_calls_are_noops(self, registry):
+        fleet = PredictionFleet(registry)
+        assert fleet.observe(0.0, np.empty(0)).shape == (0,)
+        targets, predicted = fleet.predict_ahead(0.0)
+        assert targets.shape == (0,) and predicted.shape == (0,)
+        assert fleet.predict_at(0.0).shape == (0,)
+        assert fleet.track([], [], np.empty(0), np.empty(0)).shape == (0,)
+        assert fleet.retarget([], [], np.empty(0), np.empty(0)).shape == (0,)
+
+    def test_all_nan_has_forecast_filters_everything(self, registry):
+        # Tracked servers with no forecast yet: every row masked out.
+        fleet = PredictionFleet(registry)
+        fleet.track(
+            ["a", "b", "c"],
+            [make_record(psi=None, n_vms=2 + i) for i in range(3)],
+            np.zeros(3),
+            np.full(3, 40.0),
+        )
+        snapshot = fleet.forecast_snapshot()
+        assert not snapshot.has_forecast.any()
+        names, predicted = snapshot.forecasts()
+        assert names == [] and predicted.shape == (0,)
+        assert HotspotDetector().detect_fleet(names, predicted) == []
+        assert fleet.predicted_hotspots(HotspotDetector()) == []
+
+    def test_empty_mapping_detection(self):
+        detector = HotspotDetector()
+        assert detector.detect({}) == []
+        assert detector.headroom({}) == {}
+        assert detector.headroom_fleet(np.empty(0)).shape == (0,)
+
+
 class TestHotspotWiring:
     def test_predicted_hotspots_uses_latest_forecasts(self, registry):
         fleet = PredictionFleet(registry)

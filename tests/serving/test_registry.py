@@ -27,12 +27,30 @@ class TestRegistration:
         assert "rack-a" in registry
         assert len(registry) == 1
 
-    def test_register_captures_fitted_components(self, fitted_predictor):
+    def test_register_snapshots_fitted_components(self, fitted_predictor):
         registry = ModelRegistry()
         entry = registry.register("rack-a", fitted_predictor)
-        assert entry.scaler is fitted_predictor.scaler
-        assert entry.model is fitted_predictor.svr
-        assert entry.extractor is fitted_predictor.extractor
+        # Snapshots, not references: the live predictor's objects stay
+        # outside the registry, but predictions are bit-identical.
+        assert entry.scaler is not fitted_predictor.scaler
+        assert entry.model is not fitted_predictor.svr
+        assert entry.extractor is not fitted_predictor.extractor
+        records = [make_record(psi=None, n_vms=k) for k in (2, 4, 7)]
+        assert np.array_equal(
+            entry.predict_records(records), fitted_predictor.predict_many(records)
+        )
+
+    def test_register_dedups_snapshots_by_source(self, fitted_predictor):
+        registry = ModelRegistry()
+        a = registry.register("rack-a", fitted_predictor)
+        b = registry.register_model(
+            "rack-b",
+            fitted_predictor.svr,
+            scaler=fitted_predictor.scaler,
+        )
+        # Same live source objects -> one shared frozen copy each.
+        assert b.scaler is a.scaler
+        assert b.model is a.model
 
     def test_unfitted_predictor_rejected(self):
         registry = ModelRegistry()
@@ -100,6 +118,214 @@ class TestLookup:
         registry.register("zeta", fitted_predictor)
         registry.alias("alpha", "zeta")
         assert registry.keys() == ["alpha", "zeta"]
+
+
+def _refit_records():
+    """A record set that trains a visibly different model."""
+    return [
+        make_record(psi=70.0 - 1.5 * i, n_vms=2 + (i * 5) % 7, util=0.9 - 0.06 * i)
+        for i in range(12)
+    ]
+
+
+class TestMutationHazards:
+    def test_refit_after_register_leaves_served_predictions_unchanged(self):
+        records = [
+            make_record(psi=40.0 + 2.5 * i, n_vms=2 + i % 6, util=0.2 + 0.05 * i)
+            for i in range(12)
+        ]
+        predictor = StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1)
+        predictor.fit(records)
+        registry = ModelRegistry()
+        registry.register("rack-a", predictor)
+        probes = [make_record(psi=None, n_vms=k) for k in (2, 5, 9)]
+        before = registry.resolve("rack-a").predict_records(probes)
+
+        predictor.fit(_refit_records())  # in-place refit of the live object
+
+        after = registry.resolve("rack-a").predict_records(probes)
+        assert np.array_equal(before, after)
+        # Sanity: the refit really changed the live predictor.
+        assert not np.array_equal(before, predictor.predict_many(probes))
+
+    def test_refit_after_register_model_leaves_entry_unchanged(self, fitted_predictor):
+        registry = ModelRegistry()
+        svr = fitted_predictor.svr
+        entry = registry.register_model(
+            "rack-a", svr, scaler=fitted_predictor.scaler
+        )
+        probes = [make_record(psi=None, n_vms=k) for k in (3, 6)]
+        before = entry.predict_records(probes)
+        extractor = FeatureExtractor()
+        scaler = fitted_predictor.scaler
+        x = scaler.transform(extractor.matrix(_refit_records()))
+        y = extractor.targets(_refit_records())
+        svr.fit(x, y)  # in-place refit of the registered SVR object
+        assert np.array_equal(entry.predict_records(probes), before)
+
+
+class TestSnapshotCacheFreshness:
+    def test_refit_then_swap_publishes_the_refit_state(self):
+        """The dedup cache must not return a stale snapshot when the
+        SAME object is refit in place and then swapped back in."""
+        records = [
+            make_record(psi=40.0 + 2.5 * i, n_vms=2 + i % 6, util=0.2 + 0.05 * i)
+            for i in range(12)
+        ]
+        predictor = StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1)
+        predictor.fit(records)
+        registry = ModelRegistry()
+        registry.register("rack-a", predictor)
+        probes = [make_record(psi=None, n_vms=k) for k in (2, 5, 9)]
+        v1_predictions = registry.resolve("rack-a").predict_records(probes)
+
+        predictor.fit(_refit_records())  # in-place refit of the live object
+        registry.swap("rack-a", predictor)
+
+        assert registry.current_version("rack-a") == 2
+        v2_predictions = registry.resolve("rack-a").predict_records(probes)
+        assert np.array_equal(
+            v2_predictions, predictor.predict_many(probes)
+        ), "swap published a stale snapshot instead of the refit state"
+        assert not np.array_equal(v1_predictions, v2_predictions)
+
+    def test_unchanged_source_still_dedups(self, fitted_predictor):
+        registry = ModelRegistry()
+        a = registry.register("rack-a", fitted_predictor)
+        b = registry.register_model(
+            "rack-b", fitted_predictor.svr, scaler=fitted_predictor.scaler
+        )
+        assert b.model is a.model
+        assert b.scaler is a.scaler
+
+    def test_throwaway_swap_sources_are_pruned(self, fitted_predictor):
+        """A long-running lifecycle swaps a fresh throwaway model every
+        round — dead sources must not pile up in the dedup cache."""
+        import copy
+        import gc
+
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        for _ in range(5):
+            registry.swap_model("rack-a", copy.deepcopy(fitted_predictor.svr))
+        gc.collect()
+        registry.register_model(
+            "rack-b", fitted_predictor.svr, scaler=fitted_predictor.scaler
+        )  # any freeze prunes dead entries
+        for ref, _, _ in registry._snapshots.values():
+            assert ref() is not None, "cache retained a dead source entry"
+        # What remains is the version history's own snapshots plus the
+        # (live) fixture components — not one entry per past swap source.
+        owned = {
+            id(component)
+            for versions in registry._models.values()
+            for entry in versions
+            for component in (entry.extractor, entry.scaler, entry.model)
+        }
+        assert len(registry._snapshots) <= len(owned) + 3
+
+    def test_deepcopy_rebuilds_cache_on_copied_components(self, fitted_predictor):
+        import copy
+
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        registry.register_model(
+            "rack-b", fitted_predictor.svr, scaler=fitted_predictor.scaler
+        )
+        registry.alias("rack-c", "rack-a")
+        clone = copy.deepcopy(registry)
+        entry_a = clone.resolve("rack-a")
+        entry_b = clone.resolve("rack-b")
+        # Sharing structure survives the copy...
+        assert entry_a.scaler is entry_b.scaler
+        assert entry_a.model is not registry.resolve("rack-a").model
+        assert clone.resolve("rack-c") is entry_a
+        # ...the copy's cache owns exactly the copied components (no
+        # dangling keys pinned to the originals' ids)...
+        owned = {id(c) for e in (entry_a, entry_b) for c in (e.extractor, e.scaler, e.model)}
+        assert set(clone._snapshots) == owned
+        # ...and copy-owned components share as-is on swap.
+        swapped = clone.swap_model("rack-a", entry_a.model)
+        assert swapped.model is entry_a.model
+
+
+class TestSwapAndVersions:
+    @pytest.fixture()
+    def retrained(self):
+        return StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1).fit(
+            _refit_records()
+        )
+
+    def test_swap_bumps_version_and_reresolves(self, fitted_predictor, retrained):
+        registry = ModelRegistry()
+        v1 = registry.register("rack-a", fitted_predictor)
+        assert v1.version == 1
+        v2 = registry.swap("rack-a", retrained)
+        assert v2.version == 2
+        assert registry.resolve("rack-a") is v2
+        assert registry.current_version("rack-a") == 2
+        assert [e.version for e in registry.versions("rack-a")] == [1, 2]
+
+    def test_swap_keeps_shared_scaler_by_default(self, fitted_predictor):
+        registry = ModelRegistry()
+        v1 = registry.register("rack-a", fitted_predictor)
+        v2 = registry.swap_model("rack-a", fitted_predictor.svr)
+        assert v2.scaler is v1.scaler
+        assert v2.extractor is v1.extractor
+
+    def test_swap_unknown_key_raises(self, retrained):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="unregistered"):
+            registry.swap("rack-a", retrained)
+
+    def test_swap_alias_raises_naming_target(self, fitted_predictor, retrained):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        registry.alias("rack-b", "rack-a")
+        with pytest.raises(ServingError, match="rack-a"):
+            registry.swap("rack-b", retrained)
+
+    def test_alias_then_swap_follows_new_version(self, fitted_predictor, retrained):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        registry.alias("rack-b", "rack-a")
+        v2 = registry.swap("rack-a", retrained)
+        assert registry.resolve("rack-b") is v2
+
+    def test_swap_then_alias_sees_current_version(self, fitted_predictor, retrained):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        v2 = registry.swap("rack-a", retrained)
+        entry = registry.alias("rack-b", "rack-a")
+        assert entry is v2
+        assert registry.resolve("rack-b") is v2
+
+    def test_alias_chain_follows_through(self, fitted_predictor, retrained):
+        registry = ModelRegistry()
+        registry.register("rack-a", fitted_predictor)
+        registry.alias("rack-b", "rack-a")
+        registry.alias("rack-c", "rack-b")  # alias to an alias
+        v2 = registry.swap("rack-a", retrained)
+        assert registry.resolve("rack-c") is v2
+
+    def test_superseded_entry_stays_functional_mid_batch(
+        self, fitted_predictor, retrained
+    ):
+        registry = ModelRegistry()
+        old = registry.register("rack-a", fitted_predictor)
+        probes = [make_record(psi=None, n_vms=k) for k in (2, 5)]
+        expected_old = old.predict_records(probes)
+        registry.swap("rack-a", retrained)  # "mid-batch": old still in hand
+        assert np.array_equal(old.predict_records(probes), expected_old)
+        assert registry.resolve("rack-a") is not old
+        assert not np.array_equal(
+            registry.resolve("rack-a").predict_records(probes), expected_old
+        )
+
+    def test_versions_of_unknown_key_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="unknown model key"):
+            registry.versions("missing")
 
 
 class TestEntryPrediction:

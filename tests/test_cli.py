@@ -16,7 +16,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "fig1a", "fig1b", "fig1c", "dataset", "fleet-predict",
-            "fleet-train", "fleet-manage",
+            "fleet-train", "fleet-manage", "fleet-lifecycle",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -42,6 +42,22 @@ class TestParser:
     def test_fleet_manage_rejects_unknown_scenario(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet-manage", "--scenario", "heatwave"])
+
+    def test_fleet_lifecycle_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-lifecycle", "--classes", "3", "--servers-per-class", "5",
+             "--duration", "5400", "--train-duration", "1200",
+             "--gamma-threshold", "1.5", "--window", "900",
+             "--mae-window", "15", "--quick"]
+        )
+        assert args.classes == 3
+        assert args.servers_per_class == 5
+        assert args.duration == 5400.0
+        assert args.train_duration == 1200.0
+        assert args.gamma_threshold == 1.5
+        assert args.window == 900.0
+        assert args.mae_window == 15
+        assert args.quick is True
 
     def test_fleet_train_flags(self):
         args = build_parser().parse_args(

@@ -1,0 +1,33 @@
+"""The repo's CI lint tools run clean on the tree itself."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCheckTestBasenames:
+    def test_tree_has_no_duplicate_test_basenames(self):
+        """The pytest no-__init__ collision trap, enforced locally too."""
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_test_basenames.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "all basenames unique" in result.stdout
+
+    def test_lint_detects_a_planted_duplicate(self, tmp_path):
+        """The lint actually fires: a fake tree with a colliding basename."""
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from check_test_basenames import collect_test_files
+        finally:
+            sys.path.pop(0)
+        (tmp_path / "tests" / "a").mkdir(parents=True)
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "tests" / "a" / "test_x.py").write_text("")
+        (tmp_path / "benchmarks" / "test_x.py").write_text("")
+        by_basename = collect_test_files(tmp_path)
+        assert len(by_basename["test_x.py"]) == 2
