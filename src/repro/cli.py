@@ -31,10 +31,14 @@ hot-swap), and print the retrained-vs-frozen scorecard.
 
 from __future__ import annotations
 
+# reprolint: file-waive R001 -- time.time() here only times CLI progress
+# prints ("elapsed ...s"); no wall-clock value feeds simulation or model
+# state, which is always driven by simulated time_s.
 import argparse
 import math
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.dataset import RecordDataset
 from repro.experiments.figures import (
@@ -708,11 +712,51 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 20)",
     )
     lifecycle.set_defaults(handler=_cmd_fleet_lifecycle)
+
+    lint = commands.add_parser(
+        "fleet-lint",
+        help="run the reprolint invariant checks (determinism, "
+             "snapshot-aliasing, unit suffixes, parity-pair coverage)",
+        add_help=False,
+    )
+    lint.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to tools.reprolint "
+             "(try: fleet-lint rules, fleet-lint --strict src tests)",
+    )
+    lint.set_defaults(handler=_cmd_fleet_lint)
     return parser
+
+
+def _forward_fleet_lint(lint_args: list[str]) -> int:
+    """Forward to ``tools.reprolint`` (lives beside src/, not inside it)."""
+    repo_root = str(Path(__file__).resolve().parents[2])
+    if repo_root not in sys.path:
+        sys.path.insert(0, repo_root)
+    try:
+        from tools.reprolint.cli import main as reprolint_main
+    except ImportError:
+        print(
+            "fleet-lint needs the repo checkout (tools/reprolint/ next to "
+            "src/); run it from the repository root",
+            file=sys.stderr,
+        )
+        return 2
+    return reprolint_main(lint_args)
+
+
+def _cmd_fleet_lint(args: argparse.Namespace) -> int:
+    return _forward_fleet_lint(args.args)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER refuses to swallow leading --flags, so route
+    # fleet-lint's argument vector around the parser untouched.
+    if argv and argv[0] == "fleet-lint":
+        return _forward_fleet_lint(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.handler(args)

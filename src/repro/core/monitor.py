@@ -111,6 +111,9 @@ class TemperatureMonitor:
         config: PredictionConfig | None = None,
         servers: list[str] | None = None,
     ) -> None:
+        # reprolint: waive R002 -- live view by contract: the monitor
+        # re-queries the caller's predictor on every VM-set retarget;
+        # it never publishes or versions fitted state itself.
         self.predictor = predictor
         self.config = config or PredictionConfig()
         self._server_filter = set(servers) if servers is not None else None

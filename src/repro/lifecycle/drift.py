@@ -99,7 +99,7 @@ class DriftMonitor:
         self.config = config or DriftMonitorConfig()
         self.records: list[DriftIntervalRecord] = []
 
-    def observe_fleet(
+    def observe_fleet(  # reprolint: waive R004 -- fleet-native: per-class drift stats are defined over the whole fleet snapshot (γ vector grouped by model key); there is no meaningful single-server twin
         self, time_s: float, fleet, telemetry=None
     ) -> DriftIntervalRecord:
         """Record one interval's per-class signals from the live fleet.

@@ -143,6 +143,9 @@ class Retrainer:
         deadlines) is never touched — new models take effect at the
         next ψ_stable query.
         """
+        # reprolint: waive R001 -- perf_counter only fills the round's
+        # duration_s telemetry field (operator-facing walltime); it
+        # never feeds model or simulation state.
         started = time.perf_counter()
         config = self.config
 
@@ -152,6 +155,7 @@ class Retrainer:
                 outcomes=tuple(outcomes),
                 skipped=plan.skipped,
                 held=tuple(held),
+                # reprolint: waive R001 -- walltime telemetry only
                 duration_s=time.perf_counter() - started,
             )
 

@@ -50,6 +50,9 @@ class MigrationAdvisor:
     def __init__(
         self, predictor: StableTemperaturePredictor, environment_c: float = 22.0
     ) -> None:
+        # reprolint: waive R002 -- live view by contract: the advisor
+        # scores moves with whatever model the caller currently holds;
+        # registry-owned snapshots are the serving path's job.
         self.predictor = predictor
         self.environment_c = environment_c
         self._scorer = WhatIfScorer(predictor)

@@ -63,6 +63,9 @@ class ThermalAwareScheduler(PlacementScheduler):
         environment_c: float = 22.0,
         detector: HotspotDetector | None = None,
     ) -> None:
+        # reprolint: waive R002 -- live view by contract: the scheduler
+        # ranks placements with the caller's current model; it never
+        # publishes fitted state (registry snapshots cover serving).
         self.predictor = predictor
         self.environment_c = environment_c
         self.detector = detector

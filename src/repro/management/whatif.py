@@ -193,6 +193,10 @@ class WhatIfScorer:
             raise ConfigurationError(
                 "WhatIfScorer needs exactly one of predictor / registry"
             )
+        # reprolint: waive R002 -- live view by contract: the scorer
+        # must see registry hot-swaps immediately (control plane reads
+        # the *current* version each interval); snapshotting here would
+        # reintroduce stale-model serving.
         self.predictor = predictor
         self.registry = registry
         self.key_fn = key_fn

@@ -43,6 +43,10 @@ def predict_batch(
     the SVR kernel as one matrix; results come back indexed like
     ``requests``. Unknown keys raise
     :class:`~repro.errors.ServingError` before any model runs.
+
+    Parity: repro.serving.registry.ModelEntry.predict_records — looping
+    the scalar path per request is bit-identical
+    (``tests/serving/test_batch.py``).
     """
     out = np.empty(len(requests), dtype=float)
     if not requests:

@@ -97,7 +97,7 @@ class FleetProfile:
         return dict(sorted(groups.items()))
 
 
-def profile_fleet(
+def profile_fleet(  # reprolint: waive R004 -- campaign profiler, not a vectorized twin: one fleet co-simulation yields one record per server; the per-scenario path (runner.profile_records) runs different physics per experiment
     scenario: FleetScenario,
     t_break_s: float | None = None,
     use_fleet_engine: bool = True,

@@ -1,4 +1,10 @@
-"""The repo's CI lint tools run clean on the tree itself."""
+"""The repo's CI lint tools run clean on the tree itself.
+
+The heavy lifting moved into ``tools/reprolint`` (see
+``tests/tooling/test_reprolint.py`` for per-rule fixture coverage);
+this module pins the tree-level contracts: the legacy shims still
+work, and the ``fleet-lint`` CLI entry point reaches the linter.
+"""
 
 import subprocess
 import sys
@@ -31,3 +37,48 @@ class TestCheckTestBasenames:
         (tmp_path / "benchmarks" / "test_x.py").write_text("")
         by_basename = collect_test_files(tmp_path)
         assert len(by_basename["test_x.py"]) == 2
+
+    def test_r101_rule_reports_the_planted_duplicate(self, tmp_path):
+        """The reprolint rule behind the shim fires on the same tree."""
+        sys.path.insert(0, str(REPO_ROOT))
+        try:
+            from tools.reprolint.engine import ProjectContext
+            from tools.reprolint.rules.basenames import TestBasenameRule
+        finally:
+            sys.path.pop(0)
+        (tmp_path / "tests" / "a").mkdir(parents=True)
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "tests" / "a" / "test_x.py").write_text("")
+        (tmp_path / "benchmarks" / "test_x.py").write_text("")
+        findings = TestBasenameRule().check_project(ProjectContext(root=tmp_path))
+        assert len(findings) == 1
+        assert "test_x.py" in findings[0].message
+
+
+class TestSmokeDocsShim:
+    def test_shim_reexports_the_reprolint_implementation(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            import smoke_docs
+        finally:
+            sys.path.pop(0)
+        from tools.reprolint import docs_smoke
+
+        assert smoke_docs.main is docs_smoke.main
+        assert smoke_docs.run_readme_blocks is docs_smoke.run_readme_blocks
+        assert smoke_docs.run_examples is docs_smoke.run_examples
+
+
+class TestFleetLintEntryPoint:
+    def test_cli_subcommand_reaches_the_linter(self):
+        """`python -m repro.cli fleet-lint` forwards to tools.reprolint."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fleet-lint",
+             "--select", "R101", "--no-baseline", "tools"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stdout

@@ -1,0 +1,16 @@
+"""R001 known-bad fixture: every line here routes around repro.rng."""
+
+import random
+import time
+
+import numpy as np
+from random import shuffle  # noqa: F401  (flagged at the import)
+
+
+def jitter_arrivals(times_s):
+    offset = random.uniform(0.0, 5.0)
+    noise = np.random.normal(0.0, 1.0, size=len(times_s))
+    rng = np.random.default_rng()
+    seed_from_clock = time.time()
+    unseeded = random.Random()
+    return offset, noise, rng, seed_from_clock, unseeded

@@ -1,0 +1,16 @@
+"""R001 known-good fixture: all randomness is derived from named seeds."""
+
+import random
+
+import numpy as np
+
+from repro.rng import RngFactory, derive_seed
+
+
+def jitter_arrivals(times_s, root_seed: int):
+    stream = RngFactory(root_seed).stream("arrivals")
+    offset = stream.uniform(0.0, 5.0)
+    rng = np.random.default_rng(derive_seed(root_seed, "noise"))
+    noise = rng.normal(0.0, 1.0, size=len(times_s))
+    seeded = random.Random(derive_seed(root_seed, "aux"))
+    return offset, noise, seeded

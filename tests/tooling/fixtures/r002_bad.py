@@ -1,0 +1,28 @@
+"""R002 known-bad fixture: the PR 5 registry-aliasing bug in miniature.
+
+``MiniRegistry`` captures the fitted SVR and scaler it is handed by
+reference. ``refit_in_place`` then mutates the very objects a "frozen"
+entry serves — exactly the stale-model hazard PR 5 spent a cycle on.
+"""
+
+
+class MiniEntry:
+    def __init__(self, model, scaler):
+        self.model = model
+        self.scaler = scaler
+
+
+class MiniRegistry:
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, key, model, scaler):
+        self._entries[key] = MiniEntry(model, scaler)
+
+    def stash_default(self, model):
+        self._entries["default"] = model
+
+
+def refit_in_place(model, rows):
+    model.coef_ = rows.mean(axis=0)  # mutates what the registry serves
+    return model

@@ -1,0 +1,18 @@
+"""R002 known-good fixture: fitted components are snapshotted on entry."""
+
+import copy
+
+
+class MiniEntry:
+    def __init__(self, model, scaler):
+        self.model = copy.deepcopy(model)
+        self.scaler = copy.deepcopy(scaler)
+
+
+class MiniRegistry:
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, key, model, scaler):
+        snapshot = copy.deepcopy(model)
+        self._entries[key] = MiniEntry(snapshot, scaler)

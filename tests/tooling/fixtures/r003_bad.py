@@ -1,0 +1,15 @@
+"""R003 known-bad fixture: every statement mixes unit suffixes."""
+
+
+def broken_accounting(duration_s, threshold_c, power_w, energy_j):
+    total = duration_s + threshold_c        # seconds + degC
+    if power_w > threshold_c:               # watts vs degC compare
+        duration_s = energy_j               # seconds <- joules assign
+    total -= power_w                        # fine: 'total' has no unit
+    energy_j += duration_s                  # joules += seconds
+    simulate(deadline_s=threshold_c)        # seconds keyword <- degC name
+    return total
+
+
+def simulate(deadline_s):
+    return deadline_s

@@ -1,0 +1,15 @@
+"""R003 known-good fixture: consistent units and explicit conversions."""
+
+
+def accounting(duration_s, interval_s, power_w, ambient_c, delta_c):
+    window_s = duration_s + interval_s      # same unit
+    energy_j = power_w * duration_s         # multiplicative combine: W x s = J
+    threshold_c = ambient_c + delta_c       # same unit
+    cooldown_s = minutes_to_seconds(5.0)    # conversion call -> no unit clash
+    if window_s > cooldown_s:
+        return energy_j, threshold_c
+    return 0.0, threshold_c
+
+
+def minutes_to_seconds(minutes):
+    return minutes * 60.0

@@ -1,0 +1,15 @@
+"""R004 known-bad fixture: vectorized paths missing their contracts."""
+
+
+def scan_fleet(temperatures_c, threshold_c):
+    """No scalar ``scan`` anywhere in scope, no parity declaration."""
+    return [t for t in temperatures_c if t > threshold_c]
+
+
+def rank_batch(rows):
+    """Scalar twin exists below, but no test references ``rank_batch``."""
+    return sorted(range(len(rows)), key=rows.__getitem__)
+
+
+def rank(row):
+    return row

@@ -1,0 +1,22 @@
+"""R004 known-good fixture: both contracts satisfied both ways."""
+
+
+def scan_fleet(temperatures_c, threshold_c):
+    """Vectorized hot-server scan.
+
+    The scalar twin ``scan`` lives in this module; the corpus test file
+    pins the pair.
+    """
+    return [t for t in temperatures_c if scan(t, threshold_c)]
+
+
+def scan(temperature_c, threshold_c):
+    return temperature_c > threshold_c
+
+
+def score_batch(rows):
+    """Twin lives in another module — declared explicitly.
+
+    Parity: fixture.other.score_rows
+    """
+    return [sum(row) for row in rows]

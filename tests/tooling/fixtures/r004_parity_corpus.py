@@ -1,0 +1,19 @@
+"""R004 fixture test corpus (placed under tests/ in the mini repo).
+
+References each vectorized name of ``r004_good`` together with its
+scalar counterpart, the way a real parity test would.
+"""
+
+
+def test_scan_fleet_matches_scalar_scan():
+    from repro.eng import scan, scan_fleet
+
+    assert scan_fleet([70.0, 80.0], 75.0) == [80.0]
+    assert scan(80.0, 75.0)
+
+
+def test_score_batch_matches_score_rows():
+    from repro.eng import score_batch
+
+    score_rows = sum
+    assert score_batch([[1, 2]]) == [score_rows([1, 2])]

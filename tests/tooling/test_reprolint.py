@@ -1,0 +1,320 @@
+"""Each reprolint rule fires on its known-bad fixture and stays silent
+on the known-good one, plus waiver/baseline/CLI semantics.
+
+Fixture files live in ``fixtures/`` (excluded from real lint runs);
+tests copy them into a throwaway mini-repo layout under ``tmp_path``
+because rule scoping (``src/`` vs ``tests/``) is part of what is under
+test.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import run_lint
+from tools.reprolint.baseline import load_baseline, save_baseline
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.engine import finding_fingerprints
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def mini_repo(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Lay out ``files`` (rel path → content or fixtures/<name> source)."""
+    for rel, content in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fixture = FIXTURES / content
+        target.write_text(
+            fixture.read_text() if fixture.is_file() else content
+        )
+    return tmp_path
+
+
+def lint(root: Path, *, rules: str, strict: bool = False, paths=("src", "tests")):
+    present = [p for p in paths if (root / p).is_dir()]
+    return run_lint(present, root=root, strict=strict, select=set(rules.split(",")))
+
+
+class TestR001Determinism:
+    def test_fires_on_global_rng_and_wall_clock(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/jitter.py": "r001_bad.py"})
+        findings = lint(root, rules="R001").active()
+        blurbs = "\n".join(f.message for f in findings)
+        assert len(findings) == 6
+        assert "from random import shuffle" in blurbs
+        assert "random.uniform" in blurbs
+        assert "np.random.normal" in blurbs
+        assert "default_rng() without a seed" in blurbs
+        assert "time.time()" in blurbs
+        assert "unseeded random.Random()" in blurbs
+
+    def test_silent_on_seeded_streams(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/jitter.py": "r001_good.py"})
+        assert lint(root, rules="R001").active() == []
+
+    def test_scoped_to_src_only(self, tmp_path):
+        root = mini_repo(tmp_path, {"tests/helper_rand.py": "r001_bad.py"})
+        assert lint(root, rules="R001").active() == []
+
+
+class TestR002SnapshotAliasing:
+    def test_fires_on_pr5_registry_bug_in_miniature(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/registry.py": "r002_bad.py"})
+        findings = lint(root, rules="R002").active()
+        assert len(findings) == 3  # MiniEntry.model, .scaler, keyed stash
+        assert all("PR 5" in f.message for f in findings)
+        stores = {f.message.split(" stores fitted component ")[0] for f in findings}
+        assert stores == {"MiniEntry.__init__", "MiniRegistry.stash_default"}
+
+    def test_silent_when_snapshotted(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/registry.py": "r002_good.py"})
+        assert lint(root, rules="R002").active() == []
+
+    def test_annotation_marks_estimator_params_too(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/holder.py": (
+                    "class Holder:\n"
+                    "    def adopt(self, fitted: 'EpsilonSVR'):\n"
+                    "        self.current = fitted\n"
+                )
+            },
+        )
+        findings = lint(root, rules="R002").active()
+        assert len(findings) == 1
+        assert "'fitted'" in findings[0].message
+
+
+class TestR003UnitSuffix:
+    def test_fires_on_every_mixing_shape(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/units.py": "r003_bad.py"})
+        findings = lint(root, rules="R003").active()
+        blurbs = "\n".join(f.message for f in findings)
+        assert len(findings) == 5
+        assert "additive arithmetic mixes" in blurbs
+        assert "comparison mixes" in blurbs
+        assert "assignment crosses" in blurbs
+        assert "augmented assignment mixes" in blurbs
+        assert "keyword 'deadline_s'" in blurbs
+
+    def test_silent_on_consistent_units_and_conversions(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/units.py": "r003_good.py"})
+        assert lint(root, rules="R003").active() == []
+
+    def test_tests_scanned_only_under_strict(self, tmp_path):
+        root = mini_repo(tmp_path, {"tests/helper_units.py": "r003_bad.py"})
+        assert lint(root, rules="R003").active() == []
+        assert len(lint(root, rules="R003", strict=True).active()) == 5
+
+
+class TestR004ParityPairs:
+    def test_fires_on_missing_counterpart_and_missing_test(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/eng.py": "r004_bad.py",
+                "tests/test_unrelated.py": "def test_nothing():\n    pass\n",
+            },
+        )
+        findings = lint(root, rules="R004").active()
+        assert len(findings) == 2
+        blurbs = "\n".join(f.message for f in findings)
+        assert "no scalar counterpart 'scan'" in blurbs
+        assert "no test under tests//benchmarks/ references 'rank_batch'" in blurbs
+
+    def test_silent_with_twin_and_pinned_test(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/eng.py": "r004_good.py",
+                "tests/test_eng_parity.py": "r004_parity_corpus.py",
+            },
+        )
+        assert lint(root, rules="R004").active() == []
+        assert lint(root, rules="R004", strict=True).active() == []
+
+    def test_strict_requires_both_names_in_one_file(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/eng.py": "r004_good.py",
+                # fleet names referenced here, scalar twins only elsewhere:
+                "tests/test_eng_fleet.py": (
+                    "from repro.eng import scan_fleet, score_batch\n"
+                    "def test_runs():\n"
+                    "    assert scan_fleet([80.0], 75.0) and score_batch([[1]])\n"
+                ),
+                "tests/test_eng_scalar.py": (
+                    "from repro.eng import scan\n"
+                    "score_rows = sum\n"
+                    "def test_scalar():\n"
+                    "    assert scan(80.0, 75.0) and score_rows([1])\n"
+                ),
+            },
+        )
+        assert lint(root, rules="R004").active() == []
+        strict = lint(root, rules="R004", strict=True).active()
+        assert len(strict) == 2
+        assert all("no single test file references both" in f.message for f in strict)
+
+
+class TestWaivers:
+    def test_trailing_waiver_with_reason_suppresses(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "import time\n"
+                    "t = time.time()  # reprolint: waive R001 -- banner only\n"
+                )
+            },
+        )
+        result = lint(root, rules="R001")
+        assert result.active() == []
+        assert [f.waive_reason for f in result.findings] == ["banner only"]
+
+    def test_own_line_waiver_skips_comment_block_to_next_code_line(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "import time\n"
+                    "# reprolint: waive R001 -- long justification that\n"
+                    "# continues on a second comment line\n"
+                    "t = time.time()\n"
+                )
+            },
+        )
+        assert lint(root, rules="R001").active() == []
+
+    def test_file_waive_covers_whole_file(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "# reprolint: file-waive R001 -- CLI timing prints only\n"
+                    "import time\n"
+                    "t0 = time.time()\n"
+                    "t1 = time.time()\n"
+                )
+            },
+        )
+        result = lint(root, rules="R001")
+        assert result.active() == []
+        assert len([f for f in result.findings if f.waived]) == 2
+
+    def test_empty_reason_waiver_is_itself_an_error(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "import time\n"
+                    "t = time.time()  # reprolint: waive R001\n"
+                )
+            },
+        )
+        result = lint(root, rules="R001")
+        rules_hit = {f.rule for f in result.active()}
+        assert rules_hit == {"W000", "R001"}  # waiver invalid AND not applied
+
+    def test_strict_flags_unused_waivers(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/a.py": (
+                    "x = 1  # reprolint: waive R001 -- nothing to suppress\n"
+                )
+            },
+        )
+        assert lint(root, rules="R001").active() == []
+        strict = lint(root, rules="R001", strict=True).active()
+        assert [f.rule for f in strict] == ["W001"]
+
+
+class TestBaselineAndReporters:
+    def test_baseline_roundtrip_suppresses_known_findings(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/units.py": "r003_bad.py"})
+        first = lint(root, rules="R003")
+        assert len(first.active()) == 5
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, finding_fingerprints(first, root))
+        assert len(load_baseline(baseline_path)) > 0
+        second = run_lint(
+            ["src"], root=root, select={"R003"}, baseline_path=baseline_path
+        )
+        assert second.active() == []
+        assert second.baselined == 5
+
+    def test_json_reporter_via_cli(self, tmp_path, capsys):
+        root = mini_repo(tmp_path, {"src/repro/units.py": "r003_bad.py"})
+        code = reprolint_main(
+            ["--root", str(root), "--select", "R003", "--no-baseline",
+             "--format", "json", "src"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["errors"] == 5
+        assert {f["rule"] for f in payload["findings"]} == {"R003"}
+
+    def test_update_baseline_then_clean_exit(self, tmp_path, capsys):
+        root = mini_repo(tmp_path, {"src/repro/units.py": "r003_bad.py"})
+        baseline_path = tmp_path / "baseline.json"
+        assert reprolint_main(
+            ["--root", str(root), "--select", "R003",
+             "--baseline", str(baseline_path), "--update-baseline", "src"]
+        ) == 0
+        capsys.readouterr()
+        assert reprolint_main(
+            ["--root", str(root), "--select", "R003",
+             "--baseline", str(baseline_path), "src"]
+        ) == 0
+
+
+class TestAcceptance:
+    def test_reprolint_clean_on_this_tree(self):
+        """`python -m tools.reprolint src tests` exits 0 on the final tree."""
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "src", "tests"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stdout
+
+    def test_strict_whole_repo_scan_clean_on_this_tree(self):
+        """The nightly `--strict` parity scan over tests/ passes too."""
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--strict",
+             "src", "tests", "benchmarks"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = json.loads(
+            (REPO_ROOT / "tools" / "reprolint" / "baseline.json").read_text()
+        )
+        assert baseline["findings"] == []
+
+    def test_rule_catalog_lists_all_rules(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        for rule_id in ("R001", "R002", "R003", "R004", "R101", "W000"):
+            assert rule_id in result.stdout

@@ -1,0 +1,1 @@
+"""Repo tooling: the ``reprolint`` static-analysis suite and its shims."""

@@ -1,45 +1,33 @@
 #!/usr/bin/env python
-"""Fail on duplicate test-file basenames across tests/** and benchmarks/.
+"""Thin shim: the duplicate-basename lint now lives in reprolint (R101).
 
-The test directories deliberately carry no ``__init__.py``, so pytest
-imports every test file under its *basename* as the module name. Two
-files named ``test_plane.py`` in different directories then collide at
-collection time ("import file mismatch") — a trap that has already
-forced one rename (``benchmarks/test_control_plane.py`` vs what would
-have been ``tests/control/test_control_plane.py``). This lint makes the
-constraint explicit and CI-enforced instead of tribal knowledge.
+Kept so existing CI steps and docs keep working mid-migration::
 
-Usage::
+    python tools/check_test_basenames.py        # == reprolint --select R101
+    python tools/check_test_basenames.py --list
 
-    python tools/check_test_basenames.py          # lint, exit 1 on dupes
-    python tools/check_test_basenames.py --list   # print the inventory
+Prefer ``python -m tools.reprolint`` (runs R101 with every other rule).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from collections import defaultdict
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
-#: Directories pytest collects test modules from (see tier-1 in CI).
-TEST_ROOTS = ("tests", "benchmarks")
+from tools.reprolint.rules.basenames import (  # noqa: E402
+    TEST_ROOTS,
+    collect_test_files as _collect_test_files,
+)
 
 
 def collect_test_files(repo_root: Path = REPO_ROOT) -> dict[str, list[Path]]:
-    """Map each ``test_*.py`` basename to every path carrying it."""
-    by_basename: dict[str, list[Path]] = defaultdict(list)
-    for root in TEST_ROOTS:
-        base = repo_root / root
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("test_*.py")):
-            if "__pycache__" in path.parts:
-                continue
-            by_basename[path.name].append(path.relative_to(repo_root))
-    return dict(by_basename)
+    """Back-compat wrapper: basename → paths map (default: this repo)."""
+    return _collect_test_files(repo_root)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,24 +46,14 @@ def main(argv: list[str] | None = None) -> int:
             for path in by_basename[name]:
                 print(path)
 
-    duplicates = {
-        name: paths for name, paths in by_basename.items() if len(paths) > 1
-    }
-    if duplicates:
-        print(
-            "duplicate test basenames (pytest imports by basename in "
-            "__init__-less test dirs):",
-            file=sys.stderr,
-        )
-        for name in sorted(duplicates):
-            print(f"  {name}:", file=sys.stderr)
-            for path in duplicates[name]:
-                print(f"    {path}", file=sys.stderr)
-        print(
-            "rename one of each pair (e.g. prefix the subsystem) so every "
-            "basename is unique across tests/** and benchmarks/.",
-            file=sys.stderr,
-        )
+    from tools.reprolint.engine import ProjectContext
+    from tools.reprolint.rules.basenames import TestBasenameRule
+
+    findings = TestBasenameRule().check_project(ProjectContext(root=REPO_ROOT))
+    if findings:
+        print("duplicate test basenames:", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding.path}: {finding.message}", file=sys.stderr)
         return 1
     total = sum(len(paths) for paths in by_basename.values())
     print(f"check_test_basenames: {total} test files, all basenames unique")

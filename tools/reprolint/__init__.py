@@ -1,0 +1,38 @@
+"""reprolint — AST-based invariant checks for the repro codebase.
+
+A rule-plugin static-analysis suite enforcing the conventions every
+bitwise-parity and seeded-determinism claim in this repo rests on:
+
+* **R001** determinism — randomness through :mod:`repro.rng`, no
+  wall-clock reads feeding simulation/model state;
+* **R002** snapshot-aliasing — fitted estimators are snapshotted, never
+  captured by reference (the PR 5 ``ModelRegistry`` hazard class);
+* **R003** unit-suffix consistency — no silent ``_s``/``_c``/``_w``/
+  ``_j`` mixing;
+* **R004** parity-pair coverage — every public ``*_fleet``/``*_batch``
+  has a scalar twin and a pinned parity test;
+* **R101** unique test basenames (the pytest no-``__init__`` trap).
+
+Run ``python -m tools.reprolint`` (or ``python -m repro.cli fleet-lint``)
+from the repo root; ``python -m tools.reprolint rules`` prints the
+catalog, ``... docs`` smoke-runs README blocks and examples.
+"""
+
+from tools.reprolint.engine import (  # noqa: F401
+    ProjectContext,
+    SourceFile,
+    collect_python_files,
+    load_source_file,
+    run_lint,
+)
+from tools.reprolint.findings import Finding, LintResult  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ProjectContext",
+    "SourceFile",
+    "collect_python_files",
+    "load_source_file",
+    "run_lint",
+]

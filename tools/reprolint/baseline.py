@@ -1,0 +1,66 @@
+"""Persistent baseline: accepted pre-existing findings, by fingerprint.
+
+The baseline lets the linter land on a codebase with historical debt
+without waivers on every line: ``--update-baseline`` records the current
+unwaived findings, and later runs subtract them (by rule + file + line
+*text*, so edits elsewhere in the file do not churn entries). The
+shipped baseline for this repo is **empty for src/** by policy — real
+violations are fixed or carry an inline waiver with a reason.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from tools.reprolint.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from ``path``; empty when the file is absent."""
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this reprolint writes version {FORMAT_VERSION}"
+        )
+    return Counter(data.get("findings", []))
+
+
+def save_baseline(path: Path, fingerprints: list[str]) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "findings": sorted(fingerprints),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def subtract_baseline(
+    findings: list[Finding],
+    fingerprints_by_finding: dict[int, str],
+    baseline: Counter,
+) -> int:
+    """Mark baselined findings as waived; returns how many matched.
+
+    ``fingerprints_by_finding`` maps ``id(finding)`` to its fingerprint
+    (the engine computes these with each finding's source line text).
+    Matching consumes baseline multiplicity, so two identical lines need
+    two baseline entries.
+    """
+    remaining = Counter(baseline)
+    matched = 0
+    for finding in findings:
+        if finding.waived:
+            continue
+        fingerprint = fingerprints_by_finding.get(id(finding))
+        if fingerprint and remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            finding.waived = True
+            finding.waive_reason = "baseline"
+            matched += 1
+    return matched

@@ -1,0 +1,123 @@
+"""``reprolint`` command line: lint (default), ``docs``, ``rules``.
+
+Usage::
+
+    python -m tools.reprolint [src tests ...] [--strict] [--format json]
+    python -m tools.reprolint rules                 # rule catalog
+    python -m tools.reprolint docs [--readme-only]  # docs smoke
+    python -m repro.cli fleet-lint [...]            # same, via the app CLI
+
+Exit code 1 when any unwaived, unbaselined *error* remains (``--strict``
+also fails on warnings); 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint import docs_smoke
+from tools.reprolint.baseline import save_baseline
+from tools.reprolint.engine import REPO_ROOT, finding_fingerprints, run_lint
+from tools.reprolint.reporters import human_report, json_report
+from tools.reprolint.rules import all_rules
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _print_rules() -> int:
+    print("reprolint rule catalog:\n")
+    for rule_id, rule in all_rules().items():
+        print(f"{rule_id} [{rule.severity}] {rule.title}")
+        print(f"    {rule.description}\n")
+    print("W000 [error] waiver without a reason string")
+    print("W001 [warning, --strict] waiver that suppressed nothing")
+    print("E000 [error] file does not parse")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checks for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings, flag unused waivers, run the expensive "
+             "whole-repo parity scan, and lint unit suffixes in tests/",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (default human)",
+    )
+    parser.add_argument(
+        "--select", type=str, default=None, metavar="R001,R004",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="findings baseline to subtract (default: the shipped one)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="include waived/baselined findings in the report",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="repo root for relative paths (default: autodetected)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "docs":
+        return docs_smoke.main(argv[1:])
+    if argv and argv[0] == "rules":
+        return _print_rules()
+    args = build_parser().parse_args(argv)
+
+    select = None
+    if args.select:
+        select = {rule_id.strip() for rule_id in args.select.split(",")}
+    baseline_path = None if args.no_baseline else args.baseline
+    try:
+        result = run_lint(
+            args.paths,
+            root=args.root,
+            strict=args.strict,
+            select=select,
+            baseline_path=None if args.update_baseline else baseline_path,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        fingerprints = finding_fingerprints(result, args.root)
+        save_baseline(args.baseline, fingerprints)
+        print(
+            f"reprolint: wrote {len(fingerprints)} finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json_report(result, show_waived=args.show_waived))
+    else:
+        print(human_report(result, show_waived=args.show_waived))
+    failed = bool(result.errors()) or (args.strict and bool(result.warnings()))
+    return 1 if failed else 0

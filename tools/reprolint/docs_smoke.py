@@ -1,0 +1,85 @@
+"""Smoke-run the documentation: README python blocks and every example.
+
+Fenced ```python blocks in README.md are extracted in order and executed
+in one shared namespace (they form a single narrative script), so a
+broken code block fails CI the same way a broken example does. Examples
+run as subprocesses with the repo's ``src/`` on PYTHONPATH.
+
+Formerly ``tools/smoke_docs.py`` (which now shims here); invoked as
+``python -m tools.reprolint docs`` / ``fleet-lint docs``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def run_readme_blocks(readme: Path) -> int:
+    """Execute every fenced python block in ``readme``; returns #blocks."""
+    text = readme.read_text()
+    blocks = [match.group(1) for match in FENCE.finditer(text)]
+    if not blocks:
+        raise SystemExit(f"no fenced python blocks found in {readme}")
+    namespace: dict = {"__name__": "__readme__"}
+    for index, block in enumerate(blocks, start=1):
+        print(f"-- README block {index}/{len(blocks)} --", flush=True)
+        started = time.time()
+        code = compile(block, f"{readme.name}[block {index}]", "exec")
+        exec(code, namespace)  # noqa: S102 - the whole point of the smoke
+        print(f"   ok ({time.time() - started:.1f}s)", flush=True)
+    return len(blocks)
+
+
+def run_examples(examples_dir: Path) -> int:
+    """Run every ``examples/*.py`` as a subprocess; returns #examples."""
+    scripts = sorted(examples_dir.glob("*.py"))
+    if not scripts:
+        raise SystemExit(f"no examples found in {examples_dir}")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    for script in scripts:
+        print(f"-- example {script.name} --", flush=True)
+        started = time.time()
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        if result.returncode != 0:
+            print(result.stdout)
+            raise SystemExit(f"example {script.name} failed ({result.returncode})")
+        print(f"   ok ({time.time() - started:.1f}s)", flush=True)
+    return len(scripts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint docs", description=__doc__.splitlines()[0]
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--readme-only", action="store_true")
+    group.add_argument("--examples-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    n_blocks = n_examples = 0
+    if not args.examples_only:
+        n_blocks = run_readme_blocks(REPO_ROOT / "README.md")
+    if not args.readme_only:
+        n_examples = run_examples(REPO_ROOT / "examples")
+    print(f"docs smoke ok: {n_blocks} README blocks, {n_examples} examples")
+    return 0

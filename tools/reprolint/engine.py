@@ -1,0 +1,193 @@
+"""The lint engine: collect files, parse, run rules, waive, baseline.
+
+The pipeline::
+
+    paths → collect .py files → parse (AST + waiver comments)
+          → file rules per file, project rules once
+          → apply inline waivers → subtract baseline → LintResult
+
+Directories named ``fixtures`` are excluded from collection: they hold
+deliberately-violating snippets for the rule tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.reprolint.baseline import load_baseline, subtract_baseline
+from tools.reprolint.findings import Finding, LintResult
+from tools.reprolint.rules import all_rules
+from tools.reprolint.rules.base import FileRule, ProjectRule
+from tools.reprolint.waivers import (
+    WaiverSet,
+    apply_waivers,
+    parse_waivers,
+    unused_waiver_findings,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Directory names never collected.
+EXCLUDED_DIRS = frozenset({"__pycache__", "fixtures", ".git"})
+
+
+@dataclass
+class SourceFile:
+    """One parsed input file."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.AST | None
+    parse_error: Finding | None
+    waivers: WaiverSet
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        lines = self.lines
+        return lines[lineno - 1] if 1 <= lineno <= len(lines) else ""
+
+
+@dataclass
+class ProjectContext:
+    """Whole-corpus view handed to every rule."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+    strict: bool = False
+
+    def src_files(self) -> list[SourceFile]:
+        return [f for f in self.files if f.rel.startswith("src/")]
+
+    def test_files(self) -> list[SourceFile]:
+        return [
+            f for f in self.files if f.rel.startswith(("tests/", "benchmarks/"))
+        ]
+
+
+def collect_python_files(paths: list[Path], root: Path) -> list[Path]:
+    """Every ``.py`` file under ``paths``, stably ordered, fixtures skipped."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_file() and path.suffix == ".py":
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if seen & {candidate} or set(candidate.parts) & EXCLUDED_DIRS:
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def load_source_file(path: Path, root: Path) -> SourceFile:
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    text = path.read_text()
+    tree, parse_error = None, None
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        parse_error = Finding(
+            rule="E000",
+            severity="error",
+            path=rel,
+            line=exc.lineno or 1,
+            col=exc.offset or 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return SourceFile(
+        path=path,
+        rel=rel,
+        text=text,
+        tree=tree,
+        parse_error=parse_error,
+        waivers=parse_waivers(text, rel),
+    )
+
+
+def run_lint(
+    paths: list[str | Path],
+    root: Path = REPO_ROOT,
+    strict: bool = False,
+    select: set[str] | None = None,
+    baseline_path: Path | None = None,
+) -> LintResult:
+    """Run every (selected) rule over ``paths``; returns the raw result.
+
+    ``select`` restricts to specific rule ids. ``baseline_path`` points
+    to a findings baseline to subtract (missing file = empty baseline).
+    """
+    files = [
+        load_source_file(path, root)
+        for path in collect_python_files([Path(p) for p in paths], root)
+    ]
+    ctx = ProjectContext(root=root, files=files, strict=strict)
+    rules = all_rules()
+    if select:
+        unknown = select - set(rules)
+        if unknown:
+            raise ValueError(
+                f"unknown rule ids {sorted(unknown)}; known: {sorted(rules)}"
+            )
+        rules = {rule_id: rules[rule_id] for rule_id in select}
+
+    findings: list[Finding] = []
+    for source in files:
+        if source.parse_error is not None:
+            findings.append(source.parse_error)
+        findings.extend(source.waivers.findings)  # W000 empty-reason errors
+    for rule in rules.values():
+        if isinstance(rule, FileRule):
+            for source in files:
+                if source.tree is not None and rule.applies(source, ctx):
+                    findings.extend(rule.check_file(source, ctx))
+        elif isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(ctx))
+
+    waiver_sets = {source.rel: source.waivers for source in files}
+    apply_waivers(findings, waiver_sets)
+    if strict:
+        findings.extend(unused_waiver_findings(waiver_sets))
+
+    baselined = 0
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        if baseline:
+            by_rel = {source.rel: source for source in files}
+            fingerprints = {
+                id(f): f.fingerprint(
+                    by_rel[f.path].line_text(f.line) if f.path in by_rel else ""
+                )
+                for f in findings
+            }
+            baselined = subtract_baseline(findings, fingerprints, baseline)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings=findings, n_files=len(files), baselined=baselined)
+
+
+def finding_fingerprints(result: LintResult, root: Path) -> list[str]:
+    """Fingerprints of the active findings (for ``--update-baseline``)."""
+    out = []
+    for finding in result.active():
+        path = root / finding.path
+        line_text = ""
+        if path.is_file():
+            lines = path.read_text().splitlines()
+            if 1 <= finding.line <= len(lines):
+                line_text = lines[finding.line - 1]
+        out.append(finding.fingerprint(line_text))
+    return out

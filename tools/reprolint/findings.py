@@ -1,0 +1,73 @@
+"""Finding objects shared by every reprolint rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Finding severities, in increasing order of strictness consequences.
+#: ``error`` fails any run; ``warning`` fails only ``--strict`` runs.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is repo-relative (posix separators) so fingerprints and
+    reports are stable across checkouts. ``waived`` findings are kept in
+    the result (for ``--show-waived``) but never fail a run.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waive_reason: str | None = None
+
+    def fingerprint(self, line_text: str = "") -> str:
+        """Baseline identity: rule + file + the flagged line's text.
+
+        Deliberately excludes the line *number* so unrelated edits above
+        a baselined finding do not churn the baseline file.
+        """
+        return f"{self.rule}::{self.path}::{line_text.strip()}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+            "waive_reason": self.waive_reason,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, before reporting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    baselined: int = 0
+
+    def active(self) -> list[Finding]:
+        """Findings that were neither waived nor baselined away."""
+        return [f for f in self.findings if not f.waived]
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.active() if f.severity == "error"]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.active() if f.severity == "warning"]
+
+
+__all__ = ["Finding", "LintResult", "SEVERITIES", "replace"]

@@ -1,0 +1,55 @@
+"""Human and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from tools.reprolint.findings import LintResult
+
+
+def human_report(result: LintResult, show_waived: bool = False) -> str:
+    """``path:line:col: RULE severity: message`` lines plus a summary."""
+    lines = []
+    for finding in result.findings:
+        if finding.waived and not show_waived:
+            continue
+        suffix = ""
+        if finding.waived:
+            suffix = f"  [waived: {finding.waive_reason}]"
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.severity}: "
+            f"{finding.message}{suffix}"
+        )
+    errors, warnings = result.errors(), result.warnings()
+    summary = (
+        f"reprolint: {result.n_files} files, {len(errors)} error(s), "
+        f"{len(warnings)} warning(s)"
+    )
+    extras = []
+    waived = [f for f in result.findings if f.waived]
+    if waived:
+        extras.append(f"{len(waived)} waived")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, show_waived: bool = False) -> str:
+    findings = [
+        finding.as_dict()
+        for finding in result.findings
+        if show_waived or not finding.waived
+    ]
+    return json.dumps(
+        {
+            "files": result.n_files,
+            "errors": len(result.errors()),
+            "warnings": len(result.warnings()),
+            "baselined": result.baselined,
+            "findings": findings,
+        },
+        indent=2,
+    )

@@ -1,0 +1,38 @@
+"""Rule registry: rules self-register via the :func:`register` decorator.
+
+Adding a rule = add a module here, subclass
+:class:`~tools.reprolint.rules.base.FileRule` or ``ProjectRule``,
+decorate with ``@register``, and list the module in ``_RULE_MODULES``.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_REGISTRY: dict[str, type] = {}
+
+#: Modules holding rule classes; imported lazily by :func:`all_rules`.
+_RULE_MODULES = (
+    "determinism",
+    "snapshot_aliasing",
+    "unit_suffix",
+    "parity_pairs",
+    "basenames",
+)
+
+
+def register(rule_cls):
+    """Class decorator: add a rule class to the registry by its id."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, object]:
+    """Fresh instances of every registered rule, keyed by id."""
+    for module in _RULE_MODULES:
+        importlib.import_module(f"tools.reprolint.rules.{module}")
+    return {rule_id: cls() for rule_id, cls in sorted(_REGISTRY.items())}

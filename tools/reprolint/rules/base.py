@@ -1,0 +1,86 @@
+"""Rule plugin framework: subclass, decorate with ``@register``, done.
+
+Two rule shapes exist:
+
+* :class:`FileRule` — sees one parsed file at a time (AST + text);
+* :class:`ProjectRule` — sees the whole collected corpus at once, for
+  cross-file contracts (parity-pair coverage, test-basename collisions).
+
+A rule owns its scope via :meth:`Rule.applies`: e.g. the determinism
+rule only fires under ``src/`` because tests and tools may legitimately
+use ad-hoc randomness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from tools.reprolint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from tools.reprolint.engine import ProjectContext, SourceFile
+
+
+class Rule:
+    """Base rule: identity, severity, and scoping."""
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    #: One-paragraph catalog entry shown by ``reprolint rules``.
+    description: str = ""
+
+    def applies(self, source: "SourceFile", ctx: "ProjectContext") -> bool:
+        """Whether this rule runs on ``source`` at all (default: yes)."""
+        return True
+
+    def finding(
+        self,
+        source: "SourceFile",
+        node: ast.AST | int,
+        message: str,
+        col: int | None = None,
+    ) -> Finding:
+        """Build a finding anchored at an AST node or a 1-based line."""
+        if isinstance(node, int):
+            line, column = node, 1 if col is None else col
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) + 1 if col is None else col
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=source.rel,
+            line=line,
+            col=column,
+            message=message,
+        )
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each collected file."""
+
+    def check_file(
+        self, source: "SourceFile", ctx: "ProjectContext"
+    ) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole collected corpus."""
+
+    def check_project(self, ctx: "ProjectContext") -> list[Finding]:
+        raise NotImplementedError
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` attribute/name chain as a tuple, or None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None

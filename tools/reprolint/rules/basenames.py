@@ -1,0 +1,71 @@
+"""R101 — unique test-file basenames across tests/** and benchmarks/.
+
+The test directories deliberately carry no ``__init__.py``, so pytest
+imports every test file under its *basename* as the module name; two
+``test_plane.py`` in different directories collide at collection time
+("import file mismatch"). Formerly ``tools/check_test_basenames.py``
+(which now shims to this rule).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+#: Directories pytest collects test modules from (see tier-1 in CI).
+TEST_ROOTS = ("tests", "benchmarks")
+
+
+def collect_test_files(repo_root: Path) -> dict[str, list[Path]]:
+    """Map each ``test_*.py`` basename to every path carrying it."""
+    by_basename: dict[str, list[Path]] = defaultdict(list)
+    for root in TEST_ROOTS:
+        base = repo_root / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("test_*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            by_basename[path.name].append(path.relative_to(repo_root))
+    return dict(by_basename)
+
+
+@register
+class TestBasenameRule(ProjectRule):
+    id = "R101"
+    title = "unique test basenames (pytest no-__init__ collision trap)"
+    severity = "error"
+    description = (
+        "tests/** and benchmarks/ carry no __init__.py, so pytest imports "
+        "test files by basename; duplicate basenames collide at collection "
+        "time. Rename one of each pair (e.g. prefix the subsystem)."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        findings: list[Finding] = []
+        by_basename = collect_test_files(ctx.root)
+        for name in sorted(by_basename):
+            paths = by_basename[name]
+            if len(paths) <= 1:
+                continue
+            listing = ", ".join(str(p) for p in paths)
+            for path in paths[1:]:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        severity=self.severity,
+                        path=path.as_posix(),
+                        line=1,
+                        col=1,
+                        message=(
+                            f"test basename {name!r} appears {len(paths)} "
+                            f"times ({listing}); pytest imports by basename "
+                            "in __init__-less test dirs — rename one"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,230 @@
+"""R001 — all randomness and wall-clock reads must be reproducible.
+
+Every parity and determinism claim in this repo (fleet vs scalar,
+batched vs looped, no-op swap invisibility) assumes that rerunning a
+seeded experiment replays bit-identically. Code under ``src/repro/``
+therefore must draw randomness through :mod:`repro.rng`'s named seeded
+streams, never the process-global ``random`` / ``numpy.random`` state,
+and must not let wall-clock reads (``time.time()`` and friends) feed
+simulation or model state. CLI elapsed-time prints are legitimate —
+waive them (``# reprolint: file-waive R001 -- ...``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import FileRule, dotted_name
+
+#: ``random`` module-level samplers that share the global Mersenne state.
+RANDOM_SAMPLERS = frozenset(
+    {
+        "random", "randint", "uniform", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "betavariate", "gammavariate",
+        "paretovariate", "vonmisesvariate", "weibullvariate", "triangular",
+        "binomialvariate", "choice", "choices", "sample", "shuffle",
+        "randrange", "getrandbits", "randbytes", "seed", "setstate",
+    }
+)
+
+#: Names importable from ``random`` that are fine: seeded-generator
+#: construction, not draws from global state.
+RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random`` names that construct explicit generators/seeds.
+NUMPY_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "RandomState", "BitGenerator",
+     "PCG64", "Philox"}
+)
+
+#: Wall-clock reads; any of these feeding state breaks replayability.
+TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns",
+     "perf_counter", "perf_counter_ns"}
+)
+DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class DeterminismRule(FileRule):
+    id = "R001"
+    title = "determinism: no global RNG or wall-clock state"
+    severity = "error"
+    description = (
+        "Under src/repro/, randomness must come from repro.rng named "
+        "seeded streams (not random.* / np.random.* global state, nor "
+        "unseeded Random()/default_rng()), and wall-clock reads "
+        "(time.time, perf_counter, datetime.now, ...) must not feed "
+        "simulation or model state. Timing prints are waivable."
+    )
+
+    def applies(self, source, ctx) -> bool:
+        return source.rel.startswith("src/")
+
+    def check_file(self, source, ctx) -> list[Finding]:
+        tree = source.tree
+        if tree is None:
+            return []
+        findings: list[Finding] = []
+        # Aliases that resolve to each watched module in this file.
+        random_aliases: set[str] = set()
+        nprandom_aliases: set[str] = set()
+        numpy_aliases: set[str] = set()
+        time_aliases: set[str] = set()
+        datetime_mod_aliases: set[str] = set()
+        datetime_cls_aliases: set[str] = set()
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name, bound = alias.name, alias.asname or alias.name.split(".")[0]
+                    if name == "random":
+                        random_aliases.add(bound)
+                    elif name == "numpy.random":
+                        nprandom_aliases.add(alias.asname or "numpy")
+                        if alias.asname is None:
+                            numpy_aliases.add("numpy")
+                    elif name == "numpy":
+                        numpy_aliases.add(bound)
+                    elif name == "time":
+                        time_aliases.add(bound)
+                    elif name == "datetime":
+                        datetime_mod_aliases.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in RANDOM_ALLOWED:
+                            findings.append(
+                                self.finding(
+                                    source, node,
+                                    f"'from random import {alias.name}' pulls "
+                                    "a global-state sampler; route draws "
+                                    "through a repro.rng.RngStream instead",
+                                )
+                            )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in NUMPY_ALLOWED:
+                            findings.append(
+                                self.finding(
+                                    source, node,
+                                    f"'from numpy.random import {alias.name}' "
+                                    "uses numpy's global RNG; construct an "
+                                    "explicit seeded Generator instead",
+                                )
+                            )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in TIME_FUNCS:
+                            findings.append(
+                                self.finding(
+                                    source, node,
+                                    f"'from time import {alias.name}' imports a "
+                                    "wall-clock read; simulation state must use "
+                                    "simulated time_s (timing prints: waive)",
+                                )
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name == "datetime":
+                            datetime_cls_aliases.add(alias.asname or "datetime")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            findings.extend(
+                self._check_call(
+                    source, node, chain,
+                    random_aliases, nprandom_aliases, numpy_aliases,
+                    time_aliases, datetime_mod_aliases, datetime_cls_aliases,
+                )
+            )
+        return findings
+
+    def _check_call(
+        self, source, node, chain,
+        random_aliases, nprandom_aliases, numpy_aliases,
+        time_aliases, datetime_mod_aliases, datetime_cls_aliases,
+    ) -> list[Finding]:
+        head, rest = chain[0], chain[1:]
+        # random.<sampler>(...) and unseeded random.Random()
+        if head in random_aliases and len(rest) == 1:
+            if rest[0] in RANDOM_SAMPLERS:
+                return [
+                    self.finding(
+                        source, node,
+                        f"call to global-state 'random.{rest[0]}'; draw from "
+                        "a named seeded stream (repro.rng.RngFactory."
+                        "stream(...)) so reruns replay bit-identically",
+                    )
+                ]
+            if rest[0] == "Random" and not node.args and not node.keywords:
+                return [
+                    self.finding(
+                        source, node,
+                        "unseeded random.Random() is seeded from the OS; "
+                        "derive the seed via repro.rng.derive_seed",
+                    )
+                ]
+        # np.random.<fn> / numpy.random.<fn> (module alias forms)
+        np_tail = None
+        if head in nprandom_aliases and len(rest) == 1:
+            np_tail = rest[0]
+        elif head in numpy_aliases and len(rest) == 2 and rest[0] == "random":
+            np_tail = rest[1]
+        if np_tail is not None:
+            if np_tail not in NUMPY_ALLOWED:
+                return [
+                    self.finding(
+                        source, node,
+                        f"call to numpy global RNG 'np.random.{np_tail}'; use "
+                        "an explicit seeded np.random.default_rng(seed) (or "
+                        "better, a repro.rng-derived seed)",
+                    )
+                ]
+            if np_tail == "default_rng" and not node.args and not node.keywords:
+                return [
+                    self.finding(
+                        source, node,
+                        "np.random.default_rng() without a seed is entropy-"
+                        "seeded; pass a repro.rng.derive_seed-derived seed",
+                    )
+                ]
+        # time.time() family
+        if head in time_aliases and len(rest) == 1 and rest[0] in TIME_FUNCS:
+            return [
+                self.finding(
+                    source, node,
+                    f"wall-clock read 'time.{rest[0]}()'; simulation/model "
+                    "state must be driven by simulated time_s — if this only "
+                    "times a CLI print, waive it with a reason",
+                )
+            ]
+        # datetime.now() / datetime.datetime.now() / date.today()
+        if rest and rest[-1] in DATETIME_FUNCS:
+            base = chain[:-1]
+            if (
+                (len(base) == 1 and base[0] in datetime_cls_aliases)
+                or (
+                    len(base) == 2
+                    and base[0] in datetime_mod_aliases
+                    and base[1] in ("datetime", "date")
+                )
+            ):
+                return [
+                    self.finding(
+                        source, node,
+                        f"wall-clock read '{'.'.join(chain)}()'; stamp outputs "
+                        "from the experiment seed/config, not the host clock",
+                    )
+                ]
+        return []

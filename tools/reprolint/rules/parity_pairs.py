@@ -1,0 +1,151 @@
+"""R004 — every vectorized ``*_fleet``/``*_batch`` path keeps its scalar twin.
+
+Every "bit-identical" benchmark in this repo is a contract between a
+vectorized function and the scalar loop it replaced (``detect_fleet`` vs
+``detect``, ``solve_svr_dual_batch`` vs ``solve_svr_dual``). The rule
+enforces both halves of that contract for every *public* ``*_fleet`` /
+``*_batch`` function or method under ``src/repro/``:
+
+1. **a scalar counterpart exists** — a same-scope definition named like
+   the function minus its suffix, or an explicit docstring declaration
+   ``Parity: <dotted.name>`` when the twin lives elsewhere;
+2. **a parity test exists** — some file under ``tests/``/``benchmarks/``
+   references the vectorized name. In ``--strict`` (the nightly
+   whole-repo scan) one single test file must reference *both* names,
+   and references are resolved from each test's AST identifier set
+   rather than a substring scan.
+
+Fleet-native aggregations with no meaningful scalar twin carry a
+per-line waiver on the ``def`` line explaining why.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+VECTORIZED = re.compile(r"^(?P<stem>[A-Za-z]\w*?)_(?:fleet|batch)$")
+PARITY_MARK = re.compile(r"[Pp]arity:\s*`?([A-Za-z_][\w.]*)`?")
+
+
+def _docstring_counterpart(node: ast.AST) -> str | None:
+    doc = ast.get_docstring(node) or ""
+    match = PARITY_MARK.search(doc)
+    if match is None:
+        return None
+    return match.group(1).rsplit(".", 1)[-1]
+
+
+def _identifier_set(tree: ast.AST) -> set[str]:
+    """Every Name id / Attribute attr / def name appearing in ``tree``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+@register
+class ParityPairRule(ProjectRule):
+    id = "R004"
+    title = "parity-pair coverage for *_fleet/*_batch"
+    severity = "error"
+    description = (
+        "Every public *_fleet/*_batch function in src/repro/ must have a "
+        "scalar counterpart (same scope, or a 'Parity: <name>' docstring "
+        "declaration) and at least one test referencing the vectorized "
+        "name (--strict: one test referencing both names, resolved from "
+        "test ASTs) — the contract behind every bit-identical benchmark."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        findings: list[Finding] = []
+        pairs = []  # (source, def node, name, counterpart name | None)
+        for source in ctx.src_files():
+            if source.tree is None:
+                continue
+            pairs.extend(self._collect_pairs(source))
+
+        test_files = [f for f in ctx.test_files() if f.tree is not None]
+        test_names: dict[str, set[str]] = {}
+        if ctx.strict:
+            test_names = {f.rel: _identifier_set(f.tree) for f in test_files}
+
+        for source, node, name, counterpart in pairs:
+            if counterpart is None:
+                findings.append(
+                    self.finding(
+                        source, node,
+                        f"vectorized '{name}' has no scalar counterpart "
+                        f"'{VECTORIZED.match(name).group('stem')}' in scope; "
+                        "add one, declare 'Parity: <dotted.name>' in the "
+                        "docstring, or waive with a reason if it is "
+                        "fleet-native",
+                    )
+                )
+                continue
+            if not test_files:
+                continue  # nothing to scan against (src-only invocation)
+            if ctx.strict:
+                covered = any(
+                    name in names and counterpart in names
+                    for names in test_names.values()
+                )
+                missing = (
+                    f"no single test file references both '{name}' and "
+                    f"its scalar counterpart '{counterpart}'"
+                )
+            else:
+                pattern = re.compile(rf"\b{re.escape(name)}\b")
+                covered = any(
+                    pattern.search(f.text) for f in test_files
+                )
+                missing = f"no test under tests//benchmarks/ references '{name}'"
+            if not covered:
+                findings.append(
+                    self.finding(
+                        source, node,
+                        f"{missing}; every vectorized path needs a pinned "
+                        "parity test against its scalar twin",
+                    )
+                )
+        return findings
+
+    def _collect_pairs(self, source):
+        """(source, node, name, counterpart|None) for each vectorized def."""
+        out = []
+        tree = source.tree
+        module_defs = {
+            n.name
+            for n in tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        scopes = [(tree.body, module_defs)]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                class_defs = {
+                    n.name
+                    for n in node.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                scopes.append((node.body, class_defs | module_defs))
+        for body, in_scope in scopes:
+            for node in body:
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                match = VECTORIZED.match(node.name)
+                if match is None or node.name.startswith("_"):
+                    continue
+                counterpart: str | None = match.group("stem")
+                if counterpart not in in_scope:
+                    counterpart = _docstring_counterpart(node)
+                out.append((source, node, node.name, counterpart))
+        return out

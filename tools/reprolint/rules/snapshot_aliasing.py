@@ -1,0 +1,141 @@
+"""R002 — never capture fitted-estimator arguments by reference.
+
+The PR 5 hazard class: ``ModelRegistry`` stored the extractor/scaler/SVR
+it was handed, so a later in-place ``fit`` of the same objects silently
+mutated live serving. Any class that *publishes or versions* a fitted
+component must snapshot it (``copy.deepcopy`` or an explicit
+``snapshot``/``freeze`` step) inside the function that accepts it.
+
+The rule flags ``self.<attr> = <param>`` (and ``self.<attr>[k] =
+<param>``) where ``<param>`` is estimator-shaped — its annotation names
+an estimator type (``...SVR``, ``...Scaler``, ``...Predictor``, ...) or
+its name is a conventional estimator name (``model``, ``svr``,
+``scaler``, ``estimator``, ``predictor``, ``extractor``). Wrapping the
+store in a snapshot call (``self.x = copy.deepcopy(model)``) silences
+it by construction. Components that are *meant* to be live views (a
+monitor serving the caller's predictor, a scorer reading a shared
+registry) take a per-line waiver stating exactly that.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import FileRule
+
+#: Parameter names conventionally carrying fitted estimators.
+ESTIMATOR_NAMES = frozenset(
+    {"model", "svr", "svc", "scaler", "estimator", "predictor", "extractor"}
+)
+
+#: Annotation fragments that mark a parameter as estimator-shaped.
+ESTIMATOR_ANNOTATION = re.compile(
+    r"(SVR|SVC|Scaler|Predictor|Extractor|Estimator|Ridge)\b"
+)
+
+
+def _annotation_text(node: ast.AST | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return ""
+
+
+def _estimator_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names of estimator-shaped parameters of ``func`` (excluding self)."""
+    out: set[str] = set()
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.arg in ESTIMATOR_NAMES or ESTIMATOR_ANNOTATION.search(
+            _annotation_text(arg.annotation)
+        ):
+            out.add(arg.arg)
+    return out
+
+
+def _stored_param(target: ast.AST, value: ast.AST, params: set[str]) -> str | None:
+    """The estimator param captured by-reference, if this store does so."""
+    if not (isinstance(value, ast.Name) and value.id in params):
+        return None
+    # self.<attr> = param
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return value.id
+    # self.<attr>[key] = param  (keyed registries accumulate the same hazard)
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Attribute)
+        and isinstance(target.value.value, ast.Name)
+        and target.value.value.id == "self"
+    ):
+        return value.id
+    return None
+
+
+@register
+class SnapshotAliasingRule(FileRule):
+    id = "R002"
+    title = "snapshot-aliasing: fitted estimators stored by reference"
+    severity = "error"
+    description = (
+        "Classes must not store fitted-estimator arguments (SVR, scaler, "
+        "extractor, predictor, ...) by reference: a later in-place refit "
+        "of the source object mutates the stored state (the PR 5 "
+        "ModelRegistry bug). Snapshot with copy.deepcopy / an explicit "
+        "freeze, or waive with a reason when a live view is the contract."
+    )
+
+    def applies(self, source, ctx) -> bool:
+        return source.rel.startswith("src/")
+
+    def check_file(self, source, ctx) -> list[Finding]:
+        tree = source.tree
+        if tree is None:
+            return []
+        findings: list[Finding] = []
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                params = _estimator_params(func)
+                if not params:
+                    continue
+                findings.extend(self._check_method(source, cls, func, params))
+        return findings
+
+    def _check_method(self, source, cls, func, params) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                pairs = [(target, node.value) for target in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for target, value in pairs:
+                param = _stored_param(target, value, params)
+                if param is None:
+                    continue
+                findings.append(
+                    self.finding(
+                        source, node,
+                        f"{cls.name}.{func.name} stores fitted component "
+                        f"{param!r} by reference; a later in-place fit of the "
+                        "caller's object mutates this state (PR 5 registry "
+                        "bug). Snapshot it (copy.deepcopy) or waive with a "
+                        "reason if a live view is intended",
+                    )
+                )
+        return findings

@@ -1,0 +1,131 @@
+"""R003 — unit-suffix consistency across the repo's naming convention.
+
+The codebase encodes physical units in identifier suffixes: ``_s``
+(seconds), ``_c`` (degrees Celsius), ``_w`` (watts), ``_j`` (joules) —
+``duration_s``, ``threshold_c``, ``idle_power_w``, ``energy_j``. That
+convention only protects against unit bugs if mixing suffixes is loud.
+
+The rule infers a unit from a Name/Attribute suffix and flags:
+
+* ``a_s + b_c`` / ``a_s - b_c`` — additive arithmetic across units
+  (multiplication and division legitimately combine units: W × s = J);
+* ``a_c < b_s`` — comparisons across units;
+* ``x_c = y_w`` (plain, annotated, or augmented ``+=``/``-=``) —
+  assignment across units with no conversion;
+* ``f(deadline_s=temp_c)`` — a unit-suffixed keyword receiving a
+  differently suffixed name.
+
+Routing through *any* call (``to_celsius(x_f)``) or arithmetic yields
+an expression with no inferred unit, which is exactly the "explicit
+conversion" escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import FileRule
+
+UNITS = {"s": "seconds", "c": "degC", "w": "watts", "j": "joules"}
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_of(name: str) -> str | None:
+    """Unit encoded in ``name``'s suffix, or None."""
+    lowered = name.lower()
+    if len(lowered) > 2 and lowered[-2] == "_" and lowered[-1] in UNITS:
+        return lowered[-1]
+    return None
+
+
+def expr_unit(node: ast.AST) -> tuple[str, str] | None:
+    """(identifier, unit) for a Name/Attribute with a unit suffix."""
+    if isinstance(node, ast.Name):
+        unit = unit_of(node.id)
+        return (node.id, unit) if unit else None
+    if isinstance(node, ast.Attribute):
+        unit = unit_of(node.attr)
+        return (node.attr, unit) if unit else None
+    return None
+
+
+@register
+class UnitSuffixRule(FileRule):
+    id = "R003"
+    title = "unit-suffix consistency (_s/_c/_w/_j)"
+    severity = "error"
+    description = (
+        "Additive arithmetic, comparisons, assignments, and keyword "
+        "bindings between identifiers whose suffixes encode different "
+        "units (_s seconds, _c degC, _w watts, _j joules) need an "
+        "explicit conversion call; mixing them silently is flagged."
+    )
+
+    def applies(self, source, ctx) -> bool:
+        # Tests adopt the same naming convention, but scanning them is
+        # reserved for --strict (the nightly whole-repo pass).
+        return source.rel.startswith("src/") or (
+            ctx.strict
+            and source.rel.startswith(("tests/", "benchmarks/"))
+        )
+
+    def check_file(self, source, ctx) -> list[Finding]:
+        tree = source.tree
+        if tree is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                self._pair(source, findings, node, node.left, node.right,
+                           "additive arithmetic mixes")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if isinstance(op, _COMPARE_OPS):
+                        self._pair(source, findings, node, left, right,
+                                   "comparison mixes")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._pair(source, findings, node, target, node.value,
+                               "assignment crosses")
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._pair(source, findings, node, node.target, node.value,
+                           "assignment crosses")
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                self._pair(source, findings, node, node.target, node.value,
+                           "augmented assignment mixes")
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    ku = unit_of(keyword.arg)
+                    value = expr_unit(keyword.value)
+                    if ku and value and value[1] != ku:
+                        findings.append(
+                            self.finding(
+                                source, keyword.value,
+                                f"keyword '{keyword.arg}' ({UNITS[ku]}) "
+                                f"receives '{value[0]}' ({UNITS[value[1]]}); "
+                                "convert explicitly or rename",
+                            )
+                        )
+        return findings
+
+    def _pair(self, source, findings, anchor, left, right, verb) -> None:
+        lu, ru = expr_unit(left), expr_unit(right)
+        if lu and ru and lu[1] != ru[1]:
+            findings.append(
+                self.finding(
+                    source, anchor,
+                    f"{verb} units: '{lu[0]}' ({UNITS[lu[1]]}) vs "
+                    f"'{ru[0]}' ({UNITS[ru[1]]}); insert an explicit "
+                    "conversion call or fix the suffix",
+                )
+            )

@@ -1,0 +1,183 @@
+"""Inline waiver syntax: suppress a rule at one line or one file.
+
+Two forms, both requiring a ``--``-separated reason string:
+
+* per line — on the flagged line itself, or alone on the line above::
+
+      psi = random.gauss(0, 1)  # reprolint: waive R001 -- test-only jitter
+
+* per file — anywhere in the file (conventionally the top)::
+
+      # reprolint: file-waive R003 -- legacy column names, tracked in #42
+
+Several rule ids may be waived at once (``waive R001, R003 -- ...``).
+A waiver without a reason is itself a lint error (``W000``), and in
+``--strict`` mode a waiver that suppressed nothing is flagged too
+(``W001``) so stale waivers cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from tools.reprolint.findings import Finding
+
+WAIVE_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>file-waive|waive)\s+"
+    r"(?P<rules>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*?))?\s*$"
+)
+
+#: Pseudo-rule ids emitted by the waiver machinery itself.
+RULE_EMPTY_REASON = "W000"
+RULE_UNUSED = "W001"
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment."""
+
+    rules: tuple[str, ...]
+    line: int
+    file_level: bool
+    reason: str
+    #: Line the waiver suppresses: its own line for a trailing comment,
+    #: or — when the comment sits alone — the next *code* line, so a
+    #: waiver may open a multi-line comment block explaining itself.
+    target_line: int
+    used: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        return self.file_level or line == self.target_line
+
+
+@dataclass
+class WaiverSet:
+    """All waivers of one file, plus findings about the waivers themselves."""
+
+    waivers: list[Waiver] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def match(self, finding: Finding) -> Waiver | None:
+        for waiver in self.waivers:
+            if waiver.covers(finding.rule, finding.line):
+                return waiver
+        return None
+
+
+def _comment_tokens(text: str) -> list[tuple[int, str]] | None:
+    """(line, comment text) for every real COMMENT token, or None when
+    the file does not tokenize (caller falls back to a line scan)."""
+    import io
+    import tokenize
+
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(text).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return None
+
+
+def parse_waivers(text: str, rel_path: str) -> WaiverSet:
+    """Extract every waiver comment from ``text``.
+
+    Tokenizes so waiver-shaped text inside string literals is ignored;
+    files too broken to tokenize fall back to a plain line scan so they
+    still report their waiver problems.
+    """
+    out = WaiverSet()
+    lines = text.splitlines()
+    comments = _comment_tokens(text)
+    if comments is None:
+        comments = [
+            (lineno, line)
+            for lineno, line in enumerate(lines, start=1)
+            if "#" in line
+        ]
+    for lineno, comment in comments:
+        match = WAIVE_RE.search(comment)
+        if match is None:
+            continue
+        line = lines[lineno - 1]
+        reason = (match.group("reason") or "").strip()
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",")
+        )
+        if not reason:
+            out.findings.append(
+                Finding(
+                    rule=RULE_EMPTY_REASON,
+                    severity="error",
+                    path=rel_path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    message=(
+                        "waiver has no reason string; write "
+                        f"'# reprolint: {match.group('kind')} "
+                        f"{', '.join(rules)} -- <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        target = lineno
+        if line.strip().startswith("#"):
+            # Comment-only waiver: cover the next code line, skipping
+            # the rest of its explanatory comment block and blanks.
+            target = len(lines)  # fallback: waiver at EOF covers nothing real
+            for offset in range(lineno, len(lines)):
+                follower = lines[offset].strip()
+                if follower and not follower.startswith("#"):
+                    target = offset + 1
+                    break
+        out.waivers.append(
+            Waiver(
+                rules=rules,
+                line=lineno,
+                file_level=match.group("kind") == "file-waive",
+                reason=reason,
+                target_line=target,
+            )
+        )
+    return out
+
+
+def apply_waivers(findings: list[Finding], sets: dict[str, WaiverSet]) -> None:
+    """Mark findings covered by a waiver; record waiver usage in place."""
+    for finding in findings:
+        waiver_set = sets.get(finding.path)
+        if waiver_set is None:
+            continue
+        waiver = waiver_set.match(finding)
+        if waiver is not None:
+            finding.waived = True
+            finding.waive_reason = waiver.reason
+            waiver.used = True
+
+
+def unused_waiver_findings(sets: dict[str, WaiverSet]) -> list[Finding]:
+    """``W001`` findings for waivers that suppressed nothing (strict mode)."""
+    out = []
+    for rel_path, waiver_set in sorted(sets.items()):
+        for waiver in waiver_set.waivers:
+            if waiver.used:
+                continue
+            out.append(
+                Finding(
+                    rule=RULE_UNUSED,
+                    severity="warning",
+                    path=rel_path,
+                    line=waiver.line,
+                    col=1,
+                    message=(
+                        f"waiver for {', '.join(waiver.rules)} suppressed "
+                        "nothing; delete it or move it to the violating line"
+                    ),
+                )
+            )
+    return out
