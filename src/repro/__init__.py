@@ -28,7 +28,11 @@ every substrate the paper's testbed provided:
   trainer plus per-server-class model farms registered straight into the
   serving registry (:func:`~repro.training.fleet_trainer.train_fleet_registry`);
 * :mod:`repro.experiments` — scenario generators and the Fig. 1(a)/(b)/(c)
-  builders.
+  builders;
+* :mod:`repro.scenarios` — the declarative scenario layer: JSON-able spec
+  documents over a hardware/VM-type catalog, deterministic compilation
+  onto :class:`~repro.experiments.scenarios.FleetScenario`, a seeded
+  scenario fuzzer, and the end-to-end invariant harness.
 
 Quickstart::
 
@@ -87,6 +91,18 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.rng import RngFactory
+from repro.scenarios import (
+    Catalog,
+    HardwareType,
+    InvariantReport,
+    ScenarioFuzzer,
+    VmType,
+    compile_spec,
+    cooling_failure_spec,
+    default_catalog,
+    flash_crowd_spec,
+    run_with_invariants,
+)
 from repro.serving import (
     FleetPredictionProbe,
     ModelRegistry,
@@ -104,9 +120,10 @@ from repro.training import (
     train_fleet_registry,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "Catalog",
     "ControlPlane",
     "ControlPlaneConfig",
     "DriftMonitor",
@@ -120,6 +137,8 @@ __all__ = [
     "FleetProfile",
     "FleetTrainingConfig",
     "FleetTrainingReport",
+    "HardwareType",
+    "InvariantReport",
     "LifecycleConfig",
     "ModelLifecycle",
     "ModelRegistry",
@@ -128,24 +147,30 @@ __all__ = [
     "PredictionFleet",
     "ProactiveForecastPolicy",
     "RbfKernel",
-    "ReactiveEvictionPolicy",
     "RcFitBaseline",
+    "ReactiveEvictionPolicy",
     "RecordDataset",
+    "ReproError",
     "RetrainPlanner",
     "Retrainer",
-    "ReproError",
     "RngFactory",
     "RuntimeCalibrator",
+    "ScenarioFuzzer",
     "SensorConfig",
     "StableTemperaturePredictor",
     "TaskProfileBaseline",
     "ThermalConfig",
     "VmRecord",
+    "VmType",
     "__version__",
     "build_fig1a",
     "build_fig1b",
     "build_fig1c",
+    "compile_spec",
+    "cooling_failure_spec",
+    "default_catalog",
     "evaluate_stable_predictor",
+    "flash_crowd_spec",
     "grid_search_svr",
     "mean_squared_error",
     "predict_batch",
@@ -156,6 +181,7 @@ __all__ = [
     "replay_dynamic_prediction",
     "run_closed_loop",
     "run_experiment",
+    "run_with_invariants",
     "server_class_key",
     "train_fleet_registry",
     "train_stable_predictor",

@@ -10,6 +10,9 @@ Usage (module form)::
     python -m repro.cli fleet-train [--classes K] [--servers-per-class M] [--quick]
     python -m repro.cli fleet-manage [--scenario cooling-failure] [--quick]
     python -m repro.cli fleet-lifecycle [--classes K] [--quick]
+    python -m repro.cli fleet-scenario validate SPEC.json
+    python -m repro.cli fleet-scenario compile SPEC.json
+    python -m repro.cli fleet-scenario fuzz [--seed N] [--count N] [--strict]
 
 ``--quick`` shrinks training sizes and CV folds so each figure completes
 in well under a minute (with looser accuracy); omit it for the
@@ -27,6 +30,10 @@ closes the *model* loop: train a per-class registry, run the
 with the frozen registry and once under a drift-aware
 :class:`~repro.lifecycle.manager.ModelLifecycle` (detect → retrain →
 hot-swap), and print the retrained-vs-frozen scorecard.
+``fleet-scenario`` is the declarative scenario path
+(:mod:`repro.scenarios`): ``validate``/``compile`` check a JSON spec
+document against the catalog and grammar, and ``fuzz`` runs seeded
+random-but-valid scenarios end to end under the invariant harness.
 """
 
 from __future__ import annotations
@@ -542,6 +549,120 @@ def _cmd_fleet_lifecycle(args: argparse.Namespace) -> int:
     return 0 if managed_mae <= frozen_mae else 1
 
 
+def _load_spec_doc(path: str) -> dict:
+    """Read one JSON scenario document from ``path``."""
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path} must hold one JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def _scenario_lines(scenario) -> list[str]:
+    """A short human-readable summary of a compiled FleetScenario."""
+    env = type(scenario.environment).__name__
+    return [
+        f"name            {scenario.name}",
+        f"seed            {scenario.seed}",
+        f"servers         {scenario.n_servers} "
+        f"({scenario.servers_per_rack} per rack)",
+        f"initial VMs     {scenario.n_vms}",
+        f"arrivals        {len(scenario.arrivals)}",
+        f"migrations      {len(scenario.migrations)}",
+        f"environment     {env}",
+        f"duration        {scenario.duration_s:.0f} s",
+    ]
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import compile_spec
+
+    try:
+        doc = _load_spec_doc(args.spec)
+        scenario = compile_spec(doc)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        print(f"fleet-scenario: {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.spec}: ok")
+    for line in _scenario_lines(scenario):
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_scenario_compile(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.scenarios import compile_spec
+
+    try:
+        doc = _load_spec_doc(args.spec)
+        scenario = compile_spec(doc)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        print(f"fleet-scenario: {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    for line in _scenario_lines(scenario):
+        print(line)
+    for spec, placed in zip(scenario.server_specs, scenario.vm_specs):
+        print(
+            f"  {spec.name:<14} {spec.capacity.cpu_cores}c @ "
+            f"{spec.capacity.ghz_per_core:.1f} GHz, "
+            f"{spec.capacity.memory_gb:.0f} GiB, {len(placed)} VMs"
+        )
+    for time_s, server_name, vm in scenario.arrivals:
+        print(f"  t={time_s:7.1f}s  arrival  {vm.name} -> {server_name}")
+    for time_s, vm_name, destination in scenario.migrations:
+        print(f"  t={time_s:7.1f}s  migrate  {vm_name} -> {destination}")
+    return 0
+
+
+def _cmd_scenario_fuzz(args: argparse.Namespace) -> int:
+    from repro.errors import InvariantViolationError
+    from repro.scenarios import ScenarioFuzzer, run_with_invariants
+
+    if args.count < 1:
+        print(f"fleet-scenario: --count must be >= 1, got {args.count}",
+              file=sys.stderr)
+        return 2
+    started = time.time()
+    fuzzer = ScenarioFuzzer()
+    failures = 0
+    checks = 0
+    for i in range(args.count):
+        seed = args.seed + i
+        scenario = fuzzer.scenario(seed)
+        if args.compile_only:
+            continue
+        try:
+            report = run_with_invariants(
+                scenario,
+                check_interval_s=args.check_interval,
+                strict=args.strict,
+            )
+        except InvariantViolationError as exc:
+            print(f"seed {seed}: {exc}", file=sys.stderr)
+            return 1
+        checks += report.checks
+        if not report.ok:
+            failures += 1
+            for violation in report.violations:
+                print(f"seed {seed}: {violation}", file=sys.stderr)
+        if (i + 1) % 25 == 0:
+            print(
+                f"  {i + 1}/{args.count} scenarios, {failures} with "
+                f"violations ({time.time() - started:.1f}s)",
+                file=sys.stderr,
+            )
+    mode = "compiled" if args.compile_only else "ran"
+    print(
+        f"{mode} {args.count} fuzzed scenarios from seed {args.seed}: "
+        f"{failures} with violations, {checks} invariant checks, "
+        f"{time.time() - started:.1f}s"
+    )
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -712,6 +833,51 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 20)",
     )
     lifecycle.set_defaults(handler=_cmd_fleet_lifecycle)
+
+    scenario = commands.add_parser(
+        "fleet-scenario",
+        help="validate/compile declarative scenario specs and fuzz the "
+             "scenario grammar under the invariant harness",
+    )
+    actions = scenario.add_subparsers(dest="action", required=True)
+
+    validate = actions.add_parser(
+        "validate", help="check a JSON spec document compiles cleanly"
+    )
+    validate.add_argument("spec", type=str, help="path to a JSON spec document")
+    validate.set_defaults(handler=_cmd_scenario_validate)
+
+    compile_ = actions.add_parser(
+        "compile", help="compile a JSON spec and print the resulting fleet"
+    )
+    compile_.add_argument("spec", type=str, help="path to a JSON spec document")
+    compile_.set_defaults(handler=_cmd_scenario_compile)
+
+    fuzz = actions.add_parser(
+        "fuzz",
+        help="run seeded random-but-valid scenarios under the invariant "
+             "harness (exit 0 only on zero violations)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    fuzz.add_argument(
+        "--count", type=int, default=20,
+        help="scenarios at consecutive seeds (default 20)",
+    )
+    fuzz.add_argument(
+        "--strict",
+        action="store_true",
+        help="stop at the first violating scenario with the full report",
+    )
+    fuzz.add_argument(
+        "--compile-only",
+        action="store_true",
+        help="only sample and compile the specs; skip the simulations",
+    )
+    fuzz.add_argument(
+        "--check-interval", type=float, default=60.0,
+        help="invariant probe interval in simulated seconds (default 60)",
+    )
+    fuzz.set_defaults(handler=_cmd_scenario_fuzz)
 
     lint = commands.add_parser(
         "fleet-lint",

@@ -9,10 +9,11 @@ bank, and its thermal plant
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.config import ThermalConfig
 from repro.datacenter.resources import ResourceCapacity
-from repro.datacenter.vm import Vm, VmState
+from repro.datacenter.vm import Vm, VmSpec, VmState
 from repro.datacenter.vmm import HostLoad, Vmm
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.thermal.fan import FanBank
@@ -44,6 +45,34 @@ class ServerSpec:
             raise ConfigurationError(
                 f"cpu_overcommit must be >= 1.0, got {self.cpu_overcommit}"
             )
+
+    @property
+    def vcpu_limit(self) -> float:
+        """Admissible vCPUs under the overcommit ratio (θ_cpu × ratio).
+
+        The single source of the admission arithmetic: runtime checks
+        (:meth:`Server.can_host`), scenario generators, and the
+        declarative-spec compiler all budget against this limit.
+        """
+        return self.capacity.cpu_cores * self.cpu_overcommit
+
+    def static_headroom(
+        self, placed: Iterable[VmSpec]
+    ) -> tuple[float, float]:
+        """``(free_memory_gb, free_vcpus)`` once ``placed`` specs are admitted.
+
+        Memory is a hard constraint; vCPUs count against
+        :attr:`vcpu_limit`. Negative components mean the placement is
+        over capacity. Static (spec-level) counterpart of the runtime
+        :meth:`Server.can_host` check, for planners that admit before a
+        :class:`Server` exists.
+        """
+        free_memory_gb = self.capacity.memory_gb
+        free_vcpus = self.vcpu_limit
+        for vm in placed:
+            free_memory_gb -= vm.memory_gb
+            free_vcpus -= vm.vcpus
+        return free_memory_gb, free_vcpus
 
     def build_power_model(self) -> CpuPowerModel:
         """Power model scaled to this server's capacity."""
@@ -108,9 +137,9 @@ class Server:
         """
         if vm.spec.memory_gb > self.free_memory_gb - reserved_memory_gb + 1e-9:
             return False
-        vcpu_limit = self.spec.capacity.cpu_cores * self.spec.cpu_overcommit
         return (
-            self.used_vcpus + reserved_vcpus + vm.spec.vcpus <= vcpu_limit + 1e-9
+            self.used_vcpus + reserved_vcpus + vm.spec.vcpus
+            <= self.spec.vcpu_limit + 1e-9
         )
 
     # -- VM lifecycle ------------------------------------------------------

@@ -17,6 +17,10 @@ class ConfigurationError(ReproError):
     """A configuration value is out of its documented domain."""
 
 
+class ScenarioSpecError(ConfigurationError):
+    """A declarative scenario document failed validation or compilation."""
+
+
 class CapacityError(ReproError):
     """A placement or provisioning request exceeds server capacity."""
 
@@ -27,6 +31,11 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event / thermal co-simulation reached an invalid state."""
+
+
+class InvariantViolationError(SimulationError):
+    """A scenario run violated a fleet-wide invariant (see
+    :mod:`repro.scenarios.invariants`)."""
 
 
 class MigrationError(ReproError):

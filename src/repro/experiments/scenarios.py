@@ -35,7 +35,7 @@ from repro.datacenter.workload import (
     random_task,
 )
 from repro.errors import ConfigurationError
-from repro.rng import RngFactory
+from repro.rng import RngFactory, RngStream
 from repro.thermal.environment import (
     ConstantEnvironment,
     EnvironmentProfile,
@@ -132,12 +132,10 @@ def random_scenario(
 
 
 def _random_vm_spec(
-    vm_rng, factory: RngFactory, index: int, server: ServerSpec, n_vms: int
+    vm_rng: RngStream, factory: RngFactory, index: int, server: ServerSpec, n_vms: int
 ) -> VmSpec:
     """One random VM sized so that ``n_vms`` of its kind always fit."""
-    max_vcpus = max(
-        1, int(server.capacity.cpu_cores * server.cpu_overcommit) // max(n_vms, 1)
-    )
+    max_vcpus = max(1, int(server.vcpu_limit) // max(n_vms, 1))
     vcpus = vm_rng.randint(1, min(8, max_vcpus))
     memory_cap = server.capacity.memory_gb / n_vms
     memory = vm_rng.uniform(min(1.0, memory_cap * 0.5), memory_cap * 0.9)
@@ -221,7 +219,7 @@ def _with_migration_headroom(
     """
     capacity = scenario.server.capacity
     memory_budget = capacity.memory_gb - migrant.memory_gb - 1.0
-    vcpu_budget = int(capacity.cpu_cores * scenario.server.cpu_overcommit) - migrant.vcpus
+    vcpu_budget = int(scenario.server.vcpu_limit) - migrant.vcpus
 
     used_memory = sum(vm.memory_gb for vm in scenario.vm_specs)
     used_vcpus = sum(vm.vcpus for vm in scenario.vm_specs)
@@ -286,6 +284,43 @@ class FleetScenario:
             raise ConfigurationError(
                 f"servers_per_rack must be >= 1, got {self.servers_per_rack}"
             )
+        server_names = {spec.name for spec in self.server_specs}
+        placed = {vm.name for group in self.vm_specs for vm in group}
+        for time_s, server_name, vm in self.arrivals:
+            if time_s < 0.0:
+                raise ConfigurationError(
+                    f"arrival of {vm.name!r} at t={time_s} precedes the start"
+                )
+            if time_s >= self.duration_s:
+                raise ConfigurationError(
+                    f"arrival of {vm.name!r} at t={time_s} is at or after "
+                    f"duration_s={self.duration_s} and would silently never fire"
+                )
+            if server_name not in server_names:
+                raise ConfigurationError(
+                    f"arrival of {vm.name!r} targets unknown server "
+                    f"{server_name!r}"
+                )
+        for time_s, vm_name, destination in self.migrations:
+            if time_s < 0.0:
+                raise ConfigurationError(
+                    f"migration of {vm_name!r} at t={time_s} precedes the start"
+                )
+            if time_s >= self.duration_s:
+                raise ConfigurationError(
+                    f"migration of {vm_name!r} at t={time_s} is at or after "
+                    f"duration_s={self.duration_s} and would silently never fire"
+                )
+            if destination not in server_names:
+                raise ConfigurationError(
+                    f"migration of {vm_name!r} targets unknown server "
+                    f"{destination!r}"
+                )
+            if vm_name not in placed:
+                raise ConfigurationError(
+                    f"migration references {vm_name!r}, which is not among "
+                    "the initially placed VMs"
+                )
 
     @property
     def n_servers(self) -> int:
@@ -298,7 +333,7 @@ class FleetScenario:
         return sum(len(group) for group in self.vm_specs)
 
 
-def _fleet_server_spec(hw, index: int) -> ServerSpec:
+def _fleet_server_spec(hw: RngStream, index: int) -> ServerSpec:
     """One randomized commodity server for a fleet scenario."""
     return ServerSpec(
         name=f"server-{index:03d}",
@@ -625,12 +660,10 @@ def model_drift_scenario(
     for i, (spec, vms) in enumerate(zip(specs, placements)):
         if i % servers_per_class >= n_shift:
             continue
-        used_vcpus = sum(vm.vcpus for vm in vms)
-        used_memory = sum(vm.memory_gb for vm in vms)
-        vcpu_limit = spec.capacity.cpu_cores * spec.cpu_overcommit
-        if used_vcpus + 2 * len(waves) > vcpu_limit:
+        free_memory, free_vcpus = spec.static_headroom(vms)
+        if 2 * len(waves) > free_vcpus:
             continue
-        if used_memory + 6.0 * len(waves) + 1.0 > spec.capacity.memory_gb:
+        if 6.0 * len(waves) + 1.0 > free_memory:
             continue
         shifted.append(i)
     arrivals: list[tuple[float, str, VmSpec]] = []
@@ -754,7 +787,7 @@ def _stress_server_spec(index: int) -> ServerSpec:
 
 
 def _hot_vm_specs(
-    vm_rng,
+    vm_rng: RngStream,
     server_index: int,
     n_vms: int,
     level: tuple[float, float] = (0.78, 0.88),
@@ -773,7 +806,7 @@ def _hot_vm_specs(
     )
 
 
-def _light_vm_spec(vm_rng, server_index: int) -> VmSpec:
+def _light_vm_spec(vm_rng: RngStream, server_index: int) -> VmSpec:
     """Background load for a spare server — plenty of headroom left."""
     return VmSpec(
         name=f"light-{server_index:03d}",

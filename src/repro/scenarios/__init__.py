@@ -1,0 +1,45 @@
+"""Declarative scenario layer: spec documents, catalog, fuzzer, invariants.
+
+The scenario path (see ``docs/architecture.md``):
+
+1. a plain-dict **spec** (:mod:`repro.scenarios.spec`) referencing the
+   hardware/VM-type **catalog** (:mod:`repro.scenarios.catalog`) is
+2. compiled deterministically onto the existing
+   :class:`~repro.experiments.scenarios.FleetScenario`, which
+3. :func:`~repro.experiments.scenarios.build_fleet_simulation` runs
+   unchanged, optionally under the **invariant harness**
+   (:mod:`repro.scenarios.invariants`); and
+4. the seeded **fuzzer** (:mod:`repro.scenarios.fuzzer`) samples the
+   grammar to stress every layer with hundreds of valid scenarios.
+"""
+
+from repro.scenarios.catalog import (
+    Catalog,
+    HardwareType,
+    VmType,
+    default_catalog,
+)
+from repro.scenarios.fuzzer import ScenarioFuzzer
+from repro.scenarios.invariants import (
+    InvariantReport,
+    assert_invariants,
+    run_with_invariants,
+)
+from repro.scenarios.library import cooling_failure_spec, flash_crowd_spec
+from repro.scenarios.spec import compile_spec, parse_offset, sample_value
+
+__all__ = [
+    "Catalog",
+    "HardwareType",
+    "InvariantReport",
+    "ScenarioFuzzer",
+    "VmType",
+    "assert_invariants",
+    "compile_spec",
+    "cooling_failure_spec",
+    "default_catalog",
+    "flash_crowd_spec",
+    "parse_offset",
+    "run_with_invariants",
+    "sample_value",
+]

@@ -1,0 +1,294 @@
+"""Seeded generator of random-but-valid scenario documents.
+
+:class:`ScenarioFuzzer` samples the spec grammar of
+:mod:`repro.scenarios.spec` — catalog hardware mixes, distribution-
+sampled workloads, and timeline events (arrivals, migrations, ambient
+faults) — producing hundreds of structurally diverse specs that are
+*valid by construction*:
+
+* initial placements are budgeted to ~60 % of the smallest chosen SKU's
+  memory and vCPU limits, so every document compiles;
+* arrivals and migrations always carry ``require_headroom``, so the
+  compiler's conservative ledger drops (deterministically) anything
+  that would not fit, instead of erroring;
+* every sampled document is JSON-serializable and every structural
+  draw comes from a named :class:`~repro.rng.RngFactory` stream, so
+  ``spec(seed)`` is reproducible bit for bit.
+
+The fuzzer is the scenario-diversity regression net: the CLI
+(``fleet-scenario fuzz``) and the property tests run each generated
+scenario under :func:`repro.scenarios.invariants.run_with_invariants`
+and require zero violations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import FleetScenario
+from repro.rng import RngFactory, RngStream
+from repro.scenarios.catalog import Catalog, VmType, default_catalog
+from repro.scenarios.spec import compile_spec
+
+#: Memory ceiling for fuzzed VM flavors — keeps several VMs per server
+#: plausible on every catalog SKU.
+_MAX_FUZZ_VM_MEMORY_GB = 16.0
+
+#: Placement budget as a fraction of the smallest chosen SKU's limits.
+_PLACEMENT_BUDGET = 0.6
+
+
+class ScenarioFuzzer:
+    """Samples random-but-valid scenario documents from the spec grammar."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        n_servers: tuple[int, int] = (3, 8),
+        duration_s: tuple[float, float] = (600.0, 1500.0),
+        vms_per_server: tuple[int, int] = (0, 3),
+        max_events: int = 5,
+    ) -> None:
+        if n_servers[0] < 2 or n_servers[1] < n_servers[0]:
+            raise ConfigurationError(
+                f"n_servers must be an increasing pair >= 2, got {n_servers}"
+            )
+        if duration_s[0] < 120.0 or duration_s[1] < duration_s[0]:
+            raise ConfigurationError(
+                f"duration_s must be an increasing pair >= 120 s, "
+                f"got {duration_s}"
+            )
+        if vms_per_server[0] < 0 or vms_per_server[1] < vms_per_server[0]:
+            raise ConfigurationError(
+                f"vms_per_server must be a non-negative increasing pair, "
+                f"got {vms_per_server}"
+            )
+        if max_events < 0:
+            raise ConfigurationError(
+                f"max_events must be >= 0, got {max_events}"
+            )
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.n_servers = n_servers
+        self.duration_s = duration_s
+        self.vms_per_server = vms_per_server
+        self.max_events = max_events
+        self._vm_pool = [
+            vm for vm in self.catalog.vm_types
+            if vm.memory_gb <= _MAX_FUZZ_VM_MEMORY_GB
+        ]
+        if not self._vm_pool:
+            raise ConfigurationError(
+                "catalog has no VM type small enough to fuzz "
+                f"(<= {_MAX_FUZZ_VM_MEMORY_GB} GiB)"
+            )
+
+    # -- sampled fragments ---------------------------------------------------
+
+    def _task_doc(self, rng: RngStream) -> dict[str, Any]:
+        kind = rng.choice(["constant", "constant", "periodic", "ramp"])
+        if kind == "constant":
+            lo = round(rng.uniform(0.05, 0.35), 3)
+            hi = round(lo + rng.uniform(0.1, 0.4), 3)
+            return {"constant": {"uniform": [lo, hi]}}
+        if kind == "periodic":
+            return {
+                "periodic": {
+                    "mean": {"uniform": [0.2, 0.5]},
+                    "amplitude": {"uniform": [0.05, 0.2]},
+                    "period": rng.choice(["+5m", "+10m", 450.0]),
+                    "phase": rng.choice([0.0, "+1m"]),
+                }
+            }
+        return {
+            "ramp": {
+                "start_level": {"uniform": [0.1, 0.3]},
+                "end_level": {"uniform": [0.5, 0.8]},
+                "ramp": rng.choice(["+5m", 300.0]),
+            }
+        }
+
+    def _vm_doc(self, rng: RngStream, vm_type: VmType,
+                name: str) -> dict[str, Any]:
+        return {
+            "name": name,
+            "type": vm_type.name,
+            "tasks": [self._task_doc(rng)],
+        }
+
+    def _environment_doc(self, rng: RngStream) -> dict[str, Any]:
+        kind = rng.choice(["constant", "constant", "sinusoidal", "stepped"])
+        if kind == "constant":
+            return {"constant": round(rng.uniform(18.0, 26.0), 1)}
+        if kind == "sinusoidal":
+            return {
+                "sinusoidal": {
+                    "mean": round(rng.uniform(20.0, 24.0), 1),
+                    "amplitude": round(rng.uniform(0.5, 2.5), 1),
+                    "period": "+1d",
+                }
+            }
+        return {
+            "stepped": {
+                "initial": round(rng.uniform(20.0, 24.0), 1),
+                "steps": [[120.0, round(rng.uniform(20.0, 26.0), 1)]],
+            }
+        }
+
+    # -- the generator -------------------------------------------------------
+
+    def spec(self, seed: int) -> dict[str, Any]:
+        """One random-but-valid scenario document (JSON-serializable)."""
+        rng = RngFactory(seed).stream("fuzz/structure")
+        n = rng.randint(*self.n_servers)
+        duration = float(round(rng.uniform(*self.duration_s)))
+
+        # Hardware: one or two catalog SKU groups.
+        hardware_names = self.catalog.hardware_names()
+        servers: list[dict[str, Any]] = []
+        if n >= 4 and rng.uniform(0.0, 1.0) < 0.4:
+            first, second = rng.sample(hardware_names, 2)
+            servers.append({"type": first, "count": n // 2})
+            servers.append(
+                {"type": second, "count": n - n // 2,
+                 "name": "alt-{index:03d}"}
+            )
+        else:
+            servers.append({"type": rng.choice(hardware_names), "count": n})
+        chosen = [
+            self.catalog.hardware_type(group["type"]) for group in servers
+        ]
+        budget_memory = _PLACEMENT_BUDGET * min(
+            hw.memory_gb for hw in chosen
+        )
+        budget_vcpus = _PLACEMENT_BUDGET * min(
+            hw.cpu_cores * hw.cpu_overcommit for hw in chosen
+        )
+
+        # Placements: identical VM entries on every server, budgeted so
+        # the worst-case server still fits with headroom to spare.
+        n_entries = rng.randint(*self.vms_per_server)
+        vm_entries: list[dict[str, Any]] = []
+        used_memory = 0.0
+        used_vcpus = 0.0
+        for k in range(n_entries):
+            vm_type = rng.choice(self._vm_pool)
+            if (
+                used_memory + vm_type.memory_gb > budget_memory
+                or used_vcpus + vm_type.vcpus > budget_vcpus
+            ):
+                continue
+            used_memory += vm_type.memory_gb
+            used_vcpus += vm_type.vcpus
+            # Template indexed by list position, so concrete VM names stay
+            # derivable for migration targets even when budget skips a k.
+            position = len(vm_entries)
+            vm_entries.append(self._vm_doc(
+                rng, vm_type, f"vm{position}-{{server_index}}-{{vm_index}}"
+            ))
+        placements: list[dict[str, Any]] = []
+        if vm_entries:
+            placements.append({"servers": "all", "vms": vm_entries})
+
+        environment = self._environment_doc(rng)
+        ambient_allowed = "sinusoidal" not in environment
+
+        # Timeline: arrivals, migrations, ambient faults. Arrivals and
+        # migrations always require headroom, so compile never errors.
+        timeline: list[dict[str, Any]] = []
+        migrated: set[str] = set()
+        n_events = rng.randint(0, self.max_events)
+        for ei in range(n_events):
+            at = float(round(rng.uniform(0.1, 0.8) * duration))
+            at_doc: Any = (
+                f"+{int(at)}s" if rng.uniform(0.0, 1.0) < 0.5 else at
+            )
+            kinds = ["arrival", "arrival"]
+            if vm_entries and n >= 2:
+                kinds.append("migrate")
+            if ambient_allowed:
+                kinds.extend(["ambient_step", "cooling_derate",
+                              "ambient_ramp"])
+            kind = rng.choice(kinds)
+            if kind == "arrival":
+                vm_type = rng.choice(self._vm_pool)
+                arrival: dict[str, Any] = {
+                    "servers": {"range": [0, rng.randint(1, n)]},
+                    "count": rng.randint(1, 3),
+                    "spacing": rng.choice(["+5s", 10.0]),
+                    "require_headroom": True,
+                    "stream": f"fuzz/arrivals-{ei}/{{server_index}}",
+                    "vm": self._vm_doc(
+                        rng, vm_type,
+                        f"arr{ei}-{{server_index}}-{{vm_index}}",
+                    ),
+                }
+                if rng.uniform(0.0, 1.0) < 0.3:
+                    arrival["when"] = {
+                        "min_free_memory_gb": float(vm_type.memory_gb),
+                    }
+                timeline.append({"at": at_doc, "arrival": arrival})
+            elif kind == "migrate":
+                source = rng.randint(0, n - 1)
+                entry = rng.randint(0, len(vm_entries) - 1)
+                vm_name = f"vm{entry}-{source}-{entry}"
+                if vm_name in migrated:
+                    continue
+                destination = rng.randint(0, n - 2)
+                if destination >= source:
+                    destination += 1
+                dest_group0 = servers[0]["count"]
+                dest_name = (
+                    f"server-{destination:03d}"
+                    if destination < dest_group0
+                    else f"alt-{destination:03d}"
+                )
+                migrated.add(vm_name)
+                timeline.append({
+                    "at": at_doc,
+                    "migrate": {
+                        "vm": vm_name,
+                        "to": dest_name,
+                        "require_headroom": True,
+                    },
+                })
+            elif kind == "ambient_step":
+                timeline.append({
+                    "at": at_doc,
+                    "ambient_step": round(rng.uniform(18.0, 28.0), 1),
+                })
+            elif kind == "cooling_derate":
+                timeline.append({
+                    "at": at_doc,
+                    "cooling_derate": round(rng.uniform(2.0, 8.0), 1),
+                })
+            else:
+                timeline.append({
+                    "at": at_doc,
+                    "ambient_ramp": {
+                        "delta_c": round(rng.uniform(2.0, 6.0), 1),
+                        "steps": rng.randint(2, 4),
+                        "spacing": "+2m",
+                    },
+                })
+
+        return {
+            "name": f"fuzz-{seed}",
+            "seed": seed,
+            "duration": duration,
+            "servers_per_rack": max(2, n // 2),
+            "servers": servers,
+            "placements": placements,
+            "environment": environment,
+            "timeline": timeline,
+        }
+
+    def specs(self, count: int, base_seed: int = 0) -> list[dict[str, Any]]:
+        """``count`` documents at consecutive seeds from ``base_seed``."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return [self.spec(base_seed + i) for i in range(count)]
+
+    def scenario(self, seed: int) -> FleetScenario:
+        """Sample and compile one scenario in a single step."""
+        return compile_spec(self.spec(seed), catalog=self.catalog)

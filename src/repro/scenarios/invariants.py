@@ -1,0 +1,340 @@
+"""End-to-end invariant harness for fleet scenarios.
+
+:func:`run_with_invariants` builds a scenario with the stock
+:func:`~repro.experiments.scenarios.build_fleet_simulation`, instruments
+the event queue and a periodic probe, runs to completion, and reports
+every violation of the fleet-wide invariants the fuzzer (and tier-1
+smoke tests) assert on hundreds of generated scenarios:
+
+* **capacity** — per server, memory and vCPUs of hosted VMs plus
+  in-flight migration reservations never exceed the spec's limits;
+* **energy ledger** — IT + cooling energy integrated per interval match
+  an independently accumulated :class:`~repro.management.energy.EnergyAccount`
+  exactly, and PUE ≥ 1;
+* **thermal sanity** — no NaN/inf CPU or case temperatures, ever;
+* **telemetry** — every recorded series has monotone timestamps and
+  finite values;
+* **event ordering** — events fire in non-decreasing time order, never
+  before their scheduled time, and at most one step late; nothing
+  scheduled inside the run is left unfired.
+
+A crash anywhere in the run is itself recorded as a violation (with the
+exception text), so a fuzzed scenario can never fail silently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datacenter.events import Event
+from repro.datacenter.migration import MigrationCompleteEvent, MigrationStartEvent
+from repro.datacenter.simulation import DatacenterSimulation
+from repro.errors import InvariantViolationError
+from repro.experiments.scenarios import FleetScenario, build_fleet_simulation
+from repro.management.energy import EnergyAccount
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of one instrumented scenario run."""
+
+    scenario_name: str
+    seed: int
+    n_servers: int
+    n_vms: int
+    duration_s: float
+    events_fired: int
+    checks: int
+    violations: tuple[str, ...]
+    it_energy_kwh: float
+    cooling_energy_kwh: float
+    pue: float | None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed with zero invariant violations."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        pue = f"{self.pue:.3f}" if self.pue is not None else "n/a"
+        return (
+            f"{self.scenario_name}: {status} — {self.checks} checks, "
+            f"{self.events_fired} events, {self.n_servers} servers/"
+            f"{self.n_vms} VMs, PUE {pue}"
+        )
+
+
+class _RecordingEvent(Event):
+    """Transparent wrapper that reports fire times to the monitor."""
+
+    def __init__(self, inner: Event, monitor: "_Monitor") -> None:
+        super().__init__(inner.time_s)
+        self.inner = inner
+        self.monitor = monitor
+
+    def apply(self, sim: DatacenterSimulation) -> None:
+        self.monitor.on_fire(self.inner, sim)
+        self.inner.apply(sim)
+        self.monitor.on_applied(self.inner, sim)
+
+    def describe(self) -> str:  # pragma: no cover - delegation
+        return self.inner.describe()
+
+
+@dataclass
+class _Monitor:
+    """Mutable run state shared by the event wrappers and the probe."""
+
+    sim: DatacenterSimulation
+    account: EnergyAccount
+    supply_temperature_c: float
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+    records: list[tuple[float, float, str]] = field(default_factory=list)
+    #: vm_name -> (destination, memory_gb, vcpus) while a migration flies.
+    reservations: dict[str, tuple[str, float, int]] = field(default_factory=dict)
+    manual_it_j: float = 0.0
+    manual_cooling_j: float = 0.0
+    last_energy_time_s: float = 0.0
+
+    def fail(self, message: str) -> None:
+        self.violations.append(message)
+
+    def check(self, ok: bool, message: str) -> None:
+        self.checks += 1
+        if not ok:
+            self.fail(message)
+
+    # -- event instrumentation --------------------------------------------
+
+    def instrument(self) -> None:
+        """Wrap queued events and intercept future pushes."""
+        queue = self.sim.events
+        pending = queue.pop_due(float("inf"))
+        for event in pending:
+            queue.push(_RecordingEvent(event, self))
+        original_push = queue.push
+
+        def wrapping_push(event: Event) -> None:
+            if isinstance(event, _RecordingEvent):
+                original_push(event)
+            else:
+                original_push(_RecordingEvent(event, self))
+
+        # Instance-attribute shadowing: everything pushed later (e.g. the
+        # MigrationCompleteEvent a start event schedules) gets wrapped too.
+        queue.push = wrapping_push  # type: ignore[method-assign]
+
+    def on_fire(self, inner: Event, sim: DatacenterSimulation) -> None:
+        fire_time = sim.time_s
+        if self.records:
+            last_fire = self.records[-1][0]
+            self.check(
+                fire_time >= last_fire - 1e-9,
+                f"event ordering: {inner.describe()} fired at t={fire_time} "
+                f"before the previous event's t={last_fire}",
+            )
+        self.check(
+            fire_time >= inner.time_s - 1e-9,
+            f"event ordering: {inner.describe()} fired at t={fire_time} "
+            f"before its scheduled t={inner.time_s}",
+        )
+        self.check(
+            fire_time <= inner.time_s + sim.time_step_s + 1e-9,
+            f"event ordering: {inner.describe()} fired at t={fire_time}, "
+            f"over a step after its scheduled t={inner.time_s}",
+        )
+        self.records.append((fire_time, inner.time_s, inner.describe()))
+
+    def on_applied(self, inner: Event, sim: DatacenterSimulation) -> None:
+        if isinstance(inner, MigrationStartEvent):
+            plan = inner.plan
+            source = sim.cluster.server(plan.source)
+            vm = source.vms.get(plan.vm_name)
+            vcpus = vm.spec.vcpus if vm is not None else 0
+            self.reservations[plan.vm_name] = (
+                plan.destination, plan.memory_gb, vcpus,
+            )
+        elif isinstance(inner, MigrationCompleteEvent):
+            self.reservations.pop(inner.plan.vm_name, None)
+
+    # -- the periodic probe -------------------------------------------------
+
+    def probe(self, sim: DatacenterSimulation, time_s: float) -> None:
+        reserved: dict[str, tuple[float, int]] = {}
+        for destination, memory_gb, vcpus in self.reservations.values():
+            prev = reserved.get(destination, (0.0, 0))
+            reserved[destination] = (prev[0] + memory_gb, prev[1] + vcpus)
+        it_power_w = 0.0
+        for server in sim.cluster.servers:
+            t_cpu = server.thermal.cpu_temperature_c
+            t_case = server.thermal.case_temperature_c
+            self.check(
+                math.isfinite(t_cpu) and math.isfinite(t_case),
+                f"thermal sanity: {server.name} has non-finite temperatures "
+                f"(cpu={t_cpu}, case={t_case}) at t={time_s}",
+            )
+            res_memory, res_vcpus = reserved.get(server.name, (0.0, 0))
+            self.check(
+                server.used_memory_gb + res_memory
+                <= server.spec.capacity.memory_gb + 1e-6,
+                f"capacity: {server.name} memory over limit at t={time_s}: "
+                f"{server.used_memory_gb:.2f} hosted + {res_memory:.2f} "
+                f"reserved > {server.spec.capacity.memory_gb:.2f} GiB",
+            )
+            self.check(
+                server.used_vcpus + res_vcpus
+                <= server.spec.vcpu_limit + 1e-6,
+                f"capacity: {server.name} vCPUs over limit at t={time_s}: "
+                f"{server.used_vcpus} hosted + {res_vcpus} reserved > "
+                f"limit {server.spec.vcpu_limit:.0f}",
+            )
+            load = server.current_load(time_s)
+            it_power_w += server.thermal.power_model.power(load.utilization)
+        dt = time_s - self.last_energy_time_s
+        if dt > 0:
+            self.account.add_interval(it_power_w, self.supply_temperature_c, dt)
+            self.manual_it_j += it_power_w * dt
+            self.manual_cooling_j += (
+                self.account.cooling.cooling_power_w(
+                    it_power_w, self.supply_temperature_c
+                )
+                * dt
+            )
+            self.last_energy_time_s = time_s
+
+    # -- post-run checks ----------------------------------------------------
+
+    def finish(self, end_time_s: float) -> None:
+        sim = self.sim
+        # Telemetry: monotone timestamps, finite values, on every series.
+        for name in sim.telemetry.server_names:
+            bundle = sim.telemetry.for_server(name)
+            for series in (
+                bundle.cpu_temperature,
+                bundle.utilization,
+                bundle.vm_count,
+                bundle.fan_count,
+                bundle.fan_speed,
+                bundle.predicted_cpu_temperature,
+            ):
+                if len(series) == 0:
+                    continue
+                times = series.times_array()
+                values = series.values_array()
+                self.check(
+                    bool(np.all(np.diff(times) >= -1e-9)),
+                    f"telemetry: {name}/{series.name} timestamps not "
+                    "monotone",
+                )
+                self.check(
+                    bool(np.all(np.isfinite(values))),
+                    f"telemetry: {name}/{series.name} contains non-finite "
+                    "values",
+                )
+        # Events scheduled inside the run must all have fired.
+        for event in sim.events.pop_due(float("inf")):
+            inner = event.inner if isinstance(event, _RecordingEvent) else event
+            self.check(
+                inner.time_s > end_time_s + 1e-9,
+                f"event ordering: {inner.describe()} scheduled at "
+                f"t={inner.time_s} inside the {end_time_s}s run never fired",
+            )
+        # Energy ledger: the account must match the independent sums, and
+        # PUE (total/IT) can never drop below 1 while cooling power >= 0.
+        if self.account.it_energy_j > 0:
+            tolerance = 1e-9 * max(1.0, self.manual_it_j)
+            self.check(
+                abs(self.account.it_energy_j - self.manual_it_j) <= tolerance,
+                "energy ledger: IT energy mismatch "
+                f"({self.account.it_energy_j} J vs {self.manual_it_j} J)",
+            )
+            tolerance = 1e-9 * max(1.0, self.manual_cooling_j)
+            self.check(
+                abs(self.account.cooling_energy_j - self.manual_cooling_j)
+                <= tolerance,
+                "energy ledger: cooling energy mismatch "
+                f"({self.account.cooling_energy_j} J vs "
+                f"{self.manual_cooling_j} J)",
+            )
+            self.check(
+                self.account.pue >= 1.0,
+                f"energy ledger: PUE {self.account.pue} < 1",
+            )
+
+
+def run_with_invariants(
+    scenario: FleetScenario,
+    check_interval_s: float = 60.0,
+    use_fleet_engine: bool = True,
+    supply_temperature_c: float = 15.0,
+    strict: bool = False,
+) -> InvariantReport:
+    """Run ``scenario`` end-to-end under the invariant monitor.
+
+    ``check_interval_s`` is the probe period for the capacity/thermal/
+    energy checks; telemetry and event-ordering checks always cover the
+    whole run. With ``strict=True`` any violation raises
+    :class:`~repro.errors.InvariantViolationError` instead of being
+    returned in the report.
+    """
+    sim = build_fleet_simulation(scenario, use_fleet_engine=use_fleet_engine)
+    monitor = _Monitor(
+        sim=sim,
+        account=EnergyAccount(),
+        supply_temperature_c=supply_temperature_c,
+    )
+    monitor.instrument()
+    sim.add_probe(monitor.probe, interval_s=check_interval_s)
+    try:
+        sim.run(scenario.duration_s)
+    except Exception as exc:  # noqa: BLE001 - a fuzz harness records crashes
+        monitor.fail(f"runtime error: {type(exc).__name__}: {exc}")
+    else:
+        monitor.finish(sim.time_s)
+    report = InvariantReport(
+        scenario_name=scenario.name,
+        seed=scenario.seed,
+        n_servers=len(scenario.server_specs),
+        n_vms=sum(len(group) for group in scenario.vm_specs)
+        + len(scenario.arrivals),
+        duration_s=scenario.duration_s,
+        events_fired=len(monitor.records),
+        checks=monitor.checks,
+        violations=tuple(monitor.violations),
+        it_energy_kwh=monitor.account.to_kwh(monitor.account.it_energy_j),
+        cooling_energy_kwh=monitor.account.to_kwh(
+            monitor.account.cooling_energy_j
+        ),
+        pue=(
+            monitor.account.pue
+            if monitor.account.it_energy_j > 0
+            else None
+        ),
+    )
+    if strict and not report.ok:
+        raise InvariantViolationError(
+            f"scenario {scenario.name!r} (seed {scenario.seed}) violated "
+            f"{len(report.violations)} invariant(s):\n  "
+            + "\n  ".join(report.violations)
+        )
+    return report
+
+
+def assert_invariants(
+    scenario: FleetScenario,
+    check_interval_s: float = 60.0,
+    use_fleet_engine: bool = True,
+) -> InvariantReport:
+    """Run under the monitor and raise on any violation (test helper)."""
+    return run_with_invariants(
+        scenario,
+        check_interval_s=check_interval_s,
+        use_fleet_engine=use_fleet_engine,
+        strict=True,
+    )

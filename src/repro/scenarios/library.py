@@ -1,0 +1,146 @@
+"""Spec re-expressions of the hand-coded stress scenarios.
+
+Each builder here returns a plain-dict scenario document that compiles
+(via :func:`repro.scenarios.spec.compile_spec`) to a
+:class:`~repro.experiments.scenarios.FleetScenario` **bit-identical** to
+its hand-coded counterpart at the same seed — same server specs, same
+sampled VM parameters, same arrival tuples, same environment steps. The
+parity holds because the specs name the same RNG streams (``vms/{i}``)
+and consume draws in the same order (per VM: memory, then task levels).
+
+The parity contract is pinned two ways: dataclass equality plus
+end-to-end telemetry-array equality in ``tests/scenarios/``, and a
+reprolint R004 ``Parity:`` docstring marker that requires a test file to
+keep referencing both sides of each pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ScenarioSpecError
+
+#: The heavy 4-vCPU VM template both stress scenarios use: one memory
+#: draw then four constant-task level draws, mirroring
+#: ``_hot_vm_specs`` in :mod:`repro.experiments.scenarios`.
+
+
+def _hot_vm_doc(level: tuple[float, float]) -> dict[str, Any]:
+    return {
+        "name": "hot-{server_index:03d}-{vm_index}",
+        "vcpus": 4,
+        "memory_gb": {"uniform": [4.0, 6.0]},
+        "tasks": [{"constant": {"uniform": [level[0], level[1]]}, "count": 4}],
+    }
+
+
+def _light_vm_doc() -> dict[str, Any]:
+    return {
+        "name": "light-{server_index:03d}",
+        "vcpus": 2,
+        "memory_gb": {"uniform": [2.0, 4.0]},
+        "tasks": [{"constant": {"uniform": [0.15, 0.3]}}],
+    }
+
+
+def cooling_failure_spec(
+    n_servers: int = 32,
+    seed: int = 93_000,
+    failure_time_s: float = 600.0,
+    failure_delta_c: float = 8.0,
+    recovery_time_s: float | None = None,
+    duration_s: float = 3600.0,
+    hot_fraction: float = 0.25,
+) -> dict[str, Any]:
+    """Declarative CRAC step failure: the cold aisle jumps mid-run.
+
+    Parity: `repro.experiments.scenarios.cooling_failure_scenario`
+    — compiling this document yields a bit-identical
+    :class:`~repro.experiments.scenarios.FleetScenario` at the same
+    arguments, with the CRAC step expressed as timeline
+    ``cooling_derate`` / ``ambient_step`` events instead of a hand-built
+    stepped environment.
+    """
+    if n_servers < 2:
+        raise ScenarioSpecError(f"n_servers must be >= 2, got {n_servers}")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ScenarioSpecError(
+            f"hot_fraction must be in (0, 1), got {hot_fraction}"
+        )
+    if not 0.0 < failure_time_s < duration_s:
+        raise ScenarioSpecError(
+            f"failure_time_s must fall inside the run, got {failure_time_s}"
+        )
+    if recovery_time_s is not None and recovery_time_s <= failure_time_s:
+        raise ScenarioSpecError("recovery_time_s must follow failure_time_s")
+    n_hot = max(1, int(n_servers * hot_fraction))
+    timeline: list[dict[str, Any]] = [
+        {"at": failure_time_s, "cooling_derate": failure_delta_c},
+    ]
+    if recovery_time_s is not None:
+        timeline.append({"at": recovery_time_s, "ambient_step": 22.0})
+    return {
+        "name": f"cooling-failure-{n_servers}",
+        "seed": seed,
+        "duration": duration_s,
+        "servers_per_rack": max(1, n_servers // 4),
+        "servers": [{"type": "stress", "count": n_servers}],
+        "placements": [
+            {
+                "servers": {"range": [0, n_hot]},
+                "vms": [dict(_hot_vm_doc(level=(0.58, 0.68)), count=4)],
+            },
+            {
+                "servers": {"range": [n_hot, n_servers]},
+                "vms": [_light_vm_doc()],
+            },
+        ],
+        "environment": {"constant": 22.0},
+        "timeline": timeline,
+    }
+
+
+def flash_crowd_spec(
+    n_servers: int = 32,
+    seed: int = 95_000,
+    spike_time_s: float = 600.0,
+    duration_s: float = 3600.0,
+    hot_fraction: float = 0.25,
+) -> dict[str, Any]:
+    """Declarative flash crowd: heavy arrivals land on the warm pool.
+
+    Parity: `repro.experiments.scenarios.flash_crowd_scenario`
+    — compiling this document yields a bit-identical
+    :class:`~repro.experiments.scenarios.FleetScenario` at the same
+    arguments, with the spike expressed as a timeline ``arrival`` event
+    (count 4, 10 s spacing) instead of hand-built arrival tuples.
+    """
+    if n_servers < 2:
+        raise ScenarioSpecError(f"n_servers must be >= 2, got {n_servers}")
+    if not 0.0 < spike_time_s < duration_s:
+        raise ScenarioSpecError(
+            f"spike_time_s must fall inside the run, got {spike_time_s}"
+        )
+    n_hot = max(1, int(n_servers * hot_fraction))
+    return {
+        "name": f"flash-crowd-{n_servers}",
+        "seed": seed,
+        "duration": duration_s,
+        "servers_per_rack": max(1, n_servers // 4),
+        "servers": [{"type": "stress", "count": n_servers}],
+        "placements": [
+            {"servers": "all", "vms": [_light_vm_doc()]},
+        ],
+        "environment": {"constant": 22.0},
+        "timeline": [
+            {
+                "at": spike_time_s,
+                "arrival": {
+                    "servers": {"range": [0, n_hot]},
+                    "count": 4,
+                    "spacing": 10.0,
+                    "vm": _hot_vm_doc(level=(0.78, 0.88)),
+                },
+            },
+        ],
+    }

@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.datacenter.server import Server
-from repro.datacenter.vm import Vm
+from repro.datacenter.server import ResourceCapacity, Server, ServerSpec
+from repro.datacenter.vm import Vm, VmSpec
+from repro.datacenter.workload import ConstantTask
 from repro.errors import ConfigurationError
 from repro.experiments.scenarios import (
+    FleetScenario,
     build_fleet_simulation,
     build_migration_simulation,
     build_simulation,
@@ -312,3 +314,89 @@ class TestControlStressScenarios:
             thermal_cascade_scenario(n_servers=4)
         with pytest.raises(ConfigurationError):
             flash_crowd_scenario(spike_time_s=5000.0, duration_s=3600.0)
+
+
+class TestFleetScenarioValidation:
+    """Edge cases of FleetScenario's arrival/migration timing contract."""
+
+    @staticmethod
+    def _fleet(**overrides):
+        from repro.thermal.environment import ConstantEnvironment
+
+        def vm(name):
+            return VmSpec(
+                name=name, vcpus=2, memory_gb=4.0,
+                tasks=(ConstantTask(level=0.5),),
+            )
+
+        kwargs = dict(
+            name="tiny",
+            server_specs=tuple(
+                ServerSpec(
+                    name=f"server-{i:03d}",
+                    capacity=ResourceCapacity(
+                        cpu_cores=8, ghz_per_core=2.4, memory_gb=32.0
+                    ),
+                    fan_count=2,
+                    fan_speed=0.7,
+                )
+                for i in range(2)
+            ),
+            vm_specs=((vm("vm-a"),), (vm("vm-b"),)),
+            environment=ConstantEnvironment(22.0),
+            duration_s=600.0,
+        )
+        kwargs.update(overrides)
+        return FleetScenario(**kwargs)
+
+    def _arrival_vm(self):
+        return VmSpec(
+            name="vm-new", vcpus=2, memory_gb=4.0,
+            tasks=(ConstantTask(level=0.5),),
+        )
+
+    def test_arrival_at_t0_is_legal_and_fires(self):
+        scenario = self._fleet(
+            arrivals=((0.0, "server-001", self._arrival_vm()),)
+        )
+        sim = build_fleet_simulation(scenario)
+        sim.run(10.0)
+        assert "vm-new" in sim.cluster.server("server-001").vms
+
+    def test_arrival_at_or_after_duration_is_rejected(self):
+        # Pinned: such an arrival would silently never fire, so the
+        # scenario refuses to construct rather than lie about its load.
+        for time_s in (600.0, 9000.0):
+            with pytest.raises(ConfigurationError, match="silently never fire"):
+                self._fleet(arrivals=((time_s, "server-001", self._arrival_vm()),))
+
+    def test_negative_arrival_time_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="precedes the start"):
+            self._fleet(arrivals=((-1.0, "server-001", self._arrival_vm()),))
+
+    def test_arrival_to_unknown_server_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown server"):
+            self._fleet(arrivals=((10.0, "server-042", self._arrival_vm()),))
+
+    def test_migration_timing_and_names_validated(self):
+        with pytest.raises(ConfigurationError, match="silently never fire"):
+            self._fleet(migrations=((600.0, "vm-a", "server-001"),))
+        with pytest.raises(ConfigurationError, match="unknown server"):
+            self._fleet(migrations=((10.0, "vm-a", "server-042"),))
+        with pytest.raises(ConfigurationError, match="initially placed"):
+            self._fleet(migrations=((10.0, "vm-zz", "server-001"),))
+
+    def test_simultaneous_arrival_and_migration_on_same_server(self):
+        # Both land on server-001 at t=100 and must coexist: the arrival
+        # hosts immediately, the migration completes after its pre-copy.
+        scenario = self._fleet(
+            arrivals=((100.0, "server-001", self._arrival_vm()),),
+            migrations=((100.0, "vm-a", "server-001"),),
+        )
+        sim = build_fleet_simulation(scenario)
+        sim.run(400.0)
+        destination = sim.cluster.server("server-001")
+        assert "vm-new" in destination.vms
+        assert "vm-a" in destination.vms
+        assert "vm-a" not in sim.cluster.server("server-000").vms
+        assert destination.active_migrations == 0

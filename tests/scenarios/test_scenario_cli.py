@@ -1,0 +1,84 @@
+"""Tests for the ``fleet-scenario`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import cooling_failure_spec
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(cooling_failure_spec(
+        n_servers=4, duration_s=900.0, failure_time_s=300.0
+    )))
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_spec_ok(self, spec_path, capsys):
+        assert main(["fleet-scenario", "validate", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "cooling-failure-4" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["fleet-scenario", "validate", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "fleet-scenario" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2_with_path_qualified_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.json"
+        doc = cooling_failure_spec(n_servers=4, duration_s=900.0,
+                                   failure_time_s=300.0)
+        doc["duration"] = "-2h"
+        path.write_text(json.dumps(doc))
+        assert main(["fleet-scenario", "validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "spec.duration" in err
+        assert "negative duration offset" in err
+
+    def test_non_object_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["fleet-scenario", "validate", str(path)]) == 2
+        assert "one JSON object" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_prints_fleet_breakdown(self, spec_path, capsys):
+        assert main(["fleet-scenario", "compile", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "servers         4" in out
+        assert "server-000" in out
+        assert "SteppedEnvironment" in out
+
+
+class TestFuzz:
+    def test_fixed_seed_sweep_returns_0(self, capsys):
+        assert main(
+            ["fleet-scenario", "fuzz", "--seed", "7", "--count", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 with violations" in out
+
+    def test_strict_sweep_returns_0(self, capsys):
+        assert main(
+            ["fleet-scenario", "fuzz", "--seed", "3", "--count", "3",
+             "--strict"]
+        ) == 0
+
+    def test_compile_only_sweep(self, capsys):
+        assert main(
+            ["fleet-scenario", "fuzz", "--seed", "0", "--count", "25",
+             "--compile-only"]
+        ) == 0
+        assert "compiled 25" in capsys.readouterr().out
+
+    def test_bad_count_exits_2(self, capsys):
+        assert main(["fleet-scenario", "fuzz", "--count", "0"]) == 2

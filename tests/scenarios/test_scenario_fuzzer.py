@@ -1,0 +1,72 @@
+"""Unit tests for the seeded scenario fuzzer."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import FleetScenario
+from repro.scenarios import ScenarioFuzzer
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        fuzzer = ScenarioFuzzer()
+        assert fuzzer.spec(42) == fuzzer.spec(42)
+        assert ScenarioFuzzer().spec(42) == fuzzer.spec(42)
+
+    def test_different_seeds_vary_structurally(self):
+        fuzzer = ScenarioFuzzer()
+        fingerprints = {
+            (
+                doc["duration"],
+                len(doc["servers"]),
+                len(doc["timeline"]),
+                doc["servers"][0]["type"],
+            )
+            for doc in fuzzer.specs(30, base_seed=100)
+        }
+        assert len(fingerprints) > 10
+
+    def test_documents_json_round_trip_exactly(self):
+        fuzzer = ScenarioFuzzer()
+        for seed in range(10):
+            doc = fuzzer.spec(seed)
+            assert json.loads(json.dumps(doc)) == doc
+
+
+class TestValidByConstruction:
+    def test_thirty_seeds_compile_clean(self):
+        fuzzer = ScenarioFuzzer()
+        for seed in range(30):
+            scenario = fuzzer.scenario(seed)
+            assert isinstance(scenario, FleetScenario)
+            assert scenario.n_servers >= 3
+            assert scenario.duration_s >= 600.0
+
+    def test_scenario_equals_compile_of_spec(self):
+        from repro.scenarios import compile_spec
+
+        fuzzer = ScenarioFuzzer()
+        assert fuzzer.scenario(7) == compile_spec(fuzzer.spec(7),
+                                                  catalog=fuzzer.catalog)
+
+    def test_specs_batch(self):
+        docs = ScenarioFuzzer().specs(5, base_seed=50)
+        assert [doc["seed"] for doc in docs] == [50, 51, 52, 53, 54]
+
+
+class TestConstructorValidation:
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer(n_servers=(1, 4))
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer(n_servers=(6, 3))
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer(duration_s=(60.0, 600.0))
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer(vms_per_server=(3, 1))
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer(max_events=-1)
+        with pytest.raises(ConfigurationError):
+            ScenarioFuzzer().specs(0)

@@ -1,0 +1,105 @@
+"""Bit-parity: spec re-expressions vs the hand-coded stress scenarios.
+
+The contract (reprolint R004 pins it via the ``Parity:`` markers in
+:mod:`repro.scenarios.library`): ``cooling_failure_spec`` compiles to the
+same :class:`FleetScenario` as ``cooling_failure_scenario``, and
+``flash_crowd_spec`` to the same as ``flash_crowd_scenario`` — dataclass
+equality AND telemetry-array equality end to end at the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    build_fleet_simulation,
+    cooling_failure_scenario,
+    flash_crowd_scenario,
+)
+from repro.scenarios import compile_spec, cooling_failure_spec, flash_crowd_spec
+
+
+def _telemetry_arrays(scenario, run_s):
+    sim = build_fleet_simulation(scenario)
+    sim.run(run_s)
+    out = {}
+    for name in sim.telemetry.server_names:
+        bundle = sim.telemetry.for_server(name)
+        out[name] = (
+            bundle.cpu_temperature.values_array(),
+            bundle.utilization.values_array(),
+        )
+    return out
+
+
+class TestCoolingFailureParity:
+    def test_scenario_dataclass_equality(self):
+        compiled = compile_spec(
+            cooling_failure_spec(n_servers=8, recovery_time_s=1200.0)
+        )
+        hand = cooling_failure_scenario(n_servers=8, recovery_time_s=1200.0)
+        assert compiled.environment == hand.environment
+        assert compiled.server_specs == hand.server_specs
+        assert compiled.vm_specs == hand.vm_specs
+        assert compiled == hand
+
+    def test_telemetry_bit_identical(self):
+        kwargs = dict(n_servers=6, duration_s=900.0, failure_time_s=300.0)
+        compiled = compile_spec(cooling_failure_spec(**kwargs))
+        hand = cooling_failure_scenario(**kwargs)
+        ours = _telemetry_arrays(compiled, 900.0)
+        theirs = _telemetry_arrays(hand, 900.0)
+        assert ours.keys() == theirs.keys()
+        for name in ours:
+            for mine, ref in zip(ours[name], theirs[name]):
+                assert np.array_equal(mine, ref)
+
+    def test_non_default_arguments_track_the_original(self):
+        kwargs = dict(n_servers=5, seed=1234, failure_time_s=200.0,
+                      failure_delta_c=5.0, duration_s=1000.0,
+                      hot_fraction=0.4)
+        assert compile_spec(cooling_failure_spec(**kwargs)) == (
+            cooling_failure_scenario(**kwargs)
+        )
+
+
+class TestFlashCrowdParity:
+    def test_scenario_dataclass_equality_including_arrivals(self):
+        compiled = compile_spec(flash_crowd_spec(n_servers=8))
+        hand = flash_crowd_scenario(n_servers=8)
+        assert compiled.arrivals == hand.arrivals
+        assert compiled == hand
+
+    def test_telemetry_bit_identical(self):
+        kwargs = dict(n_servers=6, duration_s=900.0, spike_time_s=300.0)
+        compiled = compile_spec(flash_crowd_spec(**kwargs))
+        hand = flash_crowd_scenario(**kwargs)
+        ours = _telemetry_arrays(compiled, 900.0)
+        theirs = _telemetry_arrays(hand, 900.0)
+        assert ours.keys() == theirs.keys()
+        for name in ours:
+            for mine, ref in zip(ours[name], theirs[name]):
+                assert np.array_equal(mine, ref)
+
+
+class TestGuardParity:
+    """The spec builders reject exactly what the hand-coded ones reject."""
+
+    def test_cooling_failure_guards(self):
+        from repro.errors import ScenarioSpecError
+
+        with pytest.raises(ScenarioSpecError):
+            cooling_failure_spec(n_servers=1)
+        with pytest.raises(ScenarioSpecError):
+            cooling_failure_spec(hot_fraction=1.5)
+        with pytest.raises(ScenarioSpecError):
+            cooling_failure_spec(failure_time_s=5000.0, duration_s=3600.0)
+        with pytest.raises(ScenarioSpecError):
+            cooling_failure_spec(failure_time_s=600.0, recovery_time_s=500.0)
+
+    def test_flash_crowd_guards(self):
+        from repro.errors import ScenarioSpecError
+
+        with pytest.raises(ScenarioSpecError):
+            flash_crowd_spec(n_servers=1)
+        with pytest.raises(ScenarioSpecError):
+            flash_crowd_spec(spike_time_s=5000.0, duration_s=3600.0)

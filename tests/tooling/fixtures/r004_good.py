@@ -20,3 +20,11 @@ def score_batch(rows):
     Parity: fixture.other.score_rows
     """
     return [sum(row) for row in rows]
+
+
+def failure_spec(n):
+    """Declarative twin of a hand-coded builder — name carries no suffix.
+
+    Parity: fixture.hand.failure_scenario
+    """
+    return {"n": n}

@@ -17,3 +17,10 @@ def test_score_batch_matches_score_rows():
 
     score_rows = sum
     assert score_batch([[1, 2]]) == [score_rows([1, 2])]
+
+
+def test_failure_spec_matches_failure_scenario():
+    from repro.eng import failure_spec
+
+    failure_scenario = dict
+    assert failure_spec(2) == failure_scenario(n=2)

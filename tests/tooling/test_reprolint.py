@@ -149,22 +149,41 @@ class TestR004ParityPairs:
                 "src/repro/eng.py": "r004_good.py",
                 # fleet names referenced here, scalar twins only elsewhere:
                 "tests/test_eng_fleet.py": (
-                    "from repro.eng import scan_fleet, score_batch\n"
+                    "from repro.eng import failure_spec, scan_fleet, score_batch\n"
                     "def test_runs():\n"
                     "    assert scan_fleet([80.0], 75.0) and score_batch([[1]])\n"
+                    "    assert failure_spec(1)\n"
                 ),
                 "tests/test_eng_scalar.py": (
                     "from repro.eng import scan\n"
                     "score_rows = sum\n"
+                    "failure_scenario = dict\n"
                     "def test_scalar():\n"
                     "    assert scan(80.0, 75.0) and score_rows([1])\n"
+                    "    assert failure_scenario(n=1)\n"
                 ),
             },
         )
         assert lint(root, rules="R004").active() == []
         strict = lint(root, rules="R004", strict=True).active()
-        assert len(strict) == 2
+        assert len(strict) == 3
         assert all("no single test file references both" in f.message for f in strict)
+
+    def test_declared_parity_def_requires_pinned_test(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                "src/repro/eng.py": (
+                    "def cool_spec():\n"
+                    '    """Parity: repro.hand.cool_scenario"""\n'
+                    "    return {}\n"
+                ),
+                "tests/test_unrelated.py": "def test_nothing():\n    pass\n",
+            },
+        )
+        findings = lint(root, rules="R004").active()
+        assert len(findings) == 1
+        assert "references 'cool_spec'" in findings[0].message
 
 
 class TestWaivers:

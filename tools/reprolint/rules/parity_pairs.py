@@ -15,6 +15,11 @@ enforces both halves of that contract for every *public* ``*_fleet`` /
    and references are resolved from each test's AST identifier set
    rather than a substring scan.
 
+The contract also runs in the other direction: any *public* def whose
+docstring declares ``Parity: <dotted.name>`` — whatever its name — is a
+parity pair too (e.g. a declarative spec builder pinned against the
+hand-coded scenario it re-expresses), and needs the same test coverage.
+
 Fleet-native aggregations with no meaningful scalar twin carry a
 per-line waiver on the ``def`` line explaining why.
 """
@@ -63,7 +68,9 @@ class ParityPairRule(ProjectRule):
         "scalar counterpart (same scope, or a 'Parity: <name>' docstring "
         "declaration) and at least one test referencing the vectorized "
         "name (--strict: one test referencing both names, resolved from "
-        "test ASTs) — the contract behind every bit-identical benchmark."
+        "test ASTs) — the contract behind every bit-identical benchmark. "
+        "Any other public def declaring 'Parity: <name>' in its docstring "
+        "joins the same contract and needs the same test coverage."
     )
 
     def check_project(self, ctx) -> list[Finding]:
@@ -141,11 +148,16 @@ class ParityPairRule(ProjectRule):
             for node in body:
                 if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     continue
-                match = VECTORIZED.match(node.name)
-                if match is None or node.name.startswith("_"):
+                if node.name.startswith("_"):
                     continue
-                counterpart: str | None = match.group("stem")
-                if counterpart not in in_scope:
-                    counterpart = _docstring_counterpart(node)
-                out.append((source, node, node.name, counterpart))
+                match = VECTORIZED.match(node.name)
+                if match is not None:
+                    counterpart: str | None = match.group("stem")
+                    if counterpart not in in_scope:
+                        counterpart = _docstring_counterpart(node)
+                    out.append((source, node, node.name, counterpart))
+                    continue
+                declared = _docstring_counterpart(node)
+                if declared is not None and declared != node.name:
+                    out.append((source, node, node.name, declared))
         return out
