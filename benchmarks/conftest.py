@@ -44,6 +44,21 @@ def record_table(title: str, text: str) -> None:
     (RESULTS_DIR / f"{slugify_title(title)}.txt").write_text(text + "\n")
 
 
+def record_json(filename: str, payload: dict) -> None:
+    """Write a machine-readable benchmark result to ``benchmark_results/``.
+
+    Companion to :func:`record_table` for results that downstream tooling
+    (CI trend tracking, the scale-sweep gate) consumes programmatically;
+    ``filename`` is taken verbatim (e.g. ``BENCH_fleetstate.json``).
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def pytest_terminal_summary(terminalreporter):
     if not _tables:
         return

@@ -73,6 +73,7 @@ from repro.control import (
     run_closed_loop,
 )
 from repro.core.dynamic import replay_dynamic_prediction
+from repro.datacenter.fleetstate import FleetState
 from repro.errors import ReproError
 from repro.lifecycle import (
     DriftMonitor,
@@ -120,7 +121,7 @@ from repro.training import (
     train_fleet_registry,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Catalog",
@@ -135,6 +136,7 @@ __all__ = [
     "FeatureExtractor",
     "FleetPredictionProbe",
     "FleetProfile",
+    "FleetState",
     "FleetTrainingConfig",
     "FleetTrainingReport",
     "HardwareType",

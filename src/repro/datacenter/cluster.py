@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.datacenter.fleetstate import FleetState
 from repro.datacenter.server import Server
 from repro.datacenter.vm import Vm
 from repro.errors import ConfigurationError, SimulationError
@@ -12,6 +13,14 @@ class Cluster:
 
     Rack membership is tracked so thermal-management policies can reason
     about spatial locality (e.g. avoiding rack-level hotspots).
+
+    The cluster owns a :class:`~repro.datacenter.fleetstate.FleetState`:
+    every server added is registered into it (slot order = insertion
+    order), turning the server/VM objects into views over contiguous
+    arrays. A server already bound to *another* cluster's state keeps
+    its original binding and is tracked in :attr:`foreign_servers`; its
+    presence degrades the simulation to the legacy per-object path but
+    changes no behavior.
     """
 
     def __init__(self, name: str = "cluster") -> None:
@@ -20,6 +29,8 @@ class Cluster:
         self.name = name
         self._servers: dict[str, Server] = {}
         self._racks: dict[str, list[str]] = {}
+        self.fleet_state = FleetState()
+        self._foreign: list[str] = []
 
     # -- membership ----------------------------------------------------------
 
@@ -29,6 +40,15 @@ class Cluster:
             raise SimulationError(f"duplicate server name {server.name!r}")
         self._servers[server.name] = server
         self._racks.setdefault(rack, []).append(server.name)
+        if server._fs is None:
+            self.fleet_state.register_server(server)
+        elif server._fs is not self.fleet_state:
+            self._foreign.append(server.name)
+
+    @property
+    def foreign_servers(self) -> list[str]:
+        """Servers bound to another cluster's fleet state (legacy path)."""
+        return list(self._foreign)
 
     def server(self, name: str) -> Server:
         """Look up a server by name."""
@@ -56,7 +76,23 @@ class Cluster:
     # -- VM lookup ------------------------------------------------------------
 
     def find_vm(self, vm_name: str) -> tuple[Vm, Server]:
-        """Locate a VM and its current host."""
+        """Locate a VM and its current host.
+
+        O(1) through the fleet-state ownership index when every server
+        is registered and VM names are unique; otherwise falls back to
+        the insertion-order scan (same result by construction — names
+        are unique within a server dict).
+        """
+        fs = self.fleet_state
+        if not self._foreign and fs.vm_names_unique:
+            slot = fs.vm_index.get(vm_name)
+            if slot is not None:
+                server_slot = int(fs.vm_server[slot])
+                if server_slot >= 0:
+                    return fs.vm_objects[slot], fs.server_objects[server_slot]
+            raise SimulationError(
+                f"VM {vm_name!r} not found in cluster {self.name!r}"
+            )
         for server in self._servers.values():
             if vm_name in server.vms:
                 return server.vms[vm_name], server

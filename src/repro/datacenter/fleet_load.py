@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.datacenter.vm import RUNNING_CODES
 from repro.datacenter.workload import ConstantTask, PeriodicTask, RampTask
 
 _TWO_PI = 2.0 * np.pi
@@ -175,3 +176,115 @@ class FleetLoadModel:
         else:
             used = total + self._overhead
         return np.minimum(1.0, used / self._cores)
+
+
+class FleetLoadView:
+    """Zero-rebuild counterpart of :class:`FleetLoadModel` over a
+    :class:`~repro.datacenter.fleetstate.FleetState`.
+
+    Where :class:`FleetLoadModel` re-walks every server/VM/task after any
+    placement change, this view reads the fleet-state arrays directly:
+    closed-form task parameters already live in VM-slot space, overhead
+    inputs (running counts, migration counts, per-VM overhead) are
+    per-server columns, and only the *dense gather indices* (which slots
+    are running, on which server) need recomputing — lazily, when the
+    placement generation moves.
+
+    Parity: demand is evaluated for every registered slot (the values
+    are elementwise, so extra slots are free of ordering effects) and
+    then gathered in server-major dict-insertion order — the exact
+    accumulation order of the rebuild path — so ``utilizations`` is
+    bit-identical to a freshly built :class:`FleetLoadModel` over the
+    same cluster (``tests/integration/test_soa_parity.py``). Stateful
+    (generic) tasks are only ever evaluated for running VMs, in the same
+    order as the rebuild path, so their internal RNG state advances
+    identically.
+    """
+
+    def __init__(self, fs) -> None:
+        self.fs = fs
+        self._placement_gen = -1
+        self._task_gen = -1
+        self._dense_slots = np.zeros(0, dtype=np.intp)
+        self._dense_server = np.zeros(0, dtype=np.intp)
+        self._generic: list[tuple[int, object]] = []
+
+    def _refresh(self) -> None:
+        fs = self.fs
+        running = RUNNING_CODES
+        state_code = fs.vm_state_code
+        dense_slots: list[int] = []
+        dense_server: list[int] = []
+        generic: list[tuple[int, object]] = []
+        generic_tasks = fs.generic_tasks
+        for s_idx in range(fs.n_servers):
+            for slot in fs.server_vm_slots[s_idx]:
+                if state_code[slot] in running:
+                    dense_slots.append(slot)
+                    dense_server.append(s_idx)
+                    for task in generic_tasks.get(slot, ()):
+                        generic.append((slot, task))
+        self._dense_slots = np.array(dense_slots, dtype=np.intp)
+        self._dense_server = np.array(dense_server, dtype=np.intp)
+        self._generic = generic
+        self._placement_gen = fs.placement_generation
+        self._task_gen = fs.task_generation
+
+    def utilizations(self, time_s: float) -> np.ndarray:
+        """Host CPU utilization per server at ``time_s`` (same contract
+        as :meth:`FleetLoadModel.utilizations`)."""
+        fs = self.fs
+        if (
+            fs.placement_generation != self._placement_gen
+            or fs.task_generation != self._task_gen
+        ):
+            self._refresh()
+        n = fs.n_servers
+        cores = fs.cores[:n]
+        raw_overhead = (
+            fs.overhead_per_vm[:n] * fs.n_running[:n]
+            + fs.migration_overhead[:n] * fs.active_migrations[:n]
+        )
+        overhead = np.minimum(raw_overhead, cores)
+        if self._dense_slots.size == 0:
+            return np.minimum(1.0, overhead / cores)
+
+        nv = fs.n_vms
+        local_t = np.maximum(0.0, time_s - fs.vm_started_at_s[:nv])
+        tasks = fs.task_arrays()
+        demand = np.zeros(nv, dtype=float)
+        if tasks.const_vm.size:
+            np.add.at(demand, tasks.const_vm, tasks.const_level)
+        if tasks.per_vm.size:
+            angle = _TWO_PI * (local_t[tasks.per_vm] + tasks.per_phase) / tasks.per_period
+            u = tasks.per_mean + tasks.per_amp * np.sin(angle)
+            np.add.at(demand, tasks.per_vm, np.minimum(1.0, np.maximum(0.0, u)))
+        if tasks.ramp_vm.size:
+            t = local_t[tasks.ramp_vm]
+            frac = np.maximum(0.0, t / tasks.ramp_s)
+            u = np.where(
+                t >= tasks.ramp_s,
+                tasks.ramp_end,
+                tasks.ramp_start + tasks.ramp_span * frac,
+            )
+            np.add.at(demand, tasks.ramp_vm, u)
+        for slot, task in self._generic:
+            demand[slot] += task.utilization(local_t[slot])
+        demand = np.minimum(fs.vm_vcpus_f[:nv], demand)
+
+        dense_demand = demand[self._dense_slots]
+        available = cores - overhead
+        total = np.bincount(self._dense_server, weights=dense_demand, minlength=n)
+        contended = total > available
+        if contended.any():
+            scale = np.where(
+                contended, available / np.where(contended, total, 1.0), 1.0
+            )
+            allocations = dense_demand * scale[self._dense_server]
+            used = (
+                np.bincount(self._dense_server, weights=allocations, minlength=n)
+                + overhead
+            )
+        else:
+            used = total + overhead
+        return np.minimum(1.0, used / cores)

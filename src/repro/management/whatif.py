@@ -66,18 +66,31 @@ def record_for_host(
         raise SchedulingError(
             f"cannot remove VM {without_vm!r}: not hosted on {server.name!r}"
         )
-    vms = [vm for name, vm in server.vms.items() if name != without_vm]
-    if extra_vm is not None:
-        vms.append(extra_vm)
     vm_records = tuple(
-        VmRecord(
-            vcpus=vm.spec.vcpus,
-            memory_gb=vm.spec.memory_gb,
-            task_kinds=tuple(task.kind for task in vm.spec.tasks),
-            nominal_utilization=vm.spec.nominal_utilization(),
-        )
-        for vm in vms
+        _vm_record(vm)
+        for name, vm in server.vms.items()
+        if name != without_vm
+    ) + ((_vm_record(extra_vm),) if extra_vm is not None else ())
+    return _assemble_record(server, environment_c, vm_records, extra_vm, without_vm)
+
+
+def _vm_record(vm: Vm) -> VmRecord:
+    spec = vm.spec
+    return VmRecord(
+        vcpus=spec.vcpus,
+        memory_gb=spec.memory_gb,
+        task_kinds=tuple(task.kind for task in spec.tasks),
+        nominal_utilization=spec.nominal_utilization(),
     )
+
+
+def _assemble_record(
+    server: Server,
+    environment_c: float,
+    vm_records: tuple[VmRecord, ...],
+    extra_vm: Vm | None,
+    without_vm: str | None,
+) -> ExperimentRecord:
     capacity = server.spec.capacity
     metadata: dict = {"server": server.name}
     if extra_vm is not None:
@@ -200,6 +213,52 @@ class WhatIfScorer:
         self.predictor = predictor
         self.registry = registry
         self.key_fn = key_fn
+        # Per-server VmRecord cache keyed by the server's placement
+        # generation: building the hypothetical records used to re-derive
+        # every hosted VM's task-kind tuple and nominal utilization per
+        # candidate move, per interval. VmRecord fields are pure
+        # spec-derived values, so the cache is exact while the VM dict is
+        # unchanged — and the generation bumps on every membership (or
+        # lifecycle) change. The server object is kept as a strong
+        # reference so an id() cannot be reused by a different server.
+        self._base_records: dict[
+            int, tuple[int, Server, tuple[tuple[str, VmRecord], ...]]
+        ] = {}
+
+    def _host_vm_records(
+        self, server: Server
+    ) -> tuple[tuple[str, VmRecord], ...]:
+        generation = server.placement_generation
+        cached = self._base_records.get(id(server))
+        if cached is not None and cached[0] == generation and cached[1] is server:
+            return cached[2]
+        pairs = tuple(
+            (name, _vm_record(vm)) for name, vm in server.vms.items()
+        )
+        self._base_records[id(server)] = (generation, server, pairs)
+        return pairs
+
+    def _record_from_base(
+        self,
+        server: Server,
+        environment_c: float,
+        extra_vm: Vm | None = None,
+        without_vm: str | None = None,
+    ) -> ExperimentRecord:
+        """:func:`record_for_host` over the cached per-VM records —
+        byte-for-byte the same output (same order, same metadata)."""
+        if without_vm is not None and without_vm not in server.vms:
+            raise SchedulingError(
+                f"cannot remove VM {without_vm!r}: not hosted on {server.name!r}"
+            )
+        vm_records = tuple(
+            record
+            for name, record in self._host_vm_records(server)
+            if name != without_vm
+        ) + ((_vm_record(extra_vm),) if extra_vm is not None else ())
+        return _assemble_record(
+            server, environment_c, vm_records, extra_vm, without_vm
+        )
 
     def _predict_records(
         self, records: list[ExperimentRecord], servers: list[Server]
@@ -271,14 +330,16 @@ class WhatIfScorer:
             source_idx[i] = intern(
                 ("without", move.source, move.vm_name),
                 source,
-                lambda: record_for_host(
+                lambda: self._record_from_base(
                     source, environment_c, without_vm=move.vm_name
                 ),
             )
             dest_idx[i] = intern(
                 ("with", move.destination, vm_signature(vm)),
                 destination,
-                lambda: record_for_host(destination, environment_c, extra_vm=vm),
+                lambda: self._record_from_base(
+                    destination, environment_c, extra_vm=vm
+                ),
             )
         predicted = self._predict_records(records, servers)
         source_c = predicted[source_idx]
@@ -306,7 +367,7 @@ class WhatIfScorer:
         if not servers:
             return np.empty(0, dtype=float)
         records = [
-            record_for_host(server, environment_c, extra_vm=vm)
+            self._record_from_base(server, environment_c, extra_vm=vm)
             for server in servers
         ]
         return self._predict_records(records, servers)

@@ -434,6 +434,10 @@ class FleetPredictionProbe:
         self._key_fn: ModelKeyFn = key_fn or (lambda server: DEFAULT_KEY)
         self._sample_counts: dict[str, int] = {}
         self._vm_sets: dict[str, frozenset[str]] = {}
+        #: Server placement generation at the last VM-set derivation;
+        #: while it holds still, the ``frozenset(server.vms)`` signature
+        #: cannot have changed and is not recomputed.
+        self._placement_gens: dict[str, int] = {}
         self._bundles: dict[str, ServerTelemetry] = {}
 
     def attach(self, sim) -> None:
@@ -454,7 +458,35 @@ class FleetPredictionProbe:
             self._bundles[name] = bundle = telemetry.for_server(name)
         return bundle
 
+    def _retarget_decision(self, server) -> tuple[bool, bool]:
+        """(is_new, placement_changed) for a watched server this sample.
+
+        Keys off ``server.placement_generation`` so the per-interval
+        ``frozenset(server.vms)`` signature is only rebuilt for servers
+        whose placement actually moved — the decision is identical to
+        comparing fresh signatures every time, because the generation is
+        bumped by every mutation that can change the VM set.
+        """
+        name = server.name
+        generation = server.placement_generation
+        if name not in self._vm_sets:
+            self._vm_sets[name] = frozenset(server.vms)
+            self._placement_gens[name] = generation
+            return True, False
+        if generation == self._placement_gens.get(name):
+            return False, False
+        self._placement_gens[name] = generation
+        vm_set = frozenset(server.vms)
+        if vm_set == self._vm_sets[name]:
+            return False, False
+        self._vm_sets[name] = vm_set
+        return False, True
+
     def _on_step(self, sim, time_s: float) -> None:
+        samples = getattr(sim, "fleet_cpu_samples", None)
+        if samples is not None:
+            self._on_step_fleet(sim, time_s, samples)
+            return
         environment_c = sim.environment.temperature(time_s)
         telemetry = sim.telemetry
         # One explicit flush per step (new sensor samples may sit in the
@@ -481,16 +513,14 @@ class FleetPredictionProbe:
                 continue  # no new sensor sample this step
             self._sample_counts[server.name] = count
             sample_time, measured = series.last()
-            vm_set = frozenset(server.vms)
-            if server.name not in self._vm_sets:
-                self._vm_sets[server.name] = vm_set
+            is_new, changed = self._retarget_decision(server)
+            if is_new:
                 new_names.append(server.name)
                 new_records.append(record_for_server(server, environment_c))
                 new_keys.append(self._key_fn(server))
                 new_times.append(sample_time)
                 new_values.append(measured)
-            elif vm_set != self._vm_sets[server.name]:
-                self._vm_sets[server.name] = vm_set
+            elif changed:
                 re_names.append(server.name)
                 re_records.append(record_for_server(server, environment_c))
                 re_times.append(sample_time)
@@ -499,6 +529,103 @@ class FleetPredictionProbe:
             sampled_times.append(sample_time)
             sampled_values.append(measured)
 
+        self._predict_batch(
+            new_names,
+            new_records,
+            new_keys,
+            new_times,
+            new_values,
+            re_names,
+            re_records,
+            re_times,
+            re_values,
+            sampled_names,
+            sampled_times,
+            sampled_values,
+            sim.telemetry,
+        )
+
+    def _on_step_fleet(self, sim, time_s: float, samples) -> None:
+        """Fast path for structure-of-arrays steps.
+
+        The simulation already knows exactly which sensors sampled this
+        step (``sim.fleet_cpu_samples``, in cluster order — the same
+        order the legacy scan visits servers), so there is nothing to
+        flush and no per-server series length to poll: iterate the
+        samples, apply the same track/retarget/observe decisions, done.
+        """
+        if not samples:
+            return
+        environment_c = sim.environment.temperature(time_s)
+        cluster = sim.cluster
+        server_filter = self._server_filter
+        counts = self._sample_counts
+        new_names: list[str] = []
+        new_records: list[ExperimentRecord] = []
+        new_keys: list[str] = []
+        new_times: list[float] = []
+        new_values: list[float] = []
+        re_names: list[str] = []
+        re_records: list[ExperimentRecord] = []
+        re_times: list[float] = []
+        re_values: list[float] = []
+        sampled_names: list[str] = []
+        sampled_times: list[float] = []
+        sampled_values: list[float] = []
+
+        for name, sample_time, measured in samples:
+            if server_filter is not None and name not in server_filter:
+                continue
+            counts[name] = counts.get(name, 0) + 1
+            server = cluster.server(name)
+            is_new, changed = self._retarget_decision(server)
+            if is_new:
+                new_names.append(name)
+                new_records.append(record_for_server(server, environment_c))
+                new_keys.append(self._key_fn(server))
+                new_times.append(sample_time)
+                new_values.append(measured)
+            elif changed:
+                re_names.append(name)
+                re_records.append(record_for_server(server, environment_c))
+                re_times.append(sample_time)
+                re_values.append(measured)
+            sampled_names.append(name)
+            sampled_times.append(sample_time)
+            sampled_values.append(measured)
+
+        self._predict_batch(
+            new_names,
+            new_records,
+            new_keys,
+            new_times,
+            new_values,
+            re_names,
+            re_records,
+            re_times,
+            re_values,
+            sampled_names,
+            sampled_times,
+            sampled_values,
+            sim.telemetry,
+        )
+
+    def _predict_batch(
+        self,
+        new_names,
+        new_records,
+        new_keys,
+        new_times,
+        new_values,
+        re_names,
+        re_records,
+        re_times,
+        re_values,
+        sampled_names,
+        sampled_times,
+        sampled_values,
+        telemetry,
+    ) -> None:
         if not sampled_names:
             return
         if new_names:
@@ -520,7 +647,9 @@ class FleetPredictionProbe:
         for name, target, value in zip(
             sampled_names, targets.tolist(), predicted.tolist()
         ):
-            self._bundles[name].predicted_cpu_temperature.append(target, value)
+            self._bundle(telemetry, name).predicted_cpu_temperature.append(
+                target, value
+            )
 
 
 def predicted_vs_actual(

@@ -69,6 +69,9 @@ class FleetThermalEngine:
         n = len(self.servers)
         self.time_s = 0.0
         self._unsynced_s = 0.0
+        #: Per-server plant clocks advanced in-place each step; only set
+        #: on engines built by :meth:`over_state` (fleet-state slices).
+        self._plant_time = None
 
         self._t_cpu = np.empty(n, dtype=float)
         self._t_case = np.empty(n, dtype=float)
@@ -106,6 +109,40 @@ class FleetThermalEngine:
             self.fan_speeds[i] = fans.speed
 
     # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def over_state(cls, fs) -> "FleetThermalEngine":
+        """Engine aliasing a :class:`~repro.datacenter.fleetstate.FleetState`.
+
+        The packed arrays are basic slices of the fleet-state buffers —
+        no copy, no repack: :meth:`step` integrates the shared arrays in
+        place, so bound plants (and anything else reading the state) see
+        fresh temperatures immediately and :meth:`writeback` has nothing
+        to push (it only resets the unsynced-time bookkeeping). The
+        caller guarantees every server is bound (``fs.covers``); slices
+        go stale if the state grows, so a membership change requires a
+        fresh engine.
+        """
+        engine = cls.__new__(cls)
+        engine.servers = list(fs.server_objects)
+        n = fs.n_servers
+        engine.time_s = 0.0
+        engine._unsynced_s = 0.0
+        engine._t_cpu = fs.t_cpu_c[:n]
+        engine._t_case = fs.t_case_c[:n]
+        engine._c_cpu = fs.c_cpu[:n]
+        engine._c_case = fs.c_case[:n]
+        engine._r_die = fs.r_die[:n]
+        engine._r_case = fs.r_case_eff[:n]
+        engine._p_idle = fs.p_idle_w[:n]
+        engine._p_span = fs.p_span_w[:n]
+        engine._p_exp = fs.p_exp[:n]
+        engine._p_mem = fs.p_mem_w[:n]
+        engine._p_case = fs.p_case_fan_w[:n]
+        engine.fan_counts = fs.fan_count[:n]
+        engine.fan_speeds = fs.fan_speed[:n]
+        engine._plant_time = fs.plant_time_s[:n]
+        return engine
 
     @staticmethod
     def supports(server) -> bool:
@@ -149,6 +186,8 @@ class FleetThermalEngine:
         self._t_case += dt_s * d_case
         self.time_s += dt_s
         self._unsynced_s += dt_s
+        if self._plant_time is not None:
+            self._plant_time += dt_s
 
     # -- observers ---------------------------------------------------------
 
@@ -179,6 +218,10 @@ class FleetThermalEngine:
         """
         elapsed = self._unsynced_s
         self._unsynced_s = 0.0
+        if self._plant_time is not None:
+            # Fleet-state-backed engine: the shared arrays already ARE
+            # the plant state (bound plants read them directly).
+            return
         for i, server in enumerate(self.servers):
             plant = server.thermal
             plant.set_temperatures(float(self._t_cpu[i]), float(self._t_case[i]))

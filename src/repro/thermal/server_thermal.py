@@ -47,6 +47,13 @@ class ServerThermalModel:
         config: ThermalConfig | None = None,
         initial_temperature_c: float = 22.0,
     ) -> None:
+        # FleetState view binding (set before any attribute that is a
+        # property over the arrays): once a cluster registers the owning
+        # server, lump temperatures and the plant clock live in the
+        # shared arrays and this object becomes a view over its slot.
+        self._fs = None
+        self._slot = -1
+        self._time_s = 0.0
         self.power_model = power_model
         self.config = config or ThermalConfig()
         self._fans = fans
@@ -62,7 +69,20 @@ class ServerThermalModel:
         )
         self._network.connect(CPU_NODE, CASE_NODE, self.config.cpu_to_case_resistance_k_per_w)
         self._network.set_all_temperatures(initial_temperature_c)
-        self.time_s = 0.0
+
+    @property
+    def time_s(self) -> float:
+        """Plant-local clock (array-backed once fleet-registered)."""
+        if self._fs is not None:
+            return float(self._fs.plant_time_s[self._slot])
+        return self._time_s
+
+    @time_s.setter
+    def time_s(self, value: float) -> None:
+        if self._fs is not None:
+            self._fs.plant_time_s[self._slot] = value
+        else:
+            self._time_s = value
 
     # -- fan coupling --------------------------------------------------
 
@@ -75,6 +95,10 @@ class ServerThermalModel:
         """Swap the fan bank (count or speed change) and retune the plant."""
         self._fans = fans
         self._network.set_ambient_resistance(CASE_NODE, self._case_resistance())
+        if self._fs is not None:
+            self._fs.retune_plant(
+                self._slot, self._case_resistance(), fans.power_w()
+            )
 
     def _case_resistance(self) -> float:
         return (
@@ -87,11 +111,20 @@ class ServerThermalModel:
         """Advance the plant ``dt_s`` seconds at the given CPU utilization."""
         if dt_s <= 0:
             raise SimulationError(f"dt_s must be > 0, got {dt_s}")
+        fs = self._fs
+        if fs is not None:
+            # The arrays are truth; pull the lump state in before
+            # integrating (the fleet engine may have advanced it there).
+            self._network.set_temperature(CPU_NODE, float(fs.t_cpu_c[self._slot]))
+            self._network.set_temperature(CASE_NODE, float(fs.t_case_c[self._slot]))
         powers = {
             CPU_NODE: self.power_model.power(utilization),
             CASE_NODE: self._fans.power_w(),
         }
         self._network.step(dt_s, powers, ambient_c)
+        if fs is not None:
+            fs.t_cpu_c[self._slot] = self._network.temperature(CPU_NODE)
+            fs.t_case_c[self._slot] = self._network.temperature(CASE_NODE)
         self.time_s += dt_s
 
     def advance(self, duration_s: float, utilization: float, ambient_c: float) -> None:
@@ -109,17 +142,25 @@ class ServerThermalModel:
     @property
     def cpu_temperature_c(self) -> float:
         """True (pre-sensor) CPU lump temperature."""
+        if self._fs is not None:
+            return float(self._fs.t_cpu_c[self._slot])
         return self._network.temperature(CPU_NODE)
 
     @property
     def case_temperature_c(self) -> float:
         """True case-air lump temperature."""
+        if self._fs is not None:
+            return float(self._fs.t_case_c[self._slot])
         return self._network.temperature(CASE_NODE)
 
     def set_temperatures(self, cpu_c: float, case_c: float) -> None:
         """Force the plant state (scenario initialization)."""
         self._network.set_temperature(CPU_NODE, cpu_c)
         self._network.set_temperature(CASE_NODE, case_c)
+        if self._fs is not None:
+            self._fs.t_cpu_c[self._slot] = cpu_c
+            self._fs.t_case_c[self._slot] = case_c
+            self._fs.generation += 1
 
     def steady_state_cpu_temperature(self, utilization: float, ambient_c: float) -> float:
         """Exact stable CPU temperature at constant load — the physical

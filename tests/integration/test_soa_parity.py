@@ -1,0 +1,197 @@
+"""Bitwise parity: SoA fleet path vs the per-server object path.
+
+The acceptance gate for the structure-of-arrays fleet core
+(:mod:`repro.datacenter.fleetstate`): running the headline fleet
+scenarios at 128 servers through ``use_fleet_engine=True`` (which now
+rides the :class:`~repro.datacenter.simulation._SoaFleet` fast path —
+fleet-state arrays, incremental placement updates, zero per-step
+rebuilds) must produce **bit-identical** telemetry to the per-server
+object path — every sensor sample, utilization, fan column, forecast,
+and final plant state, compared with ``np.array_equal`` (no tolerance).
+
+Also covered: a 256-server fixture exercising mid-run VM arrivals and
+live migrations (the placement churn the incremental-update path must
+absorb), and forecast parity with the fleet prediction probe riding the
+SoA per-step sample fast path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    build_fleet_simulation,
+    class_balanced_fleet_scenario,
+    cooling_failure_scenario,
+    diurnal_fleet_scenario,
+    model_drift_scenario,
+)
+from repro.serving import FleetPredictionProbe, PredictionFleet
+from repro.training import (
+    FleetTrainingConfig,
+    profile_fleet,
+    server_class_key,
+    train_fleet_registry,
+)
+
+HEADLINE_SERVERS = 128
+
+_SERIES = (
+    "cpu_temperature",
+    "utilization",
+    "vm_count",
+    "fan_count",
+    "fan_speed",
+    "predicted_cpu_temperature",
+)
+
+
+def assert_bitwise_parity(soa, obj) -> None:
+    """Every telemetry series, the environment feed, the event log, and
+    the final plant state must be bitwise equal across the two paths."""
+    names = obj.telemetry.server_names
+    assert soa.telemetry.server_names == names
+    for name in names:
+        a = soa.telemetry.for_server(name)
+        b = obj.telemetry.for_server(name)
+        for series in _SERIES:
+            sa, sb = getattr(a, series), getattr(b, series)
+            assert np.array_equal(sa.times_array(), sb.times_array()), (
+                name,
+                series,
+            )
+            assert np.array_equal(sa.values_array(), sb.values_array()), (
+                name,
+                series,
+            )
+    assert np.array_equal(
+        soa.telemetry.environment.values_array(),
+        obj.telemetry.environment.values_array(),
+    )
+    assert soa.telemetry.event_log == obj.telemetry.event_log
+    for sa, sb in zip(soa.cluster.servers, obj.cluster.servers):
+        assert sa.thermal.cpu_temperature_c == sb.thermal.cpu_temperature_c
+        assert sa.thermal.case_temperature_c == sb.thermal.case_temperature_c
+        assert sa.thermal.time_s == sb.thermal.time_s
+
+
+def run_pair(scenario, duration_s: float):
+    soa = build_fleet_simulation(scenario, use_fleet_engine=True)
+    obj = build_fleet_simulation(scenario, use_fleet_engine=False)
+    soa.run(duration_s)
+    obj.run(duration_s)
+    return soa, obj
+
+
+class TestHeadlineScenarioParity:
+    """The three headline scenarios at 128 servers, shortened horizons."""
+
+    def test_diurnal_128(self):
+        scenario = diurnal_fleet_scenario(
+            n_servers=HEADLINE_SERVERS, duration_s=1200.0
+        )
+        soa = build_fleet_simulation(scenario, use_fleet_engine=True)
+        obj = build_fleet_simulation(scenario, use_fleet_engine=False)
+        seen = set()
+        soa.add_probe(
+            lambda sim, time_s: seen.add(type(sim._fleet).__name__)
+        )
+        soa.run(300.0)
+        obj.run(300.0)
+        # The eligible 128-server fleet actually rode the SoA fast path.
+        assert seen == {"_SoaFleet"}
+        assert_bitwise_parity(soa, obj)
+
+    def test_cooling_failure_128(self):
+        scenario = cooling_failure_scenario(
+            n_servers=HEADLINE_SERVERS,
+            failure_time_s=120.0,
+            recovery_time_s=240.0,
+            duration_s=1200.0,
+        )
+        soa, obj = run_pair(scenario, 330.0)
+        assert_bitwise_parity(soa, obj)
+
+    def test_model_drift_128(self):
+        scenario = model_drift_scenario(
+            n_classes=4,
+            servers_per_class=HEADLINE_SERVERS // 4,
+            duration_s=1200.0,
+        )
+        soa, obj = run_pair(scenario, 300.0)
+        assert_bitwise_parity(soa, obj)
+
+
+class TestPlacementChurnParity:
+    def test_arrivals_and_migrations_256(self):
+        """256 servers with mid-run arrivals and live migrations: the
+        incremental placement updates must match full rebuilds bit for
+        bit through every membership change."""
+        base = diurnal_fleet_scenario(n_servers=256, duration_s=600.0)
+        # Migrate one VM off each of four sources; land four arrivals.
+        migrations = tuple(
+            (60.0 + 30.0 * k, base.vm_specs[k][0].name, base.server_specs[k + 8].name)
+            for k in range(4)
+        )
+        arrivals = tuple(
+            (90.0 + 45.0 * k, base.server_specs[200 + k].name, vm)
+            for k, vm in enumerate(
+                dataclasses.replace(spec, name=f"arrival-{i}")
+                for i, spec in enumerate(
+                    base.vm_specs[0][:2] + base.vm_specs[1][:2]
+                )
+            )
+        )
+        scenario = dataclasses.replace(
+            base, migrations=migrations, arrivals=arrivals
+        )
+        soa, obj = run_pair(scenario, 400.0)
+        for k in range(4):
+            vm_name = base.vm_specs[k][0].name
+            destination = base.server_specs[k + 8].name
+            assert vm_name in soa.cluster.server(destination).vms
+            assert vm_name in obj.cluster.server(destination).vms
+        assert_bitwise_parity(soa, obj)
+
+
+class TestForecastParity:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return class_balanced_fleet_scenario(
+            n_classes=3, servers_per_class=3, seed=43_500, duration_s=700.0
+        )
+
+    @pytest.fixture(scope="class")
+    def registry(self, scenario):
+        return train_fleet_registry(
+            profile_fleet(scenario),
+            FleetTrainingConfig(
+                n_splits=3,
+                c_grid=(8.0, 64.0),
+                gamma_grid=(0.125,),
+                epsilon_grid=(0.125,),
+                min_class_records=3,
+            ),
+        ).registry
+
+    def test_probe_forecasts_bitwise_equal(self, scenario, registry):
+        """The probe's SoA per-step fast path (bulk fleet samples, no
+        per-server frozenset churn) forecasts bit-identically to the
+        per-server observation loop."""
+        fleets = []
+        sims = []
+        for use_fleet in (True, False):
+            sim = build_fleet_simulation(scenario, use_fleet_engine=use_fleet)
+            fleet = PredictionFleet(registry)
+            probe = FleetPredictionProbe(
+                fleet, key_fn=lambda server: server_class_key(server.spec)
+            )
+            probe.attach(sim)
+            sim.run(400.0)
+            fleets.append(fleet)
+            sims.append(sim)
+        soa, obj = sims
+        assert_bitwise_parity(soa, obj)
+        assert np.array_equal(fleets[0]._gamma, fleets[1]._gamma)
+        assert np.array_equal(fleets[0]._psi, fleets[1]._psi)

@@ -191,3 +191,46 @@ class TestWhatIfScorer:
             for server in cluster.servers
         ]
         assert scored.tolist() == expected
+
+class TestVmRecordCache:
+    """The per-server VmRecord cache keyed by placement generation."""
+
+    def test_cached_records_byte_identical_to_fresh(self):
+        cluster = cluster_of(2)
+        server = cluster.server("s0")
+        for i in range(3):
+            server.host_vm(make_vm(f"v{i}", vcpus=1 + i, level=0.2 * (i + 1)))
+        scorer = WhatIfScorer(EchoPredictor())
+        extra = make_vm("extra", vcpus=2, level=0.5)
+        for without in (None, "v1"):
+            fresh = record_for_host(server, 24.0, extra_vm=extra, without_vm=without)
+            cached = scorer._record_from_base(
+                server, 24.0, extra_vm=extra, without_vm=without
+            )
+            assert cached == fresh
+            assert cached.metadata == fresh.metadata
+
+    def test_cache_reused_while_placement_unchanged(self):
+        cluster = cluster_of(1)
+        server = cluster.server("s0")
+        server.host_vm(make_vm("a"))
+        scorer = WhatIfScorer(EchoPredictor())
+        scorer._record_from_base(server, 22.0)
+        first = scorer._host_vm_records(server)
+        assert scorer._host_vm_records(server) is first
+
+    def test_cache_invalidated_by_membership_change(self):
+        cluster = cluster_of(2)
+        server = cluster.server("s0")
+        server.host_vm(make_vm("a"))
+        scorer = WhatIfScorer(EchoPredictor())
+        before = scorer._host_vm_records(server)
+        server.host_vm(make_vm("b", vcpus=3, level=0.9))
+        after = scorer._host_vm_records(server)
+        assert after is not before
+        assert [name for name, _ in after] == ["a", "b"]
+        # Scores over the refreshed cache match freshly built records.
+        record = scorer._record_from_base(server, 22.0)
+        assert record == record_for_host(server, 22.0)
+        server.remove_vm("a")
+        assert [name for name, _ in scorer._host_vm_records(server)] == ["b"]
