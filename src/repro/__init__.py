@@ -106,10 +106,15 @@ from repro.scenarios import (
 )
 from repro.serving import (
     FleetPredictionProbe,
+    FrontendConfig,
     ModelRegistry,
     PredictionFleet,
+    PredictionFrontend,
+    ServingLedger,
     predict_batch,
     predicted_vs_actual,
+    serve_trace,
+    trace_from_scenario,
 )
 from repro.svm import EpsilonSVR, RbfKernel, grid_search_svr, mean_squared_error
 from repro.training import (
@@ -121,7 +126,7 @@ from repro.training import (
     train_fleet_registry,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Catalog",
@@ -139,6 +144,7 @@ __all__ = [
     "FleetState",
     "FleetTrainingConfig",
     "FleetTrainingReport",
+    "FrontendConfig",
     "HardwareType",
     "InvariantReport",
     "LifecycleConfig",
@@ -147,6 +153,7 @@ __all__ = [
     "PredefinedCurve",
     "PredictionConfig",
     "PredictionFleet",
+    "PredictionFrontend",
     "ProactiveForecastPolicy",
     "RbfKernel",
     "RcFitBaseline",
@@ -159,6 +166,7 @@ __all__ = [
     "RuntimeCalibrator",
     "ScenarioFuzzer",
     "SensorConfig",
+    "ServingLedger",
     "StableTemperaturePredictor",
     "TaskProfileBaseline",
     "ThermalConfig",
@@ -184,7 +192,9 @@ __all__ = [
     "run_closed_loop",
     "run_experiment",
     "run_with_invariants",
+    "serve_trace",
     "server_class_key",
+    "trace_from_scenario",
     "train_fleet_registry",
     "train_stable_predictor",
 ]

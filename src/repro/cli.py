@@ -10,6 +10,7 @@ Usage (module form)::
     python -m repro.cli fleet-train [--classes K] [--servers-per-class M] [--quick]
     python -m repro.cli fleet-manage [--scenario cooling-failure] [--quick]
     python -m repro.cli fleet-lifecycle [--classes K] [--quick]
+    python -m repro.cli fleet-serve [--requests N] [--quick]
     python -m repro.cli fleet-scenario validate SPEC.json
     python -m repro.cli fleet-scenario compile SPEC.json
     python -m repro.cli fleet-scenario fuzz [--seed N] [--count N] [--strict]
@@ -29,7 +30,11 @@ closes the *model* loop: train a per-class registry, run the
 ``model-drift`` scenario (seasonal ambient ramp + VM-flavor shift) once
 with the frozen registry and once under a drift-aware
 :class:`~repro.lifecycle.manager.ModelLifecycle` (detect → retrain →
-hot-swap), and print the retrained-vs-frozen scorecard.
+hot-swap), and print the retrained-vs-frozen scorecard. ``fleet-serve``
+stands the micro-batching request front-end (:mod:`repro.serving.
+frontend`) up over a trained per-class registry, replays a
+scenario-derived request trace through both the naive per-request path
+and the batched path, and prints the p50/p99 latency scorecard.
 ``fleet-scenario`` is the declarative scenario path
 (:mod:`repro.scenarios`): ``validate``/``compile`` check a JSON spec
 document against the catalog and grammar, and ``fuzz`` runs seeded
@@ -549,6 +554,116 @@ def _cmd_fleet_lifecycle(args: argparse.Namespace) -> int:
     return 0 if managed_mae <= frozen_mae else 1
 
 
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.reporting import ascii_table
+    from repro.serving import (
+        FrontendConfig,
+        PredictionFrontend,
+        serve_naive,
+        serve_trace,
+        trace_from_scenario,
+    )
+    from repro.training import server_class_key
+
+    if args.requests < 0:
+        print(
+            f"fleet-serve: --requests must be >= 0, got {args.requests}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rate <= 0:
+        print(f"fleet-serve: --rate must be > 0, got {args.rate}", file=sys.stderr)
+        return 2
+    n_classes = args.classes if args.classes else (3 if args.quick else 8)
+    per_class = args.servers_per_class if args.servers_per_class else (
+        2 if args.quick else 16
+    )
+    train_s = args.train_duration if args.train_duration else (
+        900.0 if args.quick else 3600.0
+    )
+    n_requests = args.requests if args.requests else (
+        2_000 if args.quick else 20_000
+    )
+
+    started = time.time()
+    scenario, report = _profile_and_train_registry(
+        args, n_classes, per_class, train_s
+    )
+    print(f"  {report.grid.summary()}", file=sys.stderr)
+
+    trace = trace_from_scenario(
+        scenario,
+        n_requests,
+        duration_s=n_requests / args.rate,
+        arrival=args.arrival,
+        seed=args.seed * 1000 + 1,
+        key_fn=server_class_key,
+    )
+    config = FrontendConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        cache_enabled=not args.no_cache,
+    )
+    print(
+        f"== serving {trace.n_requests} requests over {scenario.n_servers} "
+        f"servers ({args.arrival} arrivals at {args.rate:.0f}/s, "
+        f"max_batch {config.max_batch}, budget {args.max_wait_ms:.0f} ms"
+        f"{', cache off' if args.no_cache else ''}) ==",
+        file=sys.stderr,
+    )
+    frontend = PredictionFrontend(report.registry, config)
+    naive_start = time.perf_counter()
+    psi_naive, naive_ledger = serve_naive(report.registry, trace)
+    naive_s = time.perf_counter() - naive_start
+    frontend_start = time.perf_counter()
+    tickets = serve_trace(frontend, trace)
+    frontend_s = time.perf_counter() - frontend_start
+    psi_frontend = np.array([t.psi_stable_c for t in tickets])
+    if not np.array_equal(psi_frontend, psi_naive):
+        print("fleet-serve: batched answers diverged from the per-request "
+              "path — parity violation", file=sys.stderr)
+        return 1
+
+    summary = frontend.ledger.summary()
+    naive_summary = naive_ledger.summary()
+    rows = [
+        (
+            "per-request",
+            f"{naive_summary['p50_latency_s'] * 1e3:.2f}",
+            f"{naive_summary['p99_latency_s'] * 1e3:.2f}",
+            f"{naive_summary['mean_batch_size']:.1f}",
+            "-",
+            f"{naive_s:.2f}",
+        ),
+        (
+            "micro-batched",
+            f"{summary['p50_latency_s'] * 1e3:.2f}",
+            f"{summary['p99_latency_s'] * 1e3:.2f}",
+            f"{summary['mean_batch_size']:.1f}",
+            f"{summary['cache_hit_rate'] * 100:.1f}%",
+            f"{frontend_s:.2f}",
+        ),
+    ]
+    print(
+        ascii_table(
+            ["serving path", "p50 (ms)", "p99 (ms)", "mean batch",
+             "cache hits", "walltime (s)"],
+            rows,
+        )
+    )
+    print(
+        f"\nanswers bit-identical across paths; "
+        f"{summary['n_batches']:.0f} batches, "
+        f"{summary['unique_computed']:.0f} unique computes for "
+        f"{summary['n_requests']:.0f} requests, "
+        f"throughput x{naive_s / frontend_s:.1f} vs per-request serving"
+    )
+    print(f"\nelapsed {time.time() - started:.1f}s")
+    return 0
+
+
 def _load_spec_doc(path: str) -> dict:
     """Read one JSON scenario document from ``path``."""
     import json
@@ -833,6 +948,52 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 20)",
     )
     lifecycle.set_defaults(handler=_cmd_fleet_lifecycle)
+
+    serve = commands.add_parser(
+        "fleet-serve",
+        help="stand the micro-batching request front-end up over a "
+             "trained registry and print the p50/p99 latency scorecard",
+    )
+    _add_common(serve)
+    serve.add_argument(
+        "--classes", type=int, default=0,
+        help="hardware classes in the fleet (default: 8, or 3 with --quick)",
+    )
+    serve.add_argument(
+        "--servers-per-class", type=int, default=0,
+        help="servers per class (default: 16, or 2 with --quick)",
+    )
+    serve.add_argument(
+        "--train-duration", type=float, default=0.0,
+        help="profiling-campaign seconds (default: 3600, or 900 with --quick)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=0,
+        help="requests to replay (default: 20000, or 2000 with --quick)",
+    )
+    serve.add_argument(
+        "--arrival", choices=("uniform", "poisson", "bursts"),
+        default="poisson",
+        help="request arrival process (default poisson)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=400.0,
+        help="mean virtual arrival rate, requests/s (default 400)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batch size cap (default 64)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=20.0,
+        help="queue latency budget in milliseconds (default 20)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the signature-keyed result cache",
+    )
+    serve.set_defaults(handler=_cmd_fleet_serve)
 
     scenario = commands.add_parser(
         "fleet-scenario",

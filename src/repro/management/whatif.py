@@ -47,6 +47,7 @@ from repro.datacenter.cluster import Cluster
 from repro.datacenter.server import Server
 from repro.datacenter.vm import Vm
 from repro.errors import ConfigurationError, SchedulingError
+from repro.serving.signatures import vm_record_from_spec, vm_signature
 
 
 def record_for_host(
@@ -75,13 +76,7 @@ def record_for_host(
 
 
 def _vm_record(vm: Vm) -> VmRecord:
-    spec = vm.spec
-    return VmRecord(
-        vcpus=spec.vcpus,
-        memory_gb=spec.memory_gb,
-        task_kinds=tuple(task.kind for task in spec.tasks),
-        nominal_utilization=spec.nominal_utilization(),
-    )
+    return vm_record_from_spec(vm.spec)
 
 
 def _assemble_record(
@@ -288,8 +283,10 @@ class WhatIfScorer:
         Builds each *unique* hypothetical record once and evaluates the
         whole batch through a single kernel pass. "Source minus VM" is
         shared across that VM's destinations, and "destination plus VM"
-        is keyed by the moved VM's Eq. (2) *signature* (vcpus, memory,
-        task kinds, nominal utilization) rather than its name — fleets
+        is keyed by the moved VM's Eq. (2) *signature*
+        (:func:`repro.serving.signatures.vm_signature` — the same dedup
+        lever the serving front-end's result cache uses) rather than its
+        name — fleets
         run many identical VM flavors, and identical records are
         identical predictions, so the dedup cannot change a single bit.
         Scores come back indexed like ``moves``.
@@ -307,15 +304,6 @@ class WhatIfScorer:
                 records.append(record_of())
                 servers.append(server)
             return index
-
-        def vm_signature(vm: Vm) -> tuple:
-            spec = vm.spec
-            return (
-                spec.vcpus,
-                spec.memory_gb,
-                tuple(task.kind for task in spec.tasks),
-                spec.nominal_utilization(),
-            )
 
         source_idx = np.empty(len(moves), dtype=np.intp)
         dest_idx = np.empty(len(moves), dtype=np.intp)
@@ -335,7 +323,7 @@ class WhatIfScorer:
                 ),
             )
             dest_idx[i] = intern(
-                ("with", move.destination, vm_signature(vm)),
+                ("with", move.destination, vm_signature(vm.spec)),
                 destination,
                 lambda: self._record_from_base(
                     destination, environment_c, extra_vm=vm

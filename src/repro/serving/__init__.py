@@ -12,11 +12,22 @@ served at once:
 * :mod:`repro.serving.fleet` — :class:`PredictionFleet`, array-backed
   dynamic prediction + Δ_update calibration for every tracked server,
   plus :class:`FleetPredictionProbe`, the per-step simulation hook that
-  emits predicted-vs-actual telemetry columns.
+  emits predicted-vs-actual telemetry columns;
+* :mod:`repro.serving.frontend` — :class:`PredictionFrontend`, the
+  request-level service: single-record requests enqueue and drain in
+  micro-batches under a latency budget, deduped through a
+  signature-keyed result cache with generation-token invalidation;
+* :mod:`repro.serving.signatures` — the shared Eq. (2) value-dedup
+  signatures (also consumed by the what-if scorer);
+* :mod:`repro.serving.ledger` — per-request/per-batch serving
+  accounting and the p50/p99 latency scorecard;
+* :mod:`repro.serving.traces` — deterministic scenario-derived request
+  traces for the closed-workload drivers.
 
 Fleet predictions are bit-identical to the per-server predictors they
 replace; see ``docs/architecture.md`` for the data-path diagram and
-``benchmarks/test_prediction_fleet.py`` for the throughput contract.
+``benchmarks/test_prediction_fleet.py`` /
+``benchmarks/test_serving_frontend.py`` for the throughput contracts.
 """
 
 from repro.serving.batch import PredictionRequest, predict_batch
@@ -26,16 +37,54 @@ from repro.serving.fleet import (
     PredictionFleet,
     predicted_vs_actual,
 )
+from repro.serving.frontend import (
+    FrontendConfig,
+    PredictionFrontend,
+    ServiceCostModel,
+    Ticket,
+    VirtualClock,
+    serve_naive,
+    serve_trace,
+)
+from repro.serving.ledger import BatchRecord, RequestRecord, ServingLedger
 from repro.serving.registry import DEFAULT_KEY, ModelEntry, ModelRegistry
+from repro.serving.signatures import (
+    record_signature,
+    vm_record_from_spec,
+    vm_signature,
+)
+from repro.serving.traces import (
+    ARRIVALS,
+    RequestTrace,
+    TracedRequest,
+    trace_from_scenario,
+)
 
 __all__ = [
+    "ARRIVALS",
+    "BatchRecord",
     "DEFAULT_KEY",
     "FleetPredictionProbe",
     "ForecastSnapshot",
+    "FrontendConfig",
     "ModelEntry",
     "ModelRegistry",
     "PredictionFleet",
+    "PredictionFrontend",
     "PredictionRequest",
+    "RequestRecord",
+    "RequestTrace",
+    "ServiceCostModel",
+    "ServingLedger",
+    "Ticket",
+    "TracedRequest",
+    "VirtualClock",
     "predict_batch",
     "predicted_vs_actual",
+    "record_signature",
+    "serve_naive",
+    "serve_trace",
+    "trace_from_scenario",
+    "vm_record_from_spec",
+    "vm_signature",
 ]

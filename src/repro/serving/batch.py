@@ -51,6 +51,16 @@ def predict_batch(
     out = np.empty(len(requests), dtype=float)
     if not requests:
         return out
+    if len(requests) == 1:
+        # Single-request fast path: the grouping dict, index lists, and
+        # fancy-indexed scatter are pure overhead at n=1, and the
+        # request-queue front-end's naive baseline (and any point caller)
+        # lives on this path. predict_records is the same code the
+        # grouped path calls, so the answer is bit-identical.
+        request = requests[0]
+        entry = registry.resolve(request.key)
+        out[0] = entry.predict_records([request.record])[0]
+        return out
     groups: dict[int, tuple[ModelEntry, list[int]]] = {}
     for i, request in enumerate(requests):
         entry = registry.resolve(request.key)

@@ -374,6 +374,29 @@ class ModelRegistry:
             )
         return versions[-1]
 
+    def canonical_key(self, key: str) -> str:
+        """The model key whose entry :meth:`resolve` would serve for ``key``.
+
+        Follows alias indirection and applies the same ``"default"``
+        fallback as :meth:`resolve`, so ``(canonical_key(key),
+        resolve(key).version)`` uniquely identifies a served snapshot —
+        the generation token the serving front-end keys its result cache
+        by. Versions only grow per canonical key (``swap`` appends,
+        ``promote`` replaces an *alias* — never a model key — with a
+        fresh version-1 history), so a token can never silently come to
+        mean a different model.
+        """
+        canonical = self._canonical(key)
+        if canonical in self._models:
+            return canonical
+        fallback = self._canonical(DEFAULT_KEY)
+        if fallback in self._models:
+            return fallback
+        raise ServingError(
+            f"unknown model key {key!r} and no {DEFAULT_KEY!r} fallback; "
+            f"registered keys: {self.keys()}"
+        )
+
     def resolve(self, key: str) -> ModelEntry:
         """Current entry for ``key``, falling back to ``"default"``.
 

@@ -52,6 +52,10 @@ class EpsilonSVR:
         self._support_beta: np.ndarray | None = None
         self._bias = 0.0
         self._last_result: SmoResult | None = None
+        # Reusable (2, d) scratch for single-row _decision padding; the
+        # request-serving front-end issues many n=1 predictions and the
+        # per-call vstack allocation dominated that path.
+        self._pad2: np.ndarray | None = None
 
     # -- training ------------------------------------------------------------
 
@@ -180,7 +184,16 @@ class EpsilonSVR:
         """
         padded = block
         if block.shape[0] == 1:
-            padded = np.vstack((block, block))
+            # Reuse a (2, d) scratch buffer across calls instead of
+            # allocating a fresh vstack per single-row prediction; the
+            # written values are identical, so the Gram block (and hence
+            # the prediction) is bit-for-bit the same.
+            pad = self._pad2
+            if pad is None or pad.shape[1] != block.shape[1] or pad.dtype != block.dtype:
+                pad = self._pad2 = np.empty((2, block.shape[1]), dtype=block.dtype)
+            pad[0] = block[0]
+            pad[1] = block[0]
+            padded = pad
         gram = self.kernel.gram(padded, self._support_x)
         values = np.einsum("ij,j->i", gram, self._support_beta) + self._bias
         return values[:1] if block.shape[0] == 1 else values
@@ -216,6 +229,14 @@ class EpsilonSVR:
             max_iter=self.max_iter,
             on_no_convergence=self.on_no_convergence,
         )
+
+    def __getstate__(self) -> dict:
+        # The pad scratch is a pure performance cache: dropping it keeps
+        # pickles (and the registry's snapshot fingerprints, which hash
+        # pickle bytes) identical whether or not a single-row predict ran.
+        state = self.__dict__.copy()
+        state["_pad2"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -70,6 +70,56 @@ class TestBatchParity:
         assert np.array_equal(direct, fallback)
 
 
+class TestSingleRequestFastPath:
+    def test_n1_bit_identical_to_grouped_path(self, registry):
+        """The n=1 short-circuit must answer exactly like a 2-request
+        batch containing the same record (batch-composition parity)."""
+        record = make_record(psi=None, n_vms=6, util=0.4)
+        fast = predict_batch(registry, [PredictionRequest("default", record)])
+        grouped = predict_batch(
+            registry,
+            [
+                PredictionRequest("default", record),
+                PredictionRequest("default", make_record(psi=None, n_vms=2)),
+            ],
+        )
+        assert fast.shape == (1,)
+        assert fast[0] == grouped[0]
+
+    def test_n1_bit_identical_to_scalar_predict(self, registry):
+        record = make_record(psi=None, n_vms=4, util=0.3)
+        fast = predict_batch(registry, [PredictionRequest("hot-aisle", record)])
+        entry = registry.resolve("hot-aisle")
+        assert fast[0] == entry.predict_records([record])[0]
+
+    def test_n1_alias_fallback_still_applies(self, registry):
+        record = make_record(psi=None, n_vms=3)
+        direct = predict_batch(registry, [PredictionRequest("default", record)])
+        fallback = predict_batch(
+            registry, [PredictionRequest("never-registered", record)]
+        )
+        assert np.array_equal(direct, fallback)
+
+    def test_pad_scratch_does_not_leak_into_pickles(self, registry):
+        """The single-row pad buffer is a perf cache: pickle bytes (and
+        hence the registry's snapshot fingerprints) must be identical
+        before and after a single-row predict populates it."""
+        import pickle
+
+        predictor = _fit(3.0)
+        before = pickle.dumps(predictor)
+        predictor.predict(make_record(psi=None, n_vms=4))
+        after = pickle.dumps(predictor)
+        assert before == after
+
+    def test_pad_scratch_reuse_is_bit_stable_across_calls(self, registry):
+        entry = registry.resolve("default")
+        records = [make_record(psi=None, n_vms=2 + k % 5) for k in range(8)]
+        first = [entry.predict_records([r])[0] for r in records]
+        second = [entry.predict_records([r])[0] for r in reversed(records)]
+        assert first == second[::-1]
+
+
 class TestBatchEdges:
     def test_empty_batch(self, registry):
         assert predict_batch(registry, []).shape == (0,)
@@ -78,3 +128,10 @@ class TestBatchEdges:
         empty = ModelRegistry()
         with pytest.raises(ServingError, match="unknown model key"):
             predict_batch(empty, [PredictionRequest("x", make_record())])
+
+    def test_unknown_key_without_default_raises_on_grouped_path(self):
+        empty = ModelRegistry()
+        with pytest.raises(ServingError, match="unknown model key"):
+            predict_batch(
+                empty, [PredictionRequest("x", make_record()) for _ in range(2)]
+            )

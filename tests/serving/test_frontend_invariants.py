@@ -1,0 +1,108 @@
+"""Fuzzer-hook invariants for the serving front-end.
+
+Drives the micro-batching front-end with scenario-derived request traces
+from the seeded scenario fuzzer and asserts the contracts that must hold
+for *every* workload shape, not just the hand-written cases:
+
+* every submitted request is answered exactly once (ticket answered,
+  ledger rows conserve batch sizes, request ids unique);
+* batched + cached answers are bitwise equal to the naive per-request
+  path (cache hits stand in for cold computes without changing a bit);
+* no request waits beyond the configured latency budget;
+* replaying the same seed replays the same answers and the same ledger.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stable import StableTemperaturePredictor
+from repro.scenarios import ScenarioFuzzer
+from repro.serving.frontend import (
+    FrontendConfig,
+    PredictionFrontend,
+    serve_naive,
+    serve_trace,
+)
+from repro.serving.registry import ModelRegistry
+from repro.serving.traces import ARRIVALS, trace_from_scenario
+from tests.conftest import make_record
+
+FUZZ_SEEDS = (0, 7, 13, 21, 34)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    records = [
+        make_record(psi=35.0 + 2.0 * i, n_vms=2 + i % 6, util=0.2 + 0.05 * i)
+        for i in range(12)
+    ]
+    reg = ModelRegistry()
+    reg.register(
+        "default",
+        StableTemperaturePredictor(c=10.0, gamma=0.05, epsilon=0.1).fit(records),
+    )
+    return reg
+
+
+def _fuzz_trace(seed: int):
+    scenario = ScenarioFuzzer(vms_per_server=(1, 3)).scenario(seed)
+    # Compress the window so arrivals actually contend for batches; mix
+    # arrival modes across seeds.
+    return trace_from_scenario(
+        scenario,
+        n_requests=150,
+        duration_s=2.0,
+        arrival=ARRIVALS[seed % len(ARRIVALS)],
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_frontend_invariants_over_fuzzed_traces(registry, seed):
+    trace = _fuzz_trace(seed)
+    config = FrontendConfig(max_batch=16, max_wait_s=0.03)
+    frontend = PredictionFrontend(registry, config)
+    tickets = serve_trace(frontend, trace)
+
+    # Answered exactly once, nothing left behind.
+    assert len(tickets) == trace.n_requests
+    assert all(t.done for t in tickets)
+    assert frontend.pending == 0
+    ledger = frontend.ledger
+    assert ledger.n_requests == trace.n_requests
+    assert sorted(r.request_id for r in ledger.requests) == list(
+        range(trace.n_requests)
+    )
+    assert sum(b.size for b in ledger.batches) == trace.n_requests
+
+    # Cache hits are bitwise equal to cold computes: the whole batched,
+    # deduped, cached pipeline answers exactly like per-request serving.
+    psi_naive, _ = serve_naive(registry, trace)
+    psi_frontend = np.array([t.psi_stable_c for t in tickets])
+    assert np.array_equal(psi_frontend, psi_naive)
+
+    # The latency budget is honored for every request.
+    assert np.all(ledger.queue_waits_s() <= config.max_wait_s + 1e-12)
+
+    # Hot-key skew must make the signature cache actually hit.
+    assert ledger.cache_hit_rate > 0.0
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS[:2])
+def test_replay_is_bit_identical(registry, seed):
+    def run():
+        frontend = PredictionFrontend(
+            registry, FrontendConfig(max_batch=16, max_wait_s=0.03)
+        )
+        tickets = serve_trace(frontend, _fuzz_trace(seed))
+        return (
+            [t.psi_stable_c for t in tickets],
+            frontend.ledger.requests,
+            frontend.ledger.batches,
+        )
+
+    first_psi, first_requests, first_batches = run()
+    second_psi, second_requests, second_batches = run()
+    assert first_psi == second_psi
+    assert first_requests == second_requests
+    assert first_batches == second_batches

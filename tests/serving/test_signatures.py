@@ -1,0 +1,87 @@
+"""Tests for the shared Eq. (2) dedup signatures."""
+
+import pytest
+
+from repro.core.records import VmRecord
+from repro.datacenter.vm import Vm, VmSpec
+from repro.datacenter.workload import ConstantTask
+from repro.serving.signatures import (
+    record_signature,
+    vm_record_from_spec,
+    vm_signature,
+)
+from tests.conftest import make_record
+
+
+def _spec(name: str, vcpus: int = 2, util: float = 0.5) -> VmSpec:
+    return VmSpec(
+        name=name,
+        vcpus=vcpus,
+        memory_gb=4.0,
+        tasks=(ConstantTask(level=util),),
+    )
+
+
+class TestVmSignature:
+    def test_identical_flavors_share_signature_despite_names(self):
+        assert vm_signature(_spec("web-1")) == vm_signature(_spec("web-2"))
+
+    def test_differing_shape_changes_signature(self):
+        assert vm_signature(_spec("a", vcpus=2)) != vm_signature(_spec("a", vcpus=4))
+        assert vm_signature(_spec("a", util=0.5)) != vm_signature(_spec("a", util=0.6))
+
+    def test_signature_is_hashable(self):
+        assert len({vm_signature(_spec("a")), vm_signature(_spec("b"))}) == 1
+
+
+class TestRecordSignature:
+    def test_metadata_and_output_excluded(self):
+        base = make_record(psi=None, n_vms=3)
+        with_output = make_record(psi=61.0, n_vms=3)
+        assert record_signature(base) == record_signature(with_output)
+
+    def test_model_inputs_all_participate(self):
+        base = make_record(psi=None, n_vms=3)
+        assert record_signature(base) != record_signature(
+            make_record(psi=None, n_vms=4)
+        )
+        assert record_signature(base) != record_signature(
+            make_record(psi=None, n_vms=3, env=25.0)
+        )
+        assert record_signature(base) != record_signature(
+            make_record(psi=None, n_vms=3, fan_count=6)
+        )
+
+    def test_vm_order_is_preserved_not_sorted(self):
+        small = VmRecord(
+            vcpus=1, memory_gb=2.0, task_kinds=("constant",),
+            nominal_utilization=0.3,
+        )
+        large = VmRecord(
+            vcpus=8, memory_gb=32.0, task_kinds=("periodic",),
+            nominal_utilization=0.7,
+        )
+        forward = make_record(psi=None, n_vms=0)
+        forward = type(forward)(
+            **{**forward.__dict__, "vms": (small, large), "metadata": {}}
+        )
+        backward = type(forward)(
+            **{**forward.__dict__, "vms": (large, small), "metadata": {}}
+        )
+        assert record_signature(forward) != record_signature(backward)
+
+
+class TestVmRecordFromSpec:
+    def test_matches_whatif_projection(self):
+        spec = _spec("web-1", vcpus=4, util=0.45)
+        vm = Vm(spec)
+        from repro.management.whatif import _vm_record
+
+        assert vm_record_from_spec(spec) == _vm_record(vm)
+
+    def test_fields_follow_spec(self):
+        record = vm_record_from_spec(_spec("a", vcpus=4, util=0.25))
+        assert record.vcpus == 4
+        assert record.task_kinds == ("constant",)
+        # nominal_utilization averages task level across vCPUs: 0.25 / 4.
+        assert record.nominal_utilization == pytest.approx(0.0625)

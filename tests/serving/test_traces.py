@@ -1,0 +1,123 @@
+"""Tests for scenario-derived request traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import class_balanced_fleet_scenario
+from repro.serving.registry import DEFAULT_KEY
+from repro.serving.signatures import record_signature
+from repro.serving.traces import (
+    ARRIVALS,
+    RequestTrace,
+    TracedRequest,
+    trace_from_scenario,
+)
+from repro.training import server_class_key
+from tests.conftest import make_record
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return class_balanced_fleet_scenario(
+        n_classes=3, servers_per_class=4, seed=4_100, duration_s=600.0
+    )
+
+
+class TestRequestTraceValidation:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            RequestTrace(name="t", duration_s=0.0, requests=())
+
+    def test_rejects_out_of_window_arrival(self):
+        request = TracedRequest(
+            arrival_s=5.0, key=DEFAULT_KEY, record=make_record(psi=None)
+        )
+        with pytest.raises(ConfigurationError, match="outside"):
+            RequestTrace(name="t", duration_s=5.0, requests=(request,))
+
+    def test_rejects_unsorted_arrivals(self):
+        record = make_record(psi=None)
+        requests = (
+            TracedRequest(arrival_s=2.0, key=DEFAULT_KEY, record=record),
+            TracedRequest(arrival_s=1.0, key=DEFAULT_KEY, record=record),
+        )
+        with pytest.raises(ConfigurationError, match="sorted"):
+            RequestTrace(name="t", duration_s=5.0, requests=requests)
+
+
+class TestTraceFromScenario:
+    def test_deterministic_for_fixed_seed(self, scenario):
+        first = trace_from_scenario(scenario, 100, duration_s=10.0, seed=7)
+        second = trace_from_scenario(scenario, 100, duration_s=10.0, seed=7)
+        assert first.requests == second.requests
+
+    def test_seed_changes_the_trace(self, scenario):
+        first = trace_from_scenario(scenario, 100, duration_s=10.0, seed=7)
+        second = trace_from_scenario(scenario, 100, duration_s=10.0, seed=8)
+        assert first.requests != second.requests
+
+    @pytest.mark.parametrize("arrival", ARRIVALS)
+    def test_arrivals_sorted_and_bounded_every_mode(self, scenario, arrival):
+        trace = trace_from_scenario(
+            scenario, 200, duration_s=10.0, arrival=arrival, seed=3
+        )
+        arrivals = [r.arrival_s for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < 10.0 for a in arrivals)
+        assert trace.n_requests == 200
+        assert trace.mean_rate_per_s == pytest.approx(20.0)
+
+    def test_unknown_arrival_mode_raises(self, scenario):
+        with pytest.raises(ConfigurationError, match="arrival mode"):
+            trace_from_scenario(scenario, 10, arrival="stampede")
+
+    def test_hot_set_skew_concentrates_traffic(self, scenario):
+        trace = trace_from_scenario(
+            scenario, 800, duration_s=10.0, seed=5,
+            hot_fraction=0.25, hot_weight=0.8, whatif_fraction=0.0,
+        )
+        counts: dict[tuple, int] = {}
+        for request in trace.requests:
+            signature = record_signature(request.record)
+            counts[signature] = counts.get(signature, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        n_hot = max(1, round(0.25 * scenario.n_servers))
+        hot_share = sum(ranked[:n_hot]) / trace.n_requests
+        assert hot_share >= 0.6  # 0.8 nominal, finite-sample slack
+
+    def test_whatif_fraction_appends_a_flavor(self, scenario):
+        trace = trace_from_scenario(
+            scenario, 100, duration_s=10.0, seed=9, whatif_fraction=1.0
+        )
+        assert all(r.record.metadata.get("hypothetical") for r in trace.requests)
+        zero = trace_from_scenario(
+            scenario, 100, duration_s=10.0, seed=9, whatif_fraction=0.0
+        )
+        assert not any(
+            r.record.metadata.get("hypothetical") for r in zero.requests
+        )
+
+    def test_key_fn_routes_by_server_class(self, scenario):
+        trace = trace_from_scenario(
+            scenario, 60, duration_s=10.0, seed=2, key_fn=server_class_key
+        )
+        keys = {r.key for r in trace.requests}
+        expected = {server_class_key(spec) for spec in scenario.server_specs}
+        assert keys <= expected
+        assert len(keys) > 1  # the skew still spans classes
+        default_keyed = trace_from_scenario(scenario, 10, duration_s=1.0, seed=2)
+        assert {r.key for r in default_keyed.requests} == {DEFAULT_KEY}
+
+    def test_duration_defaults_to_scenario_window(self, scenario):
+        trace = trace_from_scenario(scenario, 50)
+        assert trace.duration_s == scenario.duration_s
+
+    def test_parameter_validation(self, scenario):
+        with pytest.raises(ConfigurationError, match="n_requests"):
+            trace_from_scenario(scenario, 0)
+        with pytest.raises(ConfigurationError, match="hot_fraction"):
+            trace_from_scenario(scenario, 10, hot_fraction=0.0)
+        with pytest.raises(ConfigurationError, match="hot_weight"):
+            trace_from_scenario(scenario, 10, hot_weight=1.5)
+        with pytest.raises(ConfigurationError, match="whatif_fraction"):
+            trace_from_scenario(scenario, 10, whatif_fraction=-0.1)

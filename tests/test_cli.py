@@ -16,7 +16,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "fig1a", "fig1b", "fig1c", "dataset", "fleet-predict",
-            "fleet-train", "fleet-manage", "fleet-lifecycle",
+            "fleet-train", "fleet-manage", "fleet-lifecycle", "fleet-serve",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -81,6 +81,28 @@ class TestParser:
         assert args.threshold == 70.0
         assert args.quick is True
 
+    def test_fleet_serve_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-serve", "--classes", "4", "--servers-per-class", "8",
+             "--train-duration", "1200", "--requests", "5000",
+             "--arrival", "bursts", "--rate", "800", "--max-batch", "32",
+             "--max-wait-ms", "10", "--no-cache", "--quick"]
+        )
+        assert args.classes == 4
+        assert args.servers_per_class == 8
+        assert args.train_duration == 1200.0
+        assert args.requests == 5000
+        assert args.arrival == "bursts"
+        assert args.rate == 800.0
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 10.0
+        assert args.no_cache is True
+        assert args.quick is True
+
+    def test_fleet_serve_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet-serve", "--arrival", "diurnal"])
+
     def test_quick_and_seed_flags(self):
         args = build_parser().parse_args(["fig1a", "--quick", "--seed", "3"])
         assert args.quick is True
@@ -122,3 +144,18 @@ class TestFigureCommandsSmoke:
         out = capsys.readouterr().out
         assert "fleet MSE" in out
         assert "servers tracked      6" in out
+
+    def test_fleet_serve_tiny(self, capsys):
+        code = main(
+            ["fleet-serve", "--quick", "--requests", "400", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "micro-batched" in out
+        assert "per-request" in out
+        assert "bit-identical" in out
+
+    def test_fleet_serve_rejects_negative_requests(self, capsys):
+        code = main(["fleet-serve", "--quick", "--requests", "-5"])
+        assert code == 2
+        assert "--requests" in capsys.readouterr().err
