@@ -341,6 +341,9 @@ class FleetState:
         """Lifecycle transition of a registered VM; keeps the hosting
         server's running count and generation coherent."""
         old = self.vm_state_code[slot]
+        # reprolint: waive R005 -- delta==0 transitions (e.g. PAUSED ->
+        # STOPPED) leave the running set unchanged, so placement/load
+        # consumers cannot observe them; the delta path below bumps.
         self.vm_state_code[slot] = code
         server_slot = self.vm_server[slot]
         if server_slot >= 0:
@@ -373,6 +376,24 @@ class FleetState:
     def bump_migrations(self, server_slot: int, value: int) -> None:
         """Live-migration bookkeeping write-through."""
         self.active_migrations[server_slot] = value
+        self.generation += 1
+
+    def set_vm_started_at(self, slot: int, started_at_s: float) -> None:
+        """VM start-time rebase write-through (first start / migration)."""
+        self.vm_started_at_s[slot] = started_at_s
+        self.generation += 1
+
+    def set_plant_time(self, server_slot: int, time_s: float) -> None:
+        """Thermal plant clock write-through."""
+        self.plant_time_s[server_slot] = time_s
+        self.generation += 1
+
+    def set_plant_temperatures(
+        self, server_slot: int, t_cpu_c: float, t_case_c: float
+    ) -> None:
+        """Thermal lump state write-through (plant step or forced init)."""
+        self.t_cpu_c[server_slot] = t_cpu_c
+        self.t_case_c[server_slot] = t_case_c
         self.generation += 1
 
     # -- consumers -----------------------------------------------------------

@@ -134,7 +134,7 @@ class Vm:
     @started_at_s.setter
     def started_at_s(self, value: float) -> None:
         if self._fs is not None:
-            self._fs.vm_started_at_s[self._slot] = value
+            self._fs.set_vm_started_at(self._slot, value)
         else:
             self._started_at_s = value
 

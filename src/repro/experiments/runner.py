@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.records import ExperimentRecord, VmRecord
-from repro.datacenter.simulation import DatacenterSimulation
 from repro.datacenter.telemetry import TimeSeries
 from repro.experiments.scenarios import ExperimentScenario, build_simulation
 
@@ -104,15 +103,3 @@ def profile_records(scenarios: list[ExperimentScenario]) -> list[ExperimentRecor
     record per run.
     """
     return [run_experiment(scenario).record for scenario in scenarios]
-
-
-def run_simulation_trace(
-    sim: DatacenterSimulation, server_name: str, duration_s: float
-) -> TimeSeries:
-    """Run an already-built simulation and return one server's sensor trace.
-
-    Used by the dynamic scenarios (migration case study) where the caller
-    needs the simulation object for event scheduling.
-    """
-    sim.run(duration_s)
-    return sim.telemetry.for_server(server_name).cpu_temperature

@@ -54,7 +54,7 @@ __all__ = [
     "RetrainPlan",
     "RetrainPlanner",
     "RetrainPlannerConfig",
+    "RetrainRound",
     "Retrainer",
     "RetrainerConfig",
-    "RetrainRound",
 ]

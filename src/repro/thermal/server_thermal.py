@@ -80,7 +80,7 @@ class ServerThermalModel:
     @time_s.setter
     def time_s(self, value: float) -> None:
         if self._fs is not None:
-            self._fs.plant_time_s[self._slot] = value
+            self._fs.set_plant_time(self._slot, value)
         else:
             self._time_s = value
 
@@ -123,8 +123,11 @@ class ServerThermalModel:
         }
         self._network.step(dt_s, powers, ambient_c)
         if fs is not None:
-            fs.t_cpu_c[self._slot] = self._network.temperature(CPU_NODE)
-            fs.t_case_c[self._slot] = self._network.temperature(CASE_NODE)
+            fs.set_plant_temperatures(
+                self._slot,
+                self._network.temperature(CPU_NODE),
+                self._network.temperature(CASE_NODE),
+            )
         self.time_s += dt_s
 
     def advance(self, duration_s: float, utilization: float, ambient_c: float) -> None:
@@ -158,9 +161,7 @@ class ServerThermalModel:
         self._network.set_temperature(CPU_NODE, cpu_c)
         self._network.set_temperature(CASE_NODE, case_c)
         if self._fs is not None:
-            self._fs.t_cpu_c[self._slot] = cpu_c
-            self._fs.t_case_c[self._slot] = case_c
-            self._fs.generation += 1
+            self._fs.set_plant_temperatures(self._slot, cpu_c, case_c)
 
     def steady_state_cpu_temperature(self, utilization: float, ambient_c: float) -> float:
         """Exact stable CPU temperature at constant load — the physical

@@ -1,0 +1,57 @@
+"""Bad: FleetState array stores with missing or partial generation bumps.
+
+Miniature of the PR-8 SoA core. Four violations:
+
+* ``set_temperature`` stores and bumps nothing;
+* ``host_vm`` stores into a placement-class field but bumps only the
+  master ``generation`` counter (FleetLoadView keys off
+  ``placement_generation`` — the exact desync the behavioral test
+  reproduces against the real classes);
+* ``transition`` stores after the conditional bump, so no path covers
+  the store;
+* ``ServerView.force_temperature`` writes the array directly from
+  outside the class instead of routing through a mutator.
+"""
+
+import numpy as np
+
+_SERVER_FLOAT_FIELDS = ("t_cpu_c", "used_memory_gb")
+_SERVER_INT_FIELDS = ("used_vcpus", "n_running", "server_generation")
+
+
+class FleetState:
+    def __init__(self):
+        for name in _SERVER_FLOAT_FIELDS:
+            setattr(self, name, np.zeros(0, dtype=float))
+        for name in _SERVER_INT_FIELDS:
+            setattr(self, name, np.zeros(0, dtype=np.int64))
+        self.vm_state_code = np.zeros(0, dtype=np.int8)
+        self.generation = 0
+        self.placement_generation = 0
+
+    def set_temperature(self, slot, value):
+        self.t_cpu_c[slot] = value
+
+    def host_vm(self, slot, vcpus):
+        self.used_vcpus[slot] += vcpus
+        self.generation += 1
+
+    def transition(self, slot, running):
+        if running:
+            self.n_running[slot] += 1
+            self._bump_placement(slot)
+        self.vm_state_code[slot] = 1
+
+    def _bump_placement(self, slot):
+        self.server_generation[slot] += 1
+        self.placement_generation += 1
+        self.generation += 1
+
+
+class ServerView:
+    def __init__(self, fs, slot):
+        self._fs = fs
+        self._slot = slot
+
+    def force_temperature(self, value):
+        self._fs.t_cpu_c[self._slot] = value

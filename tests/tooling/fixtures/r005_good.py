@@ -1,0 +1,63 @@
+"""Good: every FleetState array store is covered by a generation bump.
+
+Same miniature as the bad fixture with the contract honored: direct
+bumps on all paths, placement-class stores going through
+``_bump_placement``, a private helper rescued by its bumping call site,
+and the outside view either routing through a mutator or bumping the
+receiver explicitly.
+"""
+
+import numpy as np
+
+_SERVER_FLOAT_FIELDS = ("t_cpu_c", "used_memory_gb")
+_SERVER_INT_FIELDS = ("used_vcpus", "n_running", "server_generation")
+
+
+class FleetState:
+    def __init__(self):
+        for name in _SERVER_FLOAT_FIELDS:
+            setattr(self, name, np.zeros(0, dtype=float))
+        for name in _SERVER_INT_FIELDS:
+            setattr(self, name, np.zeros(0, dtype=np.int64))
+        self.vm_state_code = np.zeros(0, dtype=np.int8)
+        self.generation = 0
+        self.placement_generation = 0
+
+    def set_temperature(self, slot, value):
+        self.t_cpu_c[slot] = value
+        self.generation += 1
+
+    def host_vm(self, slot, vcpus):
+        self.used_vcpus[slot] += vcpus
+        self._rebase(slot)
+        self._bump_placement(slot)
+
+    def transition(self, slot, running):
+        self.vm_state_code[slot] = 1
+        if running:
+            self.n_running[slot] += 1
+        self._bump_placement(slot)
+
+    def _rebase(self, slot):
+        # No bump here: the only call site bumps right after (rescue).
+        self.t_cpu_c[slot] = 0.0
+
+    def _bump_placement(self, slot):
+        self.server_generation[slot] += 1
+        self.placement_generation += 1
+        self.generation += 1
+
+
+class ServerView:
+    def __init__(self, fs, slot):
+        self._fs = fs
+        self._slot = slot
+
+    def force_temperature(self, value):
+        self._fs.set_temperature(self._slot, value)
+
+    def force_memory(self, value):
+        fs = self._fs
+        fs.used_memory_gb[self._slot] = value
+        fs.placement_generation += 1
+        fs.generation += 1

@@ -1,0 +1,7 @@
+"""High layer importing low: fine by height, but part of the cycle."""
+
+import repro.alpha
+
+
+def summit():
+    return repro.alpha.base() + 1

@@ -1,0 +1,7 @@
+"""Bad: the low layer eagerly imports the high layer (and closes a cycle)."""
+
+from repro.beta import summit
+
+
+def base():
+    return summit() - 1

@@ -1,0 +1,10 @@
+"""Good: the high layer eagerly imports downward only."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: not an eager edge
+    from repro.alpha import base
+
+
+def summit():
+    return 1

@@ -1,0 +1,7 @@
+"""Good: the low layer reaches up only through a lazy import."""
+
+
+def base():
+    from repro.beta import summit
+
+    return summit() - 1

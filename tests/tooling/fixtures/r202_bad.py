@@ -1,0 +1,17 @@
+"""Bad package __init__: unbound export, duplicate, unsorted, missing.
+
+Placed at ``src/repro/widgets/__init__.py`` by the tests. Violations:
+``Ghost`` is exported but never bound, ``Widget`` is listed twice, the
+list is unsorted, and the public bindings ``build_widget`` and
+``FACTOR`` are missing from ``__all__``.
+"""
+
+from repro.widgets.core import Widget, build_widget
+
+FACTOR = 2.0
+
+__all__ = [
+    "Widget",
+    "Ghost",
+    "Widget",
+]

@@ -1,0 +1,10 @@
+"""Good package __init__: sorted, bound, complete export surface."""
+
+from repro.widgets.core import Widget, build_widget
+
+_FACTOR = 2.0
+
+__all__ = [
+    "Widget",
+    "build_widget",
+]

@@ -1,0 +1,22 @@
+"""Bad: public defs nothing in the corpus reaches.
+
+``orphan_function`` and ``OrphanClass`` are referenced by no import,
+test, ``__all__``, or even this module itself; ``used_locally`` is kept
+alive by ``caller``, and ``caller`` by the accompanying test file.
+"""
+
+
+def orphan_function(x):
+    return x * 2
+
+
+class OrphanClass:
+    pass
+
+
+def used_locally(x):
+    return x + 1
+
+
+def caller(x):
+    return used_locally(x)

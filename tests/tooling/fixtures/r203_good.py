@@ -1,0 +1,24 @@
+"""Good: every public def is reachable (test, __all__, or private).
+
+``caller`` is imported by the accompanying test file, ``exported`` is
+in ``__all__``, ``main`` is a sanctioned entry point, and the helper is
+private.
+"""
+
+__all__ = ["exported"]
+
+
+def exported(x):
+    return _helper(x)
+
+
+def _helper(x):
+    return x + 1
+
+
+def caller(x):
+    return exported(x)
+
+
+def main():
+    return caller(0)

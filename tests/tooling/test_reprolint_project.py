@@ -1,0 +1,274 @@
+"""Whole-program reprolint layer: R005/R201/R202/R203 + ``graph``.
+
+Same fixture discipline as ``test_reprolint.py`` — each project rule
+fires on its known-bad mini-repo and stays silent on the known-good one
+— plus the behavioral half of R005's story: the real ``FleetState`` /
+``FleetLoadView`` pair desyncing under exactly the store-without-bump
+the rule flags, and staying coherent through the sanctioned mutator.
+Acceptance: the committed layer map matches the real import graph
+(cycle-free, fully covering), the whole-repo ``--strict`` sweep
+including ``tools/`` exits 0 with the shipped empty baseline, and
+``reprolint graph`` renders the map.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import run_lint
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.graph import load_layer_map
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def mini_repo(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Lay out ``files`` (rel path → content or fixtures/<name> source)."""
+    for rel, content in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        is_fixture = "\n" not in content and (FIXTURES / content).is_file()
+        target.write_text(
+            (FIXTURES / content).read_text() if is_fixture else content
+        )
+    return tmp_path
+
+
+def lint(root: Path, *, rules: str, strict: bool = False, paths=("src", "tests")):
+    present = [p for p in paths if (root / p).is_dir()]
+    return run_lint(present, root=root, strict=strict, select=set(rules.split(",")))
+
+
+class TestR201LayerDag:
+    LAYERED = {"tools/reprolint/layers.toml": "r201_layers.toml"}
+
+    def test_fires_on_upward_import_and_cycle(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                **self.LAYERED,
+                "src/repro/alpha.py": "r201_bad_low.py",
+                "src/repro/beta.py": "r201_bad_high.py",
+            },
+        )
+        findings = lint(root, rules="R201").active()
+        blurbs = "\n".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "upward import" in blurbs
+        assert "repro.alpha (layer 'low') eagerly imports repro.beta" in blurbs
+        assert blurbs.count("eager import cycle") == 2
+        assert "repro.alpha -> repro.beta -> repro.alpha" in blurbs
+
+    def test_fires_on_unmapped_module(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {**self.LAYERED, "src/repro/gamma.py": "X = 1\n"}
+        )
+        findings = lint(root, rules="R201").active()
+        assert len(findings) == 1
+        assert "not covered by the layer map" in findings[0].message
+
+    def test_silent_on_lazy_and_type_checking_imports(self, tmp_path):
+        root = mini_repo(
+            tmp_path,
+            {
+                **self.LAYERED,
+                "src/repro/alpha.py": "r201_good_low.py",
+                "src/repro/beta.py": "r201_good_high.py",
+            },
+        )
+        assert lint(root, rules="R201").active() == []
+
+    def test_committed_layer_map_matches_real_tree(self):
+        """Acceptance: the shipped layers.toml covers src/repro and the
+        eager import graph is a DAG under it."""
+        result = run_lint(["src"], root=REPO_ROOT, select={"R201"})
+        assert result.active() == []
+        layer_map = load_layer_map(REPO_ROOT)
+        assert layer_map.layers()  # parsed, non-empty
+        assert layer_map.layer_of("repro.core.pipeline") == "training"
+
+
+class TestR005GenerationBump:
+    def test_fires_on_every_miss_shape(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {"src/repro/datacenter/fleetstate.py": "r005_bad.py"}
+        )
+        findings = lint(root, rules="R005").active()
+        blurbs = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "FleetState.set_temperature stores into 't_cpu_c'" in blurbs
+        assert "FleetState.host_vm stores into 'used_vcpus'" in blurbs
+        assert "placement_generation bump" in blurbs
+        assert "FleetState.transition stores into 'vm_state_code'" in blurbs
+        assert "direct store to FleetState array 't_cpu_c'" in blurbs
+
+    def test_silent_on_bumped_paths_and_callsite_rescue(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {"src/repro/datacenter/fleetstate.py": "r005_good.py"}
+        )
+        assert lint(root, rules="R005").active() == []
+
+    def test_waiver_round_trip(self, tmp_path):
+        bad = (FIXTURES / "r005_bad.py").read_text()
+        waived = bad.replace(
+            "        self.t_cpu_c[slot] = value",
+            "        # reprolint: waive R005 -- scratch write, consumer-free\n"
+            "        self.t_cpu_c[slot] = value",
+        )
+        root = mini_repo(
+            tmp_path, {"src/repro/datacenter/fleetstate.py": waived}
+        )
+        result = lint(root, rules="R005")
+        assert len(result.active()) == 3  # one of four waived
+        waived_findings = [f for f in result.findings if f.waived]
+        assert len(waived_findings) == 1
+        assert waived_findings[0].waive_reason == "scratch write, consumer-free"
+
+    def test_desync_the_rule_prevents_is_real(self):
+        """Behavioral half of the contract: the exact store R005 flags
+        (vm_state_code write without a placement bump) leaves a live
+        FleetLoadView serving the stopped VM's load; the sanctioned
+        mutator path refreshes it."""
+        from repro.datacenter.cluster import Cluster
+        from repro.datacenter.fleet_load import FleetLoadView
+        from repro.datacenter.resources import ResourceCapacity
+        from repro.datacenter.server import Server, ServerSpec
+        from repro.datacenter.vm import STATE_CODES, Vm, VmSpec, VmState
+        from repro.datacenter.workload import ConstantTask
+
+        def build():
+            cluster = Cluster("desync")
+            server = Server(
+                ServerSpec(
+                    name="s0",
+                    capacity=ResourceCapacity(
+                        cpu_cores=16, ghz_per_core=2.4, memory_gb=64.0
+                    ),
+                )
+            )
+            server.host_vm(
+                Vm(
+                    VmSpec(
+                        name="vm0", vcpus=2, memory_gb=4.0,
+                        tasks=(ConstantTask(level=0.5),),
+                    )
+                ),
+                time_s=0.0,
+            )
+            cluster.add_server(server)
+            fs = cluster.fleet_state
+            return fs, FleetLoadView(fs)
+
+        terminated = STATE_CODES[VmState.TERMINATED]
+
+        fs, view = build()
+        busy = view.utilizations(10.0)[0]
+        assert busy > 0.0
+        fs.vm_state_code[fs.vm_index["vm0"]] = terminated  # the R005 bug
+        assert view.utilizations(10.0)[0] == busy  # stale: desynced
+
+        fs, view = build()
+        assert view.utilizations(10.0)[0] == busy
+        fs.set_vm_state(fs.vm_index["vm0"], terminated)  # sanctioned mutator
+        assert view.utilizations(10.0)[0] == 0.0  # refreshed
+
+
+class TestR202ExportSurface:
+    def test_fires_on_unbound_duplicate_unsorted_missing(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {"src/repro/widgets/__init__.py": "r202_bad.py"}
+        )
+        findings = lint(root, rules="R202").active()
+        blurbs = "\n".join(f.message for f in findings)
+        assert len(findings) == 5
+        assert "exports 'Ghost' but no top-level binding" in blurbs
+        assert "lists 'Widget' more than once" in blurbs
+        assert "__all__ is not sorted" in blurbs
+        assert "'build_widget' is bound" in blurbs
+        assert "'FACTOR' is bound" in blurbs
+
+    def test_fires_on_package_init_without_all(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/empty/__init__.py": "X = 1\n"})
+        findings = lint(root, rules="R202").active()
+        assert len(findings) == 1
+        assert "declares no __all__" in findings[0].message
+
+    def test_silent_on_clean_surface(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {"src/repro/widgets/__init__.py": "r202_good.py"}
+        )
+        assert lint(root, rules="R202").active() == []
+
+
+class TestR203DeadApi:
+    TESTS = {"tests/test_orphan.py": "from repro.orphan import caller\n"}
+
+    def test_fires_on_unreachable_public_defs(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {**self.TESTS, "src/repro/orphan.py": "r203_bad.py"}
+        )
+        findings = lint(root, rules="R203").active()
+        names = {f.message.split("'")[1] for f in findings}
+        assert names == {"orphan_function", "OrphanClass"}
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_skipped_when_no_tests_collected(self, tmp_path):
+        root = mini_repo(tmp_path, {"src/repro/orphan.py": "r203_bad.py"})
+        assert lint(root, rules="R203").active() == []
+
+    def test_silent_when_reachable(self, tmp_path):
+        root = mini_repo(
+            tmp_path, {**self.TESTS, "src/repro/orphan.py": "r203_good.py"}
+        )
+        assert lint(root, rules="R203").active() == []
+
+
+class TestGraphCommand:
+    def test_real_repo_graph_renders_and_is_acyclic(self, tmp_path):
+        dot_path = tmp_path / "layers.dot"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "tools.reprolint", "graph",
+                "--dot", str(dot_path),
+            ],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 cycle(s)" in proc.stdout
+        assert "layer map:" in proc.stdout
+        assert dot_path.read_text().startswith("digraph")
+
+    def test_exit_1_on_cycle(self, tmp_path, capsys):
+        root = mini_repo(
+            tmp_path,
+            {
+                "tools/reprolint/layers.toml": "r201_layers.toml",
+                "src/repro/alpha.py": "r201_bad_low.py",
+                "src/repro/beta.py": "r201_bad_high.py",
+            },
+        )
+        code = reprolint_main(["graph", "src", "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 cycle(s)" in out
+
+
+class TestStrictSweepAcceptance:
+    def test_whole_repo_strict_including_tools_is_clean(self):
+        """The tentpole acceptance: src + tests + benchmarks + the
+        linter itself pass --strict with the shipped empty baseline."""
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "tools.reprolint", "--strict",
+                "src", "tests", "benchmarks", "tools",
+            ],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s), 0 warning(s)" in proc.stdout

@@ -1,10 +1,11 @@
-"""``reprolint`` command line: lint (default), ``docs``, ``rules``.
+"""``reprolint`` command line: lint (default), ``docs``, ``rules``, ``graph``.
 
 Usage::
 
     python -m tools.reprolint [src tests ...] [--strict] [--format json]
     python -m tools.reprolint rules                 # rule catalog
     python -m tools.reprolint docs [--readme-only]  # docs smoke
+    python -m tools.reprolint graph [--dot FILE]    # layer map vs imports
     python -m repro.cli fleet-lint [...]            # same, via the app CLI
 
 Exit code 1 when any unwaived, unbaselined *error* remains (``--strict``
@@ -35,6 +36,69 @@ def _print_rules() -> int:
     print("W001 [warning, --strict] waiver that suppressed nothing")
     print("E000 [error] file does not parse")
     return 0
+
+
+def _graph_command(argv: list[str]) -> int:
+    """``graph``: print the layer map against the real import graph;
+    ``--dot`` renders it for Graphviz. Exit 1 on eager cycles or
+    unmapped modules so CI can gate on the artifact it uploads."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint graph",
+        description="declared layer map vs the eager import graph",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to graph (default: src)",
+    )
+    parser.add_argument(
+        "--dot", type=Path, default=None, metavar="FILE",
+        help="also write the graph as Graphviz DOT to FILE",
+    )
+    parser.add_argument(
+        "--prefix", default="repro",
+        help="module prefix to restrict the graph to (default: repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="repo root for relative paths (default: autodetected)",
+    )
+    args = parser.parse_args(argv)
+
+    from tools.reprolint.engine import (
+        ProjectContext,
+        collect_python_files,
+        load_source_file,
+    )
+    from tools.reprolint.graph import graph_dot, layer_report
+
+    try:
+        files = [
+            load_source_file(path, args.root)
+            for path in collect_python_files(
+                [Path(p) for p in args.paths], args.root
+            )
+        ]
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    ctx = ProjectContext(root=args.root, files=files)
+    graph = ctx.graph()
+    try:
+        print(layer_report(graph, args.prefix))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"reprolint: layer map unreadable: {exc}", file=sys.stderr)
+        return 2
+    if args.dot is not None:
+        args.dot.write_text(graph_dot(graph, args.prefix))
+        print(f"reprolint: wrote DOT graph to {args.dot}")
+
+    unmapped = [
+        name
+        for name in graph.modules
+        if (name == args.prefix or name.startswith(args.prefix + "."))
+        and graph.layer_map.layer_of(name) is None
+    ]
+    return 1 if graph.cycles(args.prefix) or unmapped else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +152,8 @@ def main(argv: list[str] | None = None) -> int:
         return docs_smoke.main(argv[1:])
     if argv and argv[0] == "rules":
         return _print_rules()
+    if argv and argv[0] == "graph":
+        return _graph_command(argv[1:])
     args = build_parser().parse_args(argv)
 
     select = None

@@ -60,6 +60,7 @@ class ProjectContext:
     root: Path
     files: list[SourceFile] = field(default_factory=list)
     strict: bool = False
+    _graph: object = field(default=None, repr=False, compare=False)
 
     def src_files(self) -> list[SourceFile]:
         return [f for f in self.files if f.rel.startswith("src/")]
@@ -68,6 +69,15 @@ class ProjectContext:
         return [
             f for f in self.files if f.rel.startswith(("tests/", "benchmarks/"))
         ]
+
+    def graph(self):
+        """The whole-program import graph + symbol table, built once
+        per run and shared by every project rule (R005/R201/R202/R203)."""
+        if self._graph is None:
+            from tools.reprolint.graph import build_graph
+
+            self._graph = build_graph(self)
+        return self._graph
 
 
 def collect_python_files(paths: list[Path], root: Path) -> list[Path]:

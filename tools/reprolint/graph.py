@@ -1,0 +1,462 @@
+"""Whole-program import graph and cross-file symbol table.
+
+PR 6's rules were file-local (or cross-file only through ad-hoc text
+scans). The whole-program rules — layer-DAG enforcement (R201),
+export-surface drift (R202), dead public API (R203), and the
+generation-bump dataflow (R005) — all need the same three views of the
+corpus, so they are built **once per lint run** and cached on the
+:class:`~tools.reprolint.engine.ProjectContext`:
+
+* a **module table**: every collected file as a :class:`ModuleInfo` —
+  dotted module name, import edges (with *eagerness*: an import is
+  eager when it executes at module import time, i.e. it sits at module
+  scope outside ``if TYPE_CHECKING:``; function-local and
+  type-checking-only imports are deliberate cycle breakers and layering
+  does not constrain them), module-level public defs, the declared
+  ``__all__``, top-level name bindings, and the file's identifier set;
+* an **import graph** over the in-corpus modules with strongly-
+  connected-component (cycle) detection over the eager edges;
+* the declared **layer map** (:func:`load_layer_map`) from
+  ``tools/reprolint/layers.toml`` — an ordered list of layers, each
+  owning module prefixes, plus per-module overrides for the handful of
+  facades whose home package sits below the machinery they re-export.
+
+``graph_dot`` renders the module graph grouped by layer for the
+``reprolint graph --dot`` subcommand and the nightly CI artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from tools.reprolint.engine import ProjectContext, SourceFile
+
+LAYERS_FILE = Path(__file__).resolve().parent / "layers.toml"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``import``/``from-import`` of an in-repo module."""
+
+    target: str
+    lineno: int
+    #: Executes at module import time (module scope, not TYPE_CHECKING).
+    eager: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project rules need to know about one module."""
+
+    name: str
+    rel: str
+    source: "SourceFile"
+    imports: list[ImportEdge] = field(default_factory=list)
+    #: Module-level function/class defs: name -> lineno.
+    public_defs: dict[str, int] = field(default_factory=dict)
+    #: Declared ``__all__`` entries in file order (None: not declared).
+    exports: list[str] | None = None
+    exports_lineno: int = 0
+    #: Top-level bindings: name -> one of def/class/from-import/import/assign.
+    bindings: dict[str, str] = field(default_factory=dict)
+    binding_lines: dict[str, int] = field(default_factory=dict)
+    #: Every identifier appearing anywhere in the file (names, attrs,
+    #: defs, from-import leaf names) — the reachability universe.
+    identifiers: set[str] = field(default_factory=set)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.rel.endswith("__init__.py")
+
+    @property
+    def package(self) -> str:
+        return self.name.rsplit(".", 1)[0] if "." in self.name else self.name
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/`` is the import root (``src/repro/svm/svr.py`` →
+    ``repro.svm.svr``); everything else keeps its tree-derived name
+    (``tools/reprolint/cli.py`` → ``tools.reprolint.cli``) so the graph
+    can also describe tests, benchmarks, and the linter itself.
+    """
+    parts = Path(rel).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _identifier_set(tree: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.name)
+                if alias.asname:
+                    names.add(alias.asname)
+    return names
+
+
+def _string_list(node: ast.AST) -> list[str] | None:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        out.append(element.value)
+    return out
+
+
+#: Import roots considered "in repo" for graph edges.
+_REPO_ROOTS = ("repro", "tools", "tests", "benchmarks")
+
+
+def _collect_imports(tree: ast.Module) -> list[ImportEdge]:
+    """Import edges with eagerness (module scope outside TYPE_CHECKING)."""
+    edges: list[ImportEdge] = []
+
+    def visit(nodes, eager: bool) -> None:
+        for node in nodes:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _REPO_ROOTS:
+                        edges.append(ImportEdge(alias.name, node.lineno, eager))
+            elif isinstance(node, ast.ImportFrom):
+                if (
+                    node.level == 0
+                    and node.module
+                    and node.module.split(".")[0] in _REPO_ROOTS
+                ):
+                    edges.append(ImportEdge(node.module, node.lineno, eager))
+            elif isinstance(node, ast.If):
+                guarded = "TYPE_CHECKING" in ast.unparse(node.test)
+                visit(node.body, eager and not guarded)
+                visit(node.orelse, eager)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(node.body, False)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, eager)
+            else:
+                visit(getattr(node, "body", []) or [], eager)
+                visit(getattr(node, "orelse", []) or [], eager)
+                visit(getattr(node, "finalbody", []) or [], eager)
+                for handler in getattr(node, "handlers", []) or []:
+                    visit(handler.body, eager)
+
+    visit(tree.body, True)
+    return edges
+
+
+def build_module_info(source: "SourceFile") -> ModuleInfo:
+    info = ModuleInfo(name=module_name_for(source.rel), rel=source.rel, source=source)
+    tree = source.tree
+    if tree is None:
+        return info
+    info.imports = _collect_imports(tree)
+    info.identifiers = _identifier_set(tree)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.public_defs[node.name] = node.lineno
+            info.bindings[node.name] = "def"
+            info.binding_lines[node.name] = node.lineno
+        elif isinstance(node, ast.ClassDef):
+            info.public_defs[node.name] = node.lineno
+            info.bindings[node.name] = "class"
+            info.binding_lines[node.name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.bindings[bound] = "from-import"
+                info.binding_lines[bound] = node.lineno
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = (alias.asname or alias.name).split(".")[0]
+                info.bindings[bound] = "import"
+                info.binding_lines[bound] = node.lineno
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__":
+                    info.exports = _string_list(node.value)
+                    info.exports_lineno = node.lineno
+                else:
+                    info.bindings[target.id] = "assign"
+                    info.binding_lines[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            info.bindings[node.target.id] = "assign"
+            info.binding_lines[node.target.id] = node.lineno
+    return info
+
+
+# -- layer map ----------------------------------------------------------------
+
+
+@dataclass
+class LayerMap:
+    """Declared layering: ordered layer names owning module prefixes."""
+
+    #: Layer name -> 0-based height (0 = bottom-most).
+    order: dict[str, int]
+    #: Layer name -> member module prefixes, file order.
+    members: dict[str, list[str]]
+    #: Exact module -> layer name exceptions (documented in the TOML).
+    overrides: dict[str, str]
+    path: Path
+
+    def layer_of(self, module: str) -> str | None:
+        """Layer owning ``module``: exact override first, then the
+        longest matching member prefix across all layers."""
+        if module in self.overrides:
+            return self.overrides[module]
+        best: tuple[int, str] | None = None
+        for layer, prefixes in self.members.items():
+            for prefix in prefixes:
+                if module == prefix or module.startswith(prefix + "."):
+                    if best is None or len(prefix) > best[0]:
+                        best = (len(prefix), layer)
+        return best[1] if best else None
+
+    def height(self, layer: str) -> int:
+        return self.order[layer]
+
+    def layers(self) -> list[str]:
+        return sorted(self.order, key=self.order.get)
+
+
+def load_layer_map(root: Path) -> LayerMap:
+    """Parse the committed layer map (``tools/reprolint/layers.toml``
+    under ``root``; falls back to the shipped one for odd roots)."""
+    path = root / "tools" / "reprolint" / "layers.toml"
+    if not path.is_file():
+        path = LAYERS_FILE
+    data = tomllib.loads(path.read_text())
+    order: dict[str, int] = {}
+    members: dict[str, list[str]] = {}
+    for index, layer in enumerate(data.get("layers", [])):
+        name = layer["name"]
+        if name in order:
+            raise ValueError(f"duplicate layer {name!r} in {path}")
+        order[name] = index
+        members[name] = list(layer.get("modules", []))
+    overrides = dict(data.get("overrides", {}))
+    for module, layer in overrides.items():
+        if layer not in order:
+            raise ValueError(
+                f"override {module!r} names unknown layer {layer!r} in {path}"
+            )
+    return LayerMap(order=order, members=members, overrides=overrides, path=path)
+
+
+# -- graph --------------------------------------------------------------------
+
+
+class ProjectGraph:
+    """The shared whole-program view: module table + import graph."""
+
+    def __init__(self, ctx: "ProjectContext") -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_rel: dict[str, ModuleInfo] = {}
+        for source in ctx.files:
+            info = build_module_info(source)
+            self.modules[info.name] = info
+            self.by_rel[info.rel] = info
+        self._layer_map: LayerMap | None = None
+        self._root = ctx.root
+
+    @property
+    def layer_map(self) -> LayerMap:
+        if self._layer_map is None:
+            self._layer_map = load_layer_map(self._root)
+        return self._layer_map
+
+    def resolve(self, target: str) -> ModuleInfo | None:
+        """The in-corpus module an import of ``target`` lands on.
+
+        ``from repro.svm import svr`` has target ``repro.svm``; a
+        dotted target that is not itself collected falls back through
+        its parents (``repro.svm.svr.X`` → ``repro.svm.svr``)."""
+        name = target
+        while name:
+            if name in self.modules:
+                return self.modules[name]
+            name = name.rsplit(".", 1)[0] if "." in name else ""
+        return None
+
+    def eager_edges(self) -> list[tuple[ModuleInfo, ModuleInfo, ImportEdge]]:
+        """(importer, imported, edge) for every eager in-corpus import."""
+        out = []
+        for info in self.modules.values():
+            for edge in info.imports:
+                if not edge.eager:
+                    continue
+                target = self.resolve(edge.target)
+                if target is not None and target.name != info.name:
+                    out.append((info, target, edge))
+        return out
+
+    def cycles(self, prefix: str = "repro") -> list[list[str]]:
+        """Strongly connected components (size > 1) of the eager import
+        graph restricted to modules under ``prefix``, stably ordered."""
+        adjacency: dict[str, set[str]] = {}
+        for importer, imported, _ in self.eager_edges():
+            if not importer.name.startswith(prefix):
+                continue
+            if not imported.name.startswith(prefix):
+                continue
+            adjacency.setdefault(importer.name, set()).add(imported.name)
+            adjacency.setdefault(imported.name, set())
+        # Tarjan's algorithm, iterative (the corpus can be hundreds deep).
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = 0
+        for start in sorted(adjacency):
+            if start in index:
+                continue
+            work = [(start, iter(sorted(adjacency[start])))]
+            index[start] = lowlink[start] = counter
+            counter += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append(
+                            (successor, iter(sorted(adjacency[successor])))
+                        )
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+        return sorted(sccs)
+
+
+def build_graph(ctx: "ProjectContext") -> ProjectGraph:
+    return ProjectGraph(ctx)
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def graph_dot(graph: ProjectGraph, prefix: str = "repro") -> str:
+    """DOT digraph of the ``prefix`` modules, clustered by layer.
+
+    Eager edges are solid; lazy/type-only edges dashed gray. Rendered
+    by the nightly CI job into the uploaded layer-graph artifact."""
+    layer_map = graph.layer_map
+    by_layer: dict[str, list[str]] = {name: [] for name in layer_map.layers()}
+    unmapped: list[str] = []
+    for name in sorted(graph.modules):
+        if not (name == prefix or name.startswith(prefix + ".")):
+            continue
+        layer = layer_map.layer_of(name)
+        (by_layer[layer] if layer is not None else unmapped).append(name)
+    lines = [
+        "digraph layers {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontsize=10, fontname="Helvetica"];',
+    ]
+    for height, layer in enumerate(layer_map.layers()):
+        if not by_layer[layer]:
+            continue
+        lines.append(f'  subgraph "cluster_{height:02d}_{layer}" {{')
+        lines.append(f'    label="{layer}"; color=gray60;')
+        for name in by_layer[layer]:
+            lines.append(f'    "{name}";')
+        lines.append("  }")
+    for name in unmapped:
+        lines.append(f'  "{name}" [color=red];')
+    for info in sorted(graph.modules.values(), key=lambda m: m.name):
+        if not (info.name == prefix or info.name.startswith(prefix + ".")):
+            continue
+        seen: set[tuple[str, bool]] = set()
+        for edge in info.imports:
+            target = graph.resolve(edge.target)
+            if target is None or target.name == info.name:
+                continue
+            if not (target.name == prefix or target.name.startswith(prefix + ".")):
+                continue
+            key = (target.name, edge.eager)
+            if key in seen:
+                continue
+            seen.add(key)
+            style = "" if edge.eager else " [style=dashed, color=gray50]"
+            lines.append(f'  "{info.name}" -> "{target.name}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def layer_report(graph: ProjectGraph, prefix: str = "repro") -> str:
+    """Human layer-map summary for ``reprolint graph``."""
+    layer_map = graph.layer_map
+    assigned: dict[str, list[str]] = {name: [] for name in layer_map.layers()}
+    unmapped: list[str] = []
+    for name in sorted(graph.modules):
+        if not (name == prefix or name.startswith(prefix + ".")):
+            continue
+        layer = layer_map.layer_of(name)
+        (assigned[layer] if layer is not None else unmapped).append(name)
+    eager = [
+        (importer, imported)
+        for importer, imported, _ in graph.eager_edges()
+        if importer.name.startswith(prefix) and imported.name.startswith(prefix)
+    ]
+    lines = [f"layer map: {layer_map.path}"]
+    for height, layer in enumerate(layer_map.layers()):
+        lines.append(f"  [{height}] {layer}")
+        for name in assigned[layer]:
+            marker = " (override)" if name in layer_map.overrides else ""
+            lines.append(f"        {name}{marker}")
+    if unmapped:
+        lines.append("  UNMAPPED:")
+        lines.extend(f"        {name}" for name in unmapped)
+    cycles = graph.cycles(prefix)
+    lines.append(
+        f"{len(graph.modules)} modules, {len(eager)} eager {prefix} edges, "
+        f"{len(cycles)} cycle(s)"
+    )
+    for component in cycles:
+        lines.append(f"  cycle: {' -> '.join(component)}")
+    return "\n".join(lines)

@@ -18,6 +18,10 @@ _RULE_MODULES = (
     "unit_suffix",
     "parity_pairs",
     "basenames",
+    "generation_bump",
+    "layer_dag",
+    "export_surface",
+    "dead_api",
 )
 
 

@@ -1,0 +1,106 @@
+"""R203 — public defs nothing reaches are dead API, not API.
+
+A public module-level function or class in ``src/repro`` that no other
+module imports, no test or benchmark exercises, the CLI never touches,
+no ``__all__`` re-exports, and even its own module never references is
+surface the repo *claims* to support but does not: it rots silently
+(the R004 parity contract never fires for it, refactors miss it) and
+misleads readers about what the system does. Delete it, wire it in, or
+underscore it.
+
+Reachability is name-based over the whole collected corpus (the
+cross-file identifier sets in the project graph): a def is **dead**
+only when its name appears in *no* other collected file, in *no*
+``__all__`` anywhere, and nowhere in its own module outside the def
+itself. That is deliberately conservative — any attribute access,
+annotation, decorator, or from-import keeps a def alive — so a finding
+means genuinely zero references. ``main`` is exempt (console-script
+entry points are referenced from packaging metadata, outside the
+corpus). Severity is warning: tier-1 reports it, the nightly
+``--strict`` sweep fails on it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+#: Names reachable from outside the corpus (packaging entry points).
+EXEMPT = frozenset({"main"})
+
+
+@register
+class DeadApiRule(ProjectRule):
+    id = "R203"
+    title = "dead public API (reachable from nothing)"
+    severity = "warning"
+    description = (
+        "Public module-level defs in src/repro/ (outside __init__.py) "
+        "that no other collected file references, no __all__ exports, "
+        "and even their own module never uses are dead surface: delete, "
+        "wire in, or underscore them. Name-based over the whole corpus, "
+        "so any reference at all keeps a def alive; skipped when no "
+        "tests are collected (src-only invocations)."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        if not ctx.test_files():
+            return []  # src-only run: everything test-reachable looks dead
+        graph = ctx.graph()
+        all_exports: set[str] = set()
+        for info in graph.modules.values():
+            all_exports.update(info.exports or ())
+
+        findings: list[Finding] = []
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            if not info.rel.startswith("src/repro"):
+                continue
+            if info.is_package_init or info.source.tree is None:
+                continue
+            for def_name, lineno in sorted(info.public_defs.items()):
+                if def_name.startswith("_") or def_name in EXEMPT:
+                    continue
+                if def_name in all_exports:
+                    continue
+                if self._referenced_elsewhere(graph, info, def_name):
+                    continue
+                if self._referenced_locally(info, def_name, lineno):
+                    continue
+                findings.append(
+                    self.finding(
+                        info.source, lineno,
+                        f"public def {def_name!r} is reachable from no "
+                        "import, test, benchmark, CLI, or __all__ in the "
+                        "corpus; delete it, use it, or make it private",
+                    )
+                )
+        return findings
+
+    def _referenced_elsewhere(self, graph, info, def_name: str) -> bool:
+        for other in graph.modules.values():
+            if other is info:
+                continue
+            if def_name in other.identifiers:
+                return True
+        return False
+
+    def _referenced_locally(self, info, def_name: str, lineno: int) -> bool:
+        """Any reference in the defining module besides the def itself
+        (calls, annotations, decorators — ast.Name/Attribute nodes)."""
+        for node in ast.walk(info.source.tree):
+            if isinstance(node, ast.Name) and node.id == def_name:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == def_name:
+                return True
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.strip("'\" ") == def_name
+                and getattr(node, "lineno", 0) != lineno
+            ):
+                return True  # quoted forward annotation
+        return False

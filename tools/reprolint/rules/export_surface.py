@@ -1,0 +1,123 @@
+"""R202 — ``__all__`` is the export surface, and it must not drift.
+
+Every package under ``src/repro`` declares its public surface in its
+``__init__.py`` ``__all__`` (including the ``repro`` top level with its
+``__version__`` export). Nothing kept those declarations honest: a name
+could be exported but never bound (an ``ImportError`` lying in wait for
+``from repro.x import *`` or an API doc generator), a public re-export
+could be quietly missing from the surface, and unsorted lists make
+surface diffs unreadable. The rule checks, per module with an
+``__all__`` (plus every ``src/repro`` package ``__init__`` — declaring
+the surface is mandatory there):
+
+* every ``__all__`` entry is bound at module top level;
+* in package ``__init__`` files, every public top-level binding
+  (from-import, def, class, or assignment) appears in ``__all__`` —
+  submodule names and underscore names are exempt;
+* no duplicates, and the list is sorted (surface diffs stay one-line);
+* the top-level package exports ``__version__`` when it defines one.
+
+Scope: ``src/`` and ``tools/`` (the linter holds itself to the bound /
+sorted / duplicate checks too).
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+
+@register
+class ExportSurfaceRule(ProjectRule):
+    id = "R202"
+    title = "export-surface drift (__all__ vs bound names)"
+    severity = "error"
+    description = (
+        "__all__ must match reality: every entry bound at module scope, "
+        "every public top-level binding of a src/repro package __init__ "
+        "exported (submodules exempt), no duplicates, sorted order, and "
+        "src/repro package __init__ files must declare __all__ at all "
+        "(the repro top level includes its __version__ export). Applies "
+        "to src/ and tools/."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        graph = ctx.graph()
+        findings: list[Finding] = []
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            if not info.rel.startswith(("src/", "tools/")):
+                continue
+            if info.source.tree is None:
+                continue
+            strict_surface = info.is_package_init and info.rel.startswith(
+                "src/repro"
+            )
+            if info.exports is None:
+                if strict_surface:
+                    findings.append(
+                        self.finding(
+                            info.source, 1,
+                            f"package __init__ {info.name!r} declares no "
+                            "__all__; the export surface must be explicit",
+                        )
+                    )
+                continue
+            line = info.exports_lineno
+            seen: set[str] = set()
+            for entry in info.exports:
+                if entry in seen:
+                    findings.append(
+                        self.finding(
+                            info.source, line,
+                            f"__all__ lists {entry!r} more than once",
+                        )
+                    )
+                seen.add(entry)
+                if entry not in info.bindings:
+                    findings.append(
+                        self.finding(
+                            info.source, line,
+                            f"__all__ exports {entry!r} but no top-level "
+                            "binding defines it (broken star-import / API "
+                            "surface)",
+                        )
+                    )
+            if info.exports != sorted(info.exports):
+                findings.append(
+                    self.finding(
+                        info.source, line,
+                        "__all__ is not sorted; keep the export surface "
+                        "diffable (sorted())",
+                    )
+                )
+            if strict_surface:
+                findings.extend(self._missing_exports(graph, info))
+        return findings
+
+    def _missing_exports(self, graph, info) -> list[Finding]:
+        """Public top-level bindings of a package __init__ absent from
+        ``__all__`` (submodules of the package are not drift)."""
+        findings = []
+        exports = set(info.exports or ())
+        for bound, kind in sorted(info.bindings.items()):
+            if bound in exports:
+                continue
+            if bound.startswith("_") and not (
+                bound == "__version__" and info.name == "repro"
+            ):
+                continue
+            if kind == "import":
+                continue  # `import x` binds a module, not surface
+            if f"{info.name}.{bound}" in graph.modules:
+                continue  # submodule re-export, not API drift
+            findings.append(
+                self.finding(
+                    info.source, info.binding_lines.get(bound, 1),
+                    f"public name {bound!r} is bound in {info.name}'s "
+                    "__init__ but missing from __all__; export it or "
+                    "underscore it",
+                )
+            )
+        return findings

@@ -1,0 +1,362 @@
+"""R005 — FleetState array stores must bump their generation counter.
+
+The SoA fleet core (PR 8) keeps truth in ``FleetState``'s registered
+numpy arrays and advertises every mutation through monotone generation
+counters: ``generation`` for any change, plus ``placement_generation``
+when the hosted-VM set or a VM lifecycle state moves. Consumers
+(``FleetLoadView``, the simulation column cache, probe rebuilds) key
+caches off those counters — a store that skips its bump silently serves
+stale derived state, the exact desync class this rule's bad fixture
+reproduces. The contract lived only in the fleetstate docstring; this
+rule makes it checkable.
+
+The analysis is a small all-paths dataflow over the project graph:
+
+* **field discovery** — registered arrays are read from the fleetstate
+  module itself (the ``*_FIELDS`` name tuples plus ``self.x =
+  np.zeros(...)`` in ``FleetState.__init__``); counters are the
+  registered names containing ``generation``. No hand-kept field list
+  to drift.
+* **inside ``FleetState``** — every method (``__init__`` excepted)
+  that stores into a data field must guarantee the matching bump on
+  all paths from the store to function exit: ``generation`` always,
+  ``placement_generation`` too for the placement-class fields
+  (``used_vcpus``, ``used_memory_gb``, ``n_running``, ``vm_server``,
+  ``vm_state_code``). ``self._bump_placement(...)`` counts as both.
+  Branches guarantee only their intersection; loop bodies guarantee
+  nothing (zero iterations); ``try`` guarantees only its ``finally``.
+  A private method whose stores are uncovered is rescued when every
+  call site inside the class is itself followed by the needed bump on
+  all paths (``_register_vm`` is covered by ``place_vm``).
+* **outside ``FleetState``** — a direct store through a fleet-state
+  receiver (a name like ``fs``/``fleet_state`` or an attribute chain
+  ending ``._fs`` / ``.fleet_state``) needs the same guaranteed bump
+  in the storing function; the sanctioned pattern is routing through a
+  bumping ``FleetState`` mutator instead (``bump_migrations`` style).
+
+Known limitation, v1: writes through a captured alias of an array
+(``t = fs.t_cpu_c; t[i] = ...``, as the vectorised thermal engine's
+slice views do) are invisible to this receiver-shape analysis; the
+engine owns its epoch explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+#: Fields whose stores also require a placement bump (they define the
+#: hosted-VM set / load signature FleetLoadView derives from).
+PLACEMENT_FIELDS = frozenset(
+    {"used_vcpus", "used_memory_gb", "n_running", "vm_server", "vm_state_code"}
+)
+
+#: Bare names treated as fleet-state receivers outside the class.
+FS_NAMES = frozenset({"fs", "fleet_state", "fleetstate"})
+#: Attribute leaves treated as fleet-state receivers (``self._fs``,
+#: ``cluster.fleet_state``).
+FS_ATTRS = frozenset({"_fs", "fleet_state"})
+
+Recv = Callable[[ast.expr], bool]
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_fs_shaped(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in FS_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in FS_ATTRS
+    return False
+
+
+def registered_fields(tree: ast.AST) -> set[str]:
+    """Array names the fleetstate module registers: module-level
+    ``*_FIELDS`` string tuples plus ``self.x = np.zeros(...)`` in
+    ``FleetState.__init__``. Counters included (filtered by caller)."""
+    fields: set[str] = set()
+    for node in getattr(tree, "body", []):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.endswith("_FIELDS")
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    fields.add(elt.value)
+        if isinstance(node, ast.ClassDef) and node.name == "FleetState":
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "__init__"
+                ):
+                    for stmt in ast.walk(item):
+                        if (
+                            isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1
+                            and isinstance(stmt.targets[0], ast.Attribute)
+                            and _is_self(stmt.targets[0].value)
+                            and isinstance(stmt.value, ast.Call)
+                            and isinstance(stmt.value.func, ast.Attribute)
+                            and stmt.value.func.attr == "zeros"
+                        ):
+                            fields.add(stmt.targets[0].attr)
+    return fields
+
+
+def _required(field: str) -> frozenset[str]:
+    if field in PLACEMENT_FIELDS:
+        return frozenset({"generation", "placement_generation"})
+    return frozenset({"generation"})
+
+
+def _bumps(stmt: ast.stmt, recv: Recv) -> set[str]:
+    """Counters this single statement is guaranteed to bump."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return set()  # a nested def's body does not execute here
+    out: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and recv(target.value)
+                and target.attr in ("generation", "placement_generation")
+            ):
+                out.add(target.attr)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and recv(node.func.value)
+            and node.func.attr == "_bump_placement"
+        ):
+            out |= {"generation", "placement_generation"}
+    return out
+
+
+def _suite_guarantee(
+    stmts: list[ast.stmt], recv: Recv
+) -> tuple[set[str], bool]:
+    """(counters bumped on *every* path through the suite, whether all
+    paths leave the function inside it via return/raise)."""
+    guaranteed: set[str] = set()
+    for stmt in stmts:
+        got, terminated = _stmt_guarantee(stmt, recv)
+        guaranteed |= got
+        if terminated:
+            return guaranteed, True
+    return guaranteed, False
+
+
+def _stmt_guarantee(stmt: ast.stmt, recv: Recv) -> tuple[set[str], bool]:
+    if isinstance(stmt, (ast.Return, ast.Raise)):
+        return set(), True
+    if isinstance(stmt, ast.If):
+        body = _suite_guarantee(stmt.body, recv)
+        orelse = _suite_guarantee(stmt.orelse, recv)
+        return body[0] & orelse[0], body[1] and orelse[1]
+    if isinstance(stmt, (ast.For, ast.While)):
+        return set(), False  # body may run zero times
+    if isinstance(stmt, ast.With):
+        return _suite_guarantee(stmt.body, recv)
+    if isinstance(stmt, ast.Try):
+        return _suite_guarantee(stmt.finalbody, recv)
+    return _bumps(stmt, recv), False
+
+
+def _walk(
+    stmts: list[ast.stmt], after: set[str], recv: Recv
+) -> Iterator[tuple[ast.stmt, set[str]]]:
+    """Yield every non-compound statement with the counter set
+    guaranteed to bump *after* it before the function exits."""
+    for i, stmt in enumerate(stmts):
+        rest, terminated = _suite_guarantee(stmts[i + 1 :], recv)
+        following = rest if terminated else rest | after
+        if isinstance(stmt, ast.If):
+            yield from _walk(stmt.body, following, recv)
+            yield from _walk(stmt.orelse, following, recv)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            yield from _walk(stmt.body, following, recv)
+            yield from _walk(stmt.orelse, following, recv)
+        elif isinstance(stmt, ast.With):
+            yield from _walk(stmt.body, following, recv)
+        elif isinstance(stmt, ast.Try):
+            fin, fin_term = _suite_guarantee(stmt.finalbody, recv)
+            inner = fin if fin_term else fin | following
+            yield from _walk(stmt.body, inner, recv)
+            for handler in stmt.handlers:
+                yield from _walk(handler.body, inner, recv)
+            yield from _walk(stmt.orelse, inner, recv)
+            yield from _walk(stmt.finalbody, following, recv)
+        else:
+            yield stmt, following
+
+
+def _stores(
+    stmt: ast.stmt, recv: Recv, fields: set[str]
+) -> list[tuple[str, int]]:
+    """Registered-field stores this statement performs: subscript
+    writes (``x.f[i] = ...``, ``+=``) and whole-array rebinds."""
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets = [stmt.target]
+    else:
+        return []
+    out: list[tuple[str, int]] = []
+    for target in targets:
+        elts = target.elts if isinstance(target, ast.Tuple) else [target]
+        for elt in elts:
+            if (
+                isinstance(elt, ast.Subscript)
+                and isinstance(elt.value, ast.Attribute)
+                and recv(elt.value.value)
+                and elt.value.attr in fields
+            ):
+                out.append((elt.value.attr, elt.lineno))
+            elif (
+                isinstance(elt, ast.Attribute)
+                and recv(elt.value)
+                and elt.attr in fields
+            ):
+                out.append((elt.attr, elt.lineno))
+    return out
+
+
+def _calls_method(stmt: ast.stmt, name: str) -> bool:
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and _is_self(node.func.value)
+            and node.func.attr == name
+        ):
+            return True
+    return False
+
+
+@register
+class GenerationBumpRule(ProjectRule):
+    id = "R005"
+    title = "FleetState mutation without generation bump"
+    severity = "error"
+    description = (
+        "Stores into FleetState's registered arrays must bump the "
+        "matching generation counter on all paths to function exit "
+        "(generation always; placement_generation too for placement-"
+        "class fields), or — outside the class — route through a "
+        "bumping FleetState mutator. Fields are discovered from the "
+        "fleetstate module itself; unbumped stores serve stale "
+        "FleetLoadView / cache state."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        fs_sources = [
+            source
+            for source in ctx.src_files()
+            if source.path.name == "fleetstate.py" and source.tree is not None
+        ]
+        if not fs_sources:
+            return []
+        fields: set[str] = set()
+        for source in fs_sources:
+            fields |= registered_fields(source.tree)
+        data_fields = {f for f in fields if "generation" not in f}
+        if not data_fields:
+            return []
+
+        findings: list[Finding] = []
+        for source in ctx.src_files():
+            if source.tree is None:
+                continue
+            findings.extend(self._check_outside(source, data_fields))
+            if source in fs_sources:
+                findings.extend(self._check_fleetstate(source, data_fields))
+        return findings
+
+    def _check_outside(self, source, data_fields: set[str]) -> list[Finding]:
+        """Direct stores through fs-shaped receivers anywhere in src/;
+        the store's own function must guarantee the bump."""
+        findings = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for stmt, following in _walk(node.body, set(), _is_fs_shaped):
+                for field, lineno in _stores(stmt, _is_fs_shaped, data_fields):
+                    missing = _required(field) - following
+                    if missing:
+                        findings.append(
+                            self.finding(
+                                source, lineno,
+                                f"direct store to FleetState array "
+                                f"{field!r} without a guaranteed "
+                                f"{'/'.join(sorted(missing))} bump; route "
+                                "it through a bumping FleetState mutator",
+                            )
+                        )
+        return findings
+
+    def _check_fleetstate(self, source, data_fields: set[str]) -> list[Finding]:
+        findings = []
+        for cls in ast.walk(source.tree):
+            if not (isinstance(cls, ast.ClassDef) and cls.name == "FleetState"):
+                continue
+            methods = {
+                item.name: item
+                for item in cls.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            uncovered: dict[str, list[tuple[int, str, frozenset]]] = {}
+            for name, fn in methods.items():
+                if name == "__init__":
+                    continue
+                bad = []
+                for stmt, following in _walk(fn.body, set(), _is_self):
+                    for field, lineno in _stores(stmt, _is_self, data_fields):
+                        missing = _required(field) - following
+                        if missing:
+                            bad.append((lineno, field, frozenset(missing)))
+                if bad:
+                    uncovered[name] = bad
+
+            for name in sorted(uncovered):
+                if name.startswith("_") and not name.startswith("__"):
+                    if self._rescued(methods, name, uncovered[name]):
+                        continue
+                for lineno, field, missing in uncovered[name]:
+                    findings.append(
+                        self.finding(
+                            source, lineno,
+                            f"FleetState.{name} stores into {field!r} "
+                            "without a guaranteed "
+                            f"{'/'.join(sorted(missing))} bump on all "
+                            "paths; bump the counter (or _bump_placement) "
+                            "before returning",
+                        )
+                    )
+        return findings
+
+    def _rescued(self, methods, name: str, bad) -> bool:
+        """A private method's unbumped stores are fine when every call
+        site inside the class guarantees the needed bumps after it."""
+        needed: set[str] = set()
+        for _, _, missing in bad:
+            needed |= missing
+        sites = []
+        for caller, fn in methods.items():
+            if caller == name:
+                continue
+            for stmt, following in _walk(fn.body, set(), _is_self):
+                if _calls_method(stmt, name):
+                    sites.append(following)
+        return bool(sites) and all(needed <= site for site in sites)

@@ -1,0 +1,130 @@
+"""R201 — the declared layer DAG is the real import graph.
+
+The ten-package architecture (foundation → config → svm/thermal →
+datacenter → core → serving → management → training → experiments →
+control → lifecycle → scenarios → app) existed only in docs and
+reviewers' heads; nothing stopped a serving module from importing the
+control plane. The layer map now lives in
+``tools/reprolint/layers.toml`` and this rule holds the tree to it:
+
+* an **eager upward import** — a module-import-time edge from a lower
+  layer into a higher one — is a finding at the import line. Lazy
+  (function-local) and ``TYPE_CHECKING``-guarded imports are the
+  sanctioned cycle breakers and are not constrained; intra-package
+  edges (``repro.core``'s ``__init__`` re-exporting
+  ``repro.core.pipeline``) are the package's own business;
+* a **cycle** anywhere in the eager module graph is a finding on every
+  participating module (lazy imports break cycles; eager ones must
+  form a DAG or Python's import order is load-bearing by accident);
+* a ``src/repro`` module the map does not cover is a finding — new
+  packages declare their layer before they land.
+
+Same-layer cross-package imports are allowed (svm and thermal share a
+layer without seeing each other; the cycle check still guards abuse).
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import register
+from tools.reprolint.rules.base import ProjectRule
+
+#: Only the shipped package is layered; tests/tools import freely.
+PREFIX = "repro"
+
+
+def _package_of(module: str) -> str:
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else module
+
+
+@register
+class LayerDagRule(ProjectRule):
+    id = "R201"
+    title = "layer-DAG: no upward or cyclic eager imports"
+    severity = "error"
+    description = (
+        "src/repro/ modules must respect the layer map in "
+        "tools/reprolint/layers.toml: a module may eagerly import only "
+        "its own layer or below (lazy and TYPE_CHECKING imports are the "
+        "sanctioned cycle breakers; intra-package edges are exempt), the "
+        "eager import graph must be cycle-free, and every module must be "
+        "covered by the map. 'reprolint graph' prints the map and edges."
+    )
+
+    def check_project(self, ctx) -> list[Finding]:
+        graph = ctx.graph()
+        try:
+            layer_map = graph.layer_map
+        except (OSError, ValueError, KeyError) as exc:
+            first = next(iter(ctx.src_files()), None)
+            if first is None:
+                return []
+            return [self.finding(first, 1, f"layer map unreadable: {exc}")]
+
+        findings: list[Finding] = []
+        in_scope = {
+            name: info
+            for name, info in graph.modules.items()
+            if name == PREFIX or name.startswith(PREFIX + ".")
+        }
+
+        heights: dict[str, int] = {}
+        for name, info in sorted(in_scope.items()):
+            layer = layer_map.layer_of(name)
+            if layer is None:
+                findings.append(
+                    self.finding(
+                        info.source, 1,
+                        f"module {name!r} is not covered by the layer map "
+                        f"({layer_map.path.name}); declare its layer before "
+                        "it lands",
+                    )
+                )
+                continue
+            heights[name] = layer_map.height(layer)
+
+        for importer, imported, edge in graph.eager_edges():
+            if importer.name not in heights or imported.name not in heights:
+                continue
+            if _package_of(importer.name) == _package_of(imported.name):
+                continue
+            if heights[importer.name] >= heights[imported.name]:
+                continue
+            importer_layer = layer_map.layer_of(importer.name)
+            imported_layer = layer_map.layer_of(imported.name)
+            findings.append(
+                self.finding(
+                    importer.source, edge.lineno,
+                    f"upward import: {importer.name} (layer "
+                    f"{importer_layer!r}) eagerly imports {imported.name} "
+                    f"(layer {imported_layer!r} above it); import lazily "
+                    "inside the function that needs it, or move the "
+                    "dependency down the stack",
+                )
+            )
+
+        for component in graph.cycles(PREFIX):
+            chain = " -> ".join(component + component[:1])
+            for name in component:
+                info = in_scope.get(name)
+                if info is None:
+                    continue
+                lineno = next(
+                    (
+                        e.lineno
+                        for e in info.imports
+                        if e.eager
+                        and graph.resolve(e.target) is not None
+                        and graph.resolve(e.target).name in component
+                    ),
+                    1,
+                )
+                findings.append(
+                    self.finding(
+                        info.source, lineno,
+                        f"eager import cycle: {chain}; break it with a "
+                        "function-local import",
+                    )
+                )
+        return findings
